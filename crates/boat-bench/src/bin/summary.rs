@@ -1,0 +1,136 @@
+//! One-command digest of the whole evaluation: a compact version of every
+//! figure (smaller sizes than the dedicated binaries), printed as a single
+//! report with the paper-shape verdicts. Useful as a smoke test that the
+//! reproduction still holds end to end.
+//!
+//! ```sh
+//! cargo run --release -p boat-bench --bin summary
+//! ```
+
+use boat_bench::run::paper_limits;
+use boat_bench::table::fmt_duration;
+use boat_bench::{materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table};
+use boat_core::{Boat, BoatConfig};
+use boat_data::dataset::RecordSource;
+use boat_data::{IoStats, MemoryDataset};
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let n = args.get::<u64>("n", 40_000);
+    let seed = args.get::<u64>("seed", 515_151);
+    let limits = paper_limits(n);
+    let t0 = Instant::now();
+
+    println!("# BOAT reproduction summary (n = {n}, stop at {})\n", limits.stop_family_size.unwrap());
+
+    // --- Figures 4-6 digest: one size, three functions, three algorithms.
+    println!("## Scalability digest (Figures 4-6)\n");
+    let mut table = Table::new(&["function", "algo", "time", "scans", "input reads", "failures"]);
+    for (f, func) in [(1u32, LabelFunction::F1), (6, LabelFunction::F6), (7, LabelFunction::F7)] {
+        let gen = GeneratorConfig::new(func).with_seed(seed);
+        let data =
+            materialize_cached(&gen, n, &format!("summary-f{f}-{seed}"), IoStats::new())?;
+        let (hb, vb) = rf_budgets(n, 0);
+        let results = [
+            run_boat(&data, limits, seed ^ f as u64)?,
+            run_rf_hybrid(&data, limits, hb)?,
+            run_rf_vertical(&data, limits, vb)?,
+        ];
+        for pair in results.windows(2) {
+            assert_eq!(pair[0].tree, pair[1].tree, "F{f}: trees must be identical");
+        }
+        for r in &results {
+            table.row(vec![
+                format!("F{f}"),
+                r.algo.to_string(),
+                fmt_duration(r.time),
+                r.scans.to_string(),
+                r.input_reads.to_string(),
+                r.failed_nodes.to_string(),
+            ]);
+        }
+    }
+    table.print(false);
+
+    // --- Noise digest (Figures 7-9): BOAT at the two noise extremes.
+    println!("\n## Noise digest (Figures 7-9): BOAT at 2% vs 10% noise (F1)\n");
+    for pct in [2u64, 10] {
+        let gen = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(seed)
+            .with_noise(pct as f64 / 100.0);
+        let data = materialize_cached(
+            &gen,
+            n,
+            &format!("summary-noise-{pct}-{seed}"),
+            IoStats::new(),
+        )?;
+        let r = run_boat(&data, limits, seed ^ pct)?;
+        println!(
+            "  noise {pct:>2}%: {} | {} scans | {} input reads",
+            fmt_duration(r.time),
+            r.scans,
+            r.input_reads
+        );
+    }
+
+    // --- Instability digest (Figure 12).
+    println!("\n## Instability digest (Figure 12)\n");
+    let unstable = boat_datagen::instability::two_minima_dataset(400, 8);
+    let mut cfg = BoatConfig::scaled_for(unstable.len()).with_seed(seed);
+    cfg.in_memory_threshold = unstable.len() / 10;
+    let fit = Boat::new(cfg.clone()).fit(&unstable)?;
+    let reference =
+        boat_core::reference_tree(&unstable, boat_tree::Gini, cfg.limits)?;
+    assert_eq!(fit.tree, reference);
+    println!(
+        "  two-minima data: {} (exact tree: yes)",
+        fit.stats
+    );
+
+    // --- Dynamic digest (Figures 13-15): repeated chunks, cumulative
+    //     update cost vs re-building at every arrival (the paper's
+    //     comparison).
+    println!("\n## Dynamic digest (Figures 13-15)\n");
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(seed ^ 77);
+    let schema = gen.schema();
+    let chunks = 4u64;
+    let chunk_n = n / 2;
+    let total = n + chunks * chunk_n;
+    let all = gen.generate_vec(total as usize);
+    let base = MemoryDataset::new(schema.clone(), all[..n as usize].to_vec());
+    let mut config = BoatConfig::scaled_for(total).with_seed(seed ^ 78);
+    config.limits = paper_limits(total);
+    config.in_memory_threshold = config.limits.stop_family_size.unwrap();
+    let algo = Boat::new(config.clone());
+    let (mut model, _) = algo.fit_model(&base)?;
+    let mut cum_update = std::time::Duration::ZERO;
+    let mut cum_rebuild = std::time::Duration::ZERO;
+    for i in 0..chunks {
+        let start = (n + i * chunk_n) as usize;
+        let end = start + chunk_n as usize;
+        let chunk = MemoryDataset::new(schema.clone(), all[start..end].to_vec());
+        let t = Instant::now();
+        model.insert(&chunk)?;
+        model.maintain()?;
+        cum_update += t.elapsed();
+        let cumulative = MemoryDataset::new(schema.clone(), all[..end].to_vec());
+        let t = Instant::now();
+        let rebuilt = algo.fit(&cumulative)?;
+        cum_rebuild += t.elapsed();
+        assert_eq!(model.tree()?, &rebuilt.tree, "incremental must equal rebuild");
+    }
+    println!(
+        "  {chunks} chunks of +{chunk_n}: cumulative incremental {} vs cumulative re-builds {} \
+         (identical trees at every step)",
+        fmt_duration(cum_update),
+        fmt_duration(cum_rebuild)
+    );
+
+    println!(
+        "\nAll identical-tree assertions passed. Total summary time: {}",
+        fmt_duration(t0.elapsed())
+    );
+    Ok(())
+}

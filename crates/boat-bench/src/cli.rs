@@ -1,0 +1,97 @@
+//! A tiny `--key value` argument parser for the experiment binaries
+//! (keeping the workspace's dependency list to the approved crates).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs plus bare flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments. `--key value` stores a value;
+    /// `--flag` (followed by another `--…` or nothing) stores `"true"`.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let is_flag = iter.peek().is_none_or(|next| next.starts_with("--"));
+                let value =
+                    if is_flag { "true".to_string() } else { iter.next().expect("peeked") };
+                values.insert(key.to_string(), value);
+            } else {
+                eprintln!("warning: ignoring positional argument {arg:?}");
+            }
+        }
+        Args { values }
+    }
+
+    /// A typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{key} {v:?}: cannot parse ({e:?})")),
+            None => default,
+        }
+    }
+
+    /// A string value with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.get(key).is_some_and(|v| v != "false")
+    }
+
+    /// A comma-separated list of integers with a default.
+    pub fn get_list(&self, key: &str, default: &[u64]) -> Vec<u64> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|p| p.trim().parse().unwrap_or_else(|e| panic!("--{key}: bad list ({e})")))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_flags_and_lists() {
+        let a = parse("--n 5000 --csv --sizes 10,20,30 --function 6");
+        assert_eq!(a.get::<u64>("n", 0), 5000);
+        assert!(a.flag("csv"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_list("sizes", &[]), vec![10, 20, 30]);
+        assert_eq!(a.get::<u32>("function", 1), 6);
+        assert_eq!(a.get::<u64>("missing", 7), 7);
+        assert_eq!(a.get_str("mode", "same-dist"), "same-dist");
+    }
+
+    #[test]
+    fn trailing_flag_is_true() {
+        let a = parse("--n 10 --verbose");
+        assert!(a.flag("verbose"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Aligned plain-text tables (with optional CSV output) for experiment
+//! results.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>w$}"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print in the requested format.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.render_csv());
+        } else {
+            print!("{}", self.render());
+        }
+    }
+}
+
+/// Format a `Duration` compactly (ms under 10 s, else seconds).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs_f64() < 10.0 {
+        format!("{:.0}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2}s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["n", "algo", "time"]);
+        t.row(vec!["100".into(), "boat".into(), "5ms".into()]);
+        t.row(vec!["100000".into(), "rf-vertical".into(), "1200ms".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("algo"));
+        // Every row has the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn renders_csv() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(std::time::Duration::from_millis(1500)), "1500ms");
+        assert_eq!(fmt_duration(std::time::Duration::from_secs(25)), "25.00s");
+    }
+}

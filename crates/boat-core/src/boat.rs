@@ -1,0 +1,427 @@
+//! BOAT orchestration (paper §3.5): sampling scan → bootstrap → cleanup
+//! scan → verification → completion.
+//!
+//! In the typical case the whole tree is built in **two** sequential scans
+//! of the training database: one to draw the sample, one to clean up. A
+//! third scan happens only when a completion job's records were not
+//! retained (a failed subtree whose frontier kept no family buffers). Huge
+//! unfinished partitions recurse into BOAT itself; small ones finish with
+//! the in-memory builder, exactly as §3.5 prescribes.
+
+use crate::config::BoatConfig;
+use crate::coarse::build_coarse_tree;
+use crate::stats::BoatRunStats;
+use crate::work::{limits_for_subtree, Job, Resolution, WorkTree};
+use boat_data::dataset::RecordSource;
+use boat_data::sample::reservoir_sample;
+use boat_data::spill::SpillBuffer;
+use boat_data::{DataError, FileDatasetWriter, Record, Result};
+use boat_tree::{Gini, GrowthLimits, Impurity, ImpuritySelector, TdTreeBuilder, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static REBUILD_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Result of a BOAT construction run.
+#[derive(Debug, Clone)]
+pub struct BoatFit {
+    /// The exact decision tree — identical to what the in-memory reference
+    /// builder produces on the full training database.
+    pub tree: Tree,
+    /// Run statistics (scan counts, failures, phase timings).
+    pub stats: BoatRunStats,
+}
+
+/// The BOAT algorithm, parameterized by a concave impurity function.
+#[derive(Debug, Clone)]
+pub struct Boat<I: Impurity + Clone = Gini> {
+    config: BoatConfig,
+    impurity: I,
+}
+
+impl Boat<Gini> {
+    /// BOAT with the Gini index (CART's split selection).
+    pub fn new(config: BoatConfig) -> Self {
+        Boat { config, impurity: Gini }
+    }
+}
+
+impl<I: Impurity + Clone> Boat<I> {
+    /// BOAT with an arbitrary concave impurity function.
+    pub fn with_impurity(config: BoatConfig, impurity: I) -> Self {
+        Boat { config, impurity }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BoatConfig {
+        &self.config
+    }
+
+    /// The impurity function in use.
+    pub fn impurity(&self) -> &I {
+        &self.impurity
+    }
+
+    /// Build the exact decision tree for `source`.
+    pub fn fit(&self, source: &dyn RecordSource) -> Result<BoatFit> {
+        self.config.validate().map_err(DataError::Invalid)?;
+        // In-memory switch at top level: families that fit in memory are
+        // always cheaper to build directly (§3.5).
+        if source.len() <= self.config.in_memory_threshold {
+            let t0 = Instant::now();
+            let records = source.collect_records()?;
+            let selector = ImpuritySelector::new(self.impurity.clone());
+            let tree =
+                TdTreeBuilder::new(&selector, self.config.limits).fit(source.schema(), &records);
+            let stats = BoatRunStats {
+                scans_over_input: 1,
+                sample_records: records.len() as u64,
+                inmem_builds: 1,
+                postprocess_time: t0.elapsed(),
+                ..Default::default()
+            };
+            return Ok(BoatFit { tree, stats });
+        }
+        let (work, mut stats) =
+            self.fit_work(source, self.config.max_recursion, false)?;
+        let tree = work.extract_tree();
+        stats.io = source.stats().snapshot();
+        Ok(BoatFit { tree, stats })
+    }
+
+    /// Run the full BOAT pipeline, returning the finalized working tree
+    /// (with all completion jobs executed) and statistics.
+    pub(crate) fn fit_work(
+        &self,
+        source: &dyn RecordSource,
+        recursion_left: u32,
+        retain_all_families: bool,
+    ) -> Result<(WorkTree, BoatRunStats)> {
+        let mut stats = BoatRunStats::default();
+        let schema = source.schema().clone();
+        let selector = ImpuritySelector::new(self.impurity.clone());
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // ---- sampling phase (scan 1 + bootstrap) ----
+        let t0 = Instant::now();
+        let sample = reservoir_sample(source, self.config.sample_size, &mut rng)?;
+        stats.scans_over_input += 1;
+        stats.sample_records = sample.len() as u64;
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &selector,
+            &self.config,
+            source.len(),
+            &mut rng,
+        );
+        stats.coarse_nodes = coarse.len() as u64;
+        let mut work = WorkTree::prepare(
+            &coarse,
+            schema,
+            &sample,
+            &self.impurity,
+            &self.config,
+            source.len(),
+            retain_all_families,
+            // Temporary files (parked sets, families, rebuild partitions)
+            // are accounted separately from the input source, so callers
+            // can tell scans-over-D apart from local spill traffic.
+            boat_data::IoStats::new(),
+        );
+        drop(sample);
+        stats.sampling_time = t0.elapsed();
+
+        // ---- cleanup phase (scan 2) ----
+        let t1 = Instant::now();
+        for r in source.scan()? {
+            work.absorb(&r?, false)?;
+        }
+        stats.scans_over_input += 1;
+        stats.parked_tuples = work.parked_total();
+        stats.cleanup_time = t1.elapsed();
+
+        // ---- verification + completion ----
+        // Promotions splice fresh maintained subtrees in; their nodes then
+        // need a verification pass with the ancestor-parked tuples routed
+        // down, so iterate to a fixed point (bounded: the final round runs
+        // without promotion, so static growth always completes it).
+        let t2 = Instant::now();
+        for round in 0..4u32 {
+            let jobs = work.finalize(&self.impurity, self.config.limits)?;
+            let promote = retain_all_families && round < 3;
+            let promoted = self.execute_jobs(
+                &mut work,
+                jobs,
+                Some(source),
+                recursion_left,
+                source.len(),
+                promote,
+                &mut stats,
+            )?;
+            if !promoted {
+                break;
+            }
+        }
+        for node in &work.nodes {
+            match node.resolution {
+                Resolution::Split { .. } => stats.verified_nodes += 1,
+                Resolution::Failed { .. } => stats.failed_nodes += 1,
+                _ => {}
+            }
+        }
+        stats.spilled_tuples = work.spilled_total();
+        stats.spill_io = work.spill_stats.snapshot();
+        stats.postprocess_time = t2.elapsed();
+        Ok((work, stats))
+    }
+
+    /// Execute completion jobs: gather each job's records (from retained
+    /// buffers, or one collection scan over `source`), then grow the
+    /// subtree in memory or via recursive BOAT.
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by fit and the model
+    pub(crate) fn execute_jobs(
+        &self,
+        work: &mut WorkTree,
+        jobs: Vec<Job>,
+        source: Option<&dyn RecordSource>,
+        recursion_left: u32,
+        input_len: u64,
+        promote: bool,
+        stats: &mut BoatRunStats,
+    ) -> Result<bool> {
+        let mut promoted_any = false;
+        // Reuse grown subtrees that are provably unchanged.
+        let mut pending: Vec<(Job, Option<Vec<Record>>)> = Vec::new();
+        for job in jobs {
+            let reusable = work.nodes[job.idx].grown.is_some()
+                && work.nodes[job.idx].grown_carried_fp == Some(job.carried_fp)
+                && !subtree_dirty(work, job.idx);
+            if reusable {
+                continue;
+            }
+            let collected = work.collect_subtree(job.idx)?;
+            pending.push((job, collected));
+        }
+
+        // Collection scan for jobs whose records were not retained.
+        if pending.iter().any(|(_, c)| c.is_none()) {
+            let source = source.ok_or_else(|| {
+                DataError::Invalid(
+                    "completion requires a scan but no source is available".into(),
+                )
+            })?;
+            let mut buffers: Vec<(usize, SpillBuffer)> = pending
+                .iter()
+                .filter(|(_, c)| c.is_none())
+                .map(|(j, _)| {
+                    (
+                        j.idx,
+                        SpillBuffer::new(
+                            work.schema.clone(),
+                            self.config.spill_budget,
+                            work.spill_stats.clone(),
+                        ),
+                    )
+                })
+                .collect();
+            stats.scans_over_input += 1;
+            for r in source.scan()? {
+                let r = r?;
+                if let Some(target) = work.route_to_job(&r) {
+                    if let Some((_, buf)) = buffers.iter_mut().find(|(i, _)| *i == target) {
+                        buf.push(r)?;
+                    }
+                }
+            }
+            for (job, slot) in pending.iter_mut() {
+                if slot.is_none() {
+                    let (_, buf) = buffers
+                        .iter_mut()
+                        .find(|(i, _)| *i == job.idx)
+                        .expect("buffer created for unretained job");
+                    *slot = Some(buf.to_vec()?);
+                    // The collection scan routes by *final* splits, so the
+                    // buffer already contains the ancestor-parked tuples
+                    // that `carried` would re-add: drop them.
+                    job.carried.clear();
+                }
+            }
+        }
+
+        for (job, records) in pending {
+            let mut records = records.expect("records gathered above");
+            // Maintained models *promote* oversized subtrees into spliced
+            // BOAT state (so future updates stream through them) instead
+            // of growing a static tree that would be re-grown on every
+            // touch. The sub-run covers only the subtree's *stored*
+            // records — ancestor-parked (`carried`) tuples stay parked at
+            // the ancestors, preserving the parking invariant; the caller
+            // re-runs the verification pass afterwards so the spliced
+            // nodes get resolved with the carried tuples routed in.
+            // Whole-input families are exempt (a sub-run over the same
+            // data would hit the identical unresolved root and loop); they
+            // fall through to the damped grow path.
+            let family = records.len() + job.carried.len();
+            let whole_input = family as u64 * 10 >= input_len.saturating_mul(9);
+            // Positions whose promoted state keeps failing verification are
+            // fit to noise; maintaining them is wasted work, so after two
+            // promotions they fall back to cheap static regrowth.
+            let noise_prone = work.nodes[job.idx].promotions >= 2;
+            if promote
+                && recursion_left > 0
+                && !whole_input
+                && !noise_prone
+                && family as u64 > self.config.in_memory_threshold
+            {
+                let promotions = work.nodes[job.idx].promotions + 1;
+                let sub_work = self.promote_records(work, job.idx, records, stats)?;
+                work.splice(job.idx, sub_work);
+                work.nodes[job.idx].promotions = promotions;
+                promoted_any = true;
+                continue;
+            }
+            records.extend(job.carried.iter().cloned());
+            let tree =
+                self.grow_records(work, job.idx, records, recursion_left, input_len, stats)?;
+            debug_assert_eq!(
+                work.nodes[job.idx]
+                    .resolution
+                    .counts()
+                    .map(|c| c.iter().sum::<u64>()),
+                Some(tree.node(tree.root()).n_records()),
+                "grown subtree must cover exactly the node family"
+            );
+            let node = &mut work.nodes[job.idx];
+            node.grown = Some(tree);
+            node.grown_carried_fp = Some(job.carried_fp);
+            clear_subtree_dirty(work, job.idx);
+        }
+        Ok(promoted_any)
+    }
+
+    /// Promote an oversized frontier/failed family into a fully maintained
+    /// sub-worktree via *exact construction* from the family records (no
+    /// bootstrap; every criterion computed from the full family, so the
+    /// next verification pass confirms it trivially).
+    fn promote_records(
+        &self,
+        work: &WorkTree,
+        idx: usize,
+        records: Vec<Record>,
+        stats: &mut BoatRunStats,
+    ) -> Result<WorkTree> {
+        let depth = work.nodes[idx].depth;
+        let sub_limits = limits_for_subtree(self.config.limits, depth);
+        stats.recursive_builds += 1;
+        crate::work::build_exact_work(
+            work.schema.clone(),
+            records,
+            &self.impurity,
+            &self.config,
+            sub_limits,
+            work.spill_stats.clone(),
+        )
+    }
+
+    /// Grow a completion subtree from its family records: in memory when it
+    /// fits (or recursion is exhausted), else recursive BOAT over a
+    /// temporary partition file (§3.5).
+    fn grow_records(
+        &self,
+        work: &WorkTree,
+        idx: usize,
+        records: Vec<Record>,
+        recursion_left: u32,
+        input_len: u64,
+        stats: &mut BoatRunStats,
+    ) -> Result<Tree> {
+        let depth = work.nodes[idx].depth;
+        let sub_limits = limits_for_subtree(self.config.limits, depth);
+        if records.len() as u64 <= self.config.in_memory_threshold || recursion_left == 0 {
+            stats.inmem_builds += 1;
+            let selector = ImpuritySelector::new(self.impurity.clone());
+            return Ok(TdTreeBuilder::new(&selector, sub_limits).fit(&work.schema, &records));
+        }
+        // Recursion damping: if this partition is (nearly) the whole input,
+        // the optimistic phase already saw this data and failed — grant one
+        // retry with a doubled sample, then fall back to the in-memory
+        // builder instead of looping on an intrinsically unstable node
+        // (the paper's Figure 12 observes growth simply stops there).
+        let whole_input = records.len() as u64 * 10 >= input_len.saturating_mul(9);
+        let sub_recursion = if whole_input { 0 } else { recursion_left - 1 };
+        let sub_sample = if whole_input {
+            self.config.sample_size.saturating_mul(2)
+        } else {
+            self.config.sample_size
+        };
+        stats.recursive_builds += 1;
+        let id = REBUILD_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("boat-rebuild-{}-{id}.boat", std::process::id()));
+        let mut writer =
+            FileDatasetWriter::create(&path, work.schema.clone(), work.spill_stats.clone())?;
+        for r in &records {
+            writer.append(r)?;
+        }
+        drop(records);
+        let partition = writer.finish()?;
+        let sub = Boat {
+            config: BoatConfig {
+                limits: sub_limits,
+                seed: self.config.seed ^ (0xD1CE << 16) ^ id,
+                sample_size: sub_sample,
+                ..self.config.clone()
+            },
+            impurity: self.impurity.clone(),
+        };
+        let result = (|| -> Result<Tree> {
+            let (w, sub_stats) = sub.fit_work(&partition, sub_recursion, false)?;
+            stats.absorb(&sub_stats);
+            Ok(w.extract_tree())
+        })();
+        let _ = std::fs::remove_file(&path);
+        result
+    }
+}
+
+/// Whether any node in the subtree of `idx` absorbed records since its
+/// grown subtree was produced.
+pub(crate) fn subtree_dirty(work: &WorkTree, idx: usize) -> bool {
+    let mut stack = vec![idx];
+    while let Some(i) = stack.pop() {
+        if work.nodes[i].state.dirty {
+            return true;
+        }
+        if work.nodes[i].crit.is_some() {
+            stack.push(work.nodes[i].left.expect("internal"));
+            stack.push(work.nodes[i].right.expect("internal"));
+        }
+    }
+    false
+}
+
+pub(crate) fn clear_subtree_dirty(work: &mut WorkTree, idx: usize) {
+    let mut stack = vec![idx];
+    while let Some(i) = stack.pop() {
+        work.nodes[i].state.dirty = false;
+        if work.nodes[i].crit.is_some() {
+            stack.push(work.nodes[i].left.expect("internal"));
+            stack.push(work.nodes[i].right.expect("internal"));
+        }
+    }
+}
+
+/// Convenience: the in-memory reference tree for `source` under the same
+/// limits — the object BOAT's output is guaranteed to equal. One scan.
+pub fn reference_tree<I: Impurity + Clone>(
+    source: &dyn RecordSource,
+    impurity: I,
+    limits: GrowthLimits,
+) -> Result<Tree> {
+    let records = source.collect_records()?;
+    let selector = ImpuritySelector::new(impurity);
+    Ok(TdTreeBuilder::new(&selector, limits).fit(source.schema(), &records))
+}

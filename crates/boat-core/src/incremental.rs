@@ -1,0 +1,182 @@
+//! Incremental maintenance in a dynamic environment (paper §4).
+//!
+//! [`BoatModel`] retains everything the cleanup phase collected — per-node
+//! coarse criteria, category/bucket counts, the parked sets `S_n`, and the
+//! frontier family buffers — so that a new chunk of training data can be
+//! *streamed down the tree exactly as if it were part of the original
+//! cleanup scan*. The verification pass (and any subtree maintenance it
+//! triggers) runs lazily, when the tree is next requested, so a burst of
+//! chunks pays for verification once. The resulting tree is guaranteed to
+//! be identical to a complete re-build on the modified training database.
+//! Deletions are handled symmetrically, by subtracting from every count and
+//! removing parked/retained records.
+//!
+//! Cost model (matching the paper's §4 discussion): if the chunks come
+//! from the same underlying distribution, every coarse criterion keeps
+//! verifying and maintenance touches only counters, parked buffers and the
+//! frontier subtrees the chunks' tuples actually reach — the original
+//! training database is **never rescanned**. If the distribution changed
+//! somewhere, verification fails exactly at the affected subtree, and only
+//! that subtree is rebuilt (from records the model itself retained).
+//! Frontier leaves that outgrow the in-memory threshold are *promoted*
+//! into fully maintained state, so the maintained region tracks the
+//! growing database.
+
+use crate::boat::{Boat, BoatFit};
+use crate::config::BoatConfig;
+use crate::stats::BoatRunStats;
+use crate::work::{Resolution, WorkTree};
+use boat_data::dataset::RecordSource;
+use boat_data::{DataError, Result};
+use boat_tree::{Gini, Impurity, Tree};
+use std::time::{Duration, Instant};
+
+/// What happened while absorbing one chunk (streaming only; verification
+/// happens at the next [`BoatModel::tree`] / [`BoatModel::maintain`]).
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Records inserted.
+    pub inserted: u64,
+    /// Records deleted.
+    pub deleted: u64,
+    /// Wall time of streaming the chunk down the tree.
+    pub time: Duration,
+}
+
+/// What the (lazy) maintenance pass did.
+#[derive(Debug, Clone, Default)]
+pub struct MaintainReport {
+    /// Coarse nodes whose criterion failed verification (their subtrees
+    /// were rebuilt).
+    pub failed_nodes: u64,
+    /// Completion jobs executed (subtrees grown, regrown or promoted).
+    pub regrown_subtrees: u64,
+    /// Wall time of verification + completion.
+    pub time: Duration,
+}
+
+/// A maintained BOAT model: per-node state that absorbs insert/delete
+/// chunks, plus the (lazily materialized) current exact tree.
+pub struct BoatModel<I: Impurity + Clone = Gini> {
+    algo: Boat<I>,
+    work: WorkTree,
+    tree: Option<Tree>,
+}
+
+impl<I: Impurity + Clone> Boat<I> {
+    /// Build a maintainable model (paper §4). Compared to [`Boat::fit`],
+    /// frontier nodes additionally retain their family records, so updates
+    /// never need to rescan the original training database.
+    pub fn fit_model(&self, source: &dyn RecordSource) -> Result<(BoatModel<I>, BoatRunStats)>
+    where
+        I: Clone,
+    {
+        self.config().validate().map_err(DataError::Invalid)?;
+        let (work, stats) = self.fit_work(source, self.config().max_recursion, true)?;
+        let tree = work.extract_tree();
+        Ok((BoatModel { algo: self.clone(), work, tree: Some(tree) }, stats))
+    }
+}
+
+impl<I: Impurity + Clone> BoatModel<I> {
+    /// The current decision tree — always identical to a full rebuild on
+    /// the net training data. Runs any pending maintenance first.
+    pub fn tree(&mut self) -> Result<&Tree> {
+        self.maintain()?;
+        Ok(self.tree.as_ref().expect("maintain materializes the tree"))
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &BoatConfig {
+        self.algo.config()
+    }
+
+    /// Incorporate a chunk of new training records (one scan over the
+    /// chunk; verification is deferred to the next [`BoatModel::tree`]).
+    pub fn insert(&mut self, chunk: &dyn RecordSource) -> Result<UpdateReport> {
+        self.update(chunk, false)
+    }
+
+    /// Remove a chunk of training records (each must be present; one scan
+    /// over the chunk).
+    pub fn delete(&mut self, chunk: &dyn RecordSource) -> Result<UpdateReport> {
+        self.update(chunk, true)
+    }
+
+    fn update(&mut self, chunk: &dyn RecordSource, delete: bool) -> Result<UpdateReport> {
+        if **chunk.schema() != *self.work.schema {
+            return Err(DataError::Schema("update chunk schema mismatch".into()));
+        }
+        let t0 = Instant::now();
+        let mut report = UpdateReport::default();
+        for r in chunk.scan()? {
+            self.work.absorb(&r?, delete)?;
+            if delete {
+                report.deleted += 1;
+            } else {
+                report.inserted += 1;
+            }
+        }
+        self.tree = None; // maintenance pending
+        report.time = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Run pending maintenance now: the verification pass, subtree
+    /// completion, and promotion of outgrown frontier nodes. Idempotent;
+    /// a no-op when the tree is already current.
+    pub fn maintain(&mut self) -> Result<MaintainReport> {
+        let mut report = MaintainReport::default();
+        if self.tree.is_some() {
+            return Ok(report);
+        }
+        let t0 = Instant::now();
+        let imp = self.algo.impurity().clone();
+        let limits = self.config().limits;
+        let mut stats = BoatRunStats::default();
+        let max_recursion = self.config().max_recursion;
+        let total: u64 = self.work.root_family();
+        // Promotions splice maintained subtrees in and require a
+        // re-verification pass (bounded: the final round disables
+        // promotion, and static growth always completes).
+        for round in 0..4u32 {
+            let jobs = self.work.finalize(&imp, limits)?;
+            if round == 0 {
+                report.regrown_subtrees = jobs.len() as u64;
+            }
+            let promoted = self.algo.execute_jobs(
+                &mut self.work,
+                jobs,
+                None,
+                max_recursion,
+                total,
+                round < 3,
+                &mut stats,
+            )?;
+            if !promoted {
+                break;
+            }
+        }
+        report.failed_nodes = self
+            .work
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.resolution, Resolution::Failed { .. }))
+            .count() as u64;
+        self.tree = Some(self.work.extract_tree());
+        report.time = t0.elapsed();
+        Ok(report)
+    }
+
+    /// Total records currently parked in confidence-interval buffers.
+    pub fn parked_tuples(&self) -> u64 {
+        self.work.parked_total()
+    }
+}
+
+/// Convenience wrapper: run a full rebuild with the same algorithm on a
+/// source (used by the dynamic-environment benches for the "repeated
+/// re-build" baseline).
+pub fn rebuild<I: Impurity + Clone>(algo: &Boat<I>, source: &dyn RecordSource) -> Result<BoatFit> {
+    algo.fit(source)
+}

@@ -1,0 +1,114 @@
+//! Run statistics reported by BOAT.
+//!
+//! The paper's claims are about scan counts and where the time goes;
+//! [`BoatRunStats`] captures both for every `fit` and incremental update so
+//! the bench harness can print them next to wall time.
+
+use boat_data::IoSnapshot;
+use std::time::Duration;
+
+/// Statistics of one BOAT construction (or incremental maintenance) run.
+#[derive(Debug, Clone, Default)]
+pub struct BoatRunStats {
+    /// Sequential scans made over the *input* training database (sampling
+    /// scan + cleanup scan + any failure-recovery scans). The paper's
+    /// headline: typically 2.
+    pub scans_over_input: u64,
+    /// Records actually drawn into the in-memory sample `D'`.
+    pub sample_records: u64,
+    /// Nodes of the coarse tree produced by bootstrapping (internal +
+    /// frontier).
+    pub coarse_nodes: u64,
+    /// Coarse internal nodes whose criterion was verified correct.
+    pub verified_nodes: u64,
+    /// Coarse nodes whose criterion failed verification (paper: rare).
+    pub failed_nodes: u64,
+    /// Tuples parked in confidence-interval buffers (`Σ|S_n|`).
+    pub parked_tuples: u64,
+    /// Parked/frontier tuples that overflowed to temporary files.
+    pub spilled_tuples: u64,
+    /// Frontier subtrees finished with the in-memory builder.
+    pub inmem_builds: u64,
+    /// Frontier/failed subtrees re-run through BOAT recursively.
+    pub recursive_builds: u64,
+    /// Wall time of the sampling + bootstrap phase.
+    pub sampling_time: Duration,
+    /// Wall time of the cleanup scan.
+    pub cleanup_time: Duration,
+    /// Wall time of verification + finishing work.
+    pub postprocess_time: Duration,
+    /// I/O over the *input* training database.
+    pub io: IoSnapshot,
+    /// I/O over temporary files (parked sets `S_n`, retained families,
+    /// rebuild partitions).
+    pub spill_io: IoSnapshot,
+}
+
+impl BoatRunStats {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.sampling_time + self.cleanup_time + self.postprocess_time
+    }
+
+    /// Merge a recursive sub-run into this one (scan counts and totals
+    /// accumulate; phase times accumulate).
+    pub fn absorb(&mut self, sub: &BoatRunStats) {
+        self.scans_over_input += sub.scans_over_input;
+        self.coarse_nodes += sub.coarse_nodes;
+        self.verified_nodes += sub.verified_nodes;
+        self.failed_nodes += sub.failed_nodes;
+        self.parked_tuples += sub.parked_tuples;
+        self.spilled_tuples += sub.spilled_tuples;
+        self.inmem_builds += sub.inmem_builds;
+        self.recursive_builds += sub.recursive_builds;
+        self.sampling_time += sub.sampling_time;
+        self.cleanup_time += sub.cleanup_time;
+        self.postprocess_time += sub.postprocess_time;
+    }
+}
+
+impl std::fmt::Display for BoatRunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scans={} coarse={} verified={} failed={} parked={} spilled={} \
+             inmem={} recursive={} time={:?}",
+            self.scans_over_input,
+            self.coarse_nodes,
+            self.verified_nodes,
+            self.failed_nodes,
+            self.parked_tuples,
+            self.spilled_tuples,
+            self.inmem_builds,
+            self.recursive_builds,
+            self.total_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = BoatRunStats { scans_over_input: 2, failed_nodes: 1, ..Default::default() };
+        let b = BoatRunStats {
+            scans_over_input: 2,
+            inmem_builds: 3,
+            sampling_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.scans_over_input, 4);
+        assert_eq!(a.failed_nodes, 1);
+        assert_eq!(a.inmem_builds, 3);
+        assert_eq!(a.total_time(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn display_mentions_scans() {
+        let s = BoatRunStats { scans_over_input: 2, ..Default::default() };
+        assert!(s.to_string().contains("scans=2"));
+    }
+}

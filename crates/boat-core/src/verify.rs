@@ -1,0 +1,170 @@
+//! Failure detection (paper §3.4, Lemma 3.1).
+//!
+//! BOAT's cleanup scan computes the exact best split only *inside* the
+//! confidence interval. To guarantee the result equals the tree built from
+//! all the data, it must prove that no candidate split **outside** the
+//! interval — on the splitting attribute or any other numeric attribute —
+//! can beat the in-interval minimum `i'`. The proof device is Lemma 3.1:
+//! a concave function over the hyper-rectangle spanned by two stamp points
+//! attains its minimum at one of the rectangle's `2^k` corners, so
+//! evaluating the impurity at those corners lower-bounds every candidate
+//! split inside the bucket.
+//!
+//! The bound is *conservative*: a bound below `i'` only means "cannot rule
+//! out a better split out there", which triggers a rebuild of the subtree —
+//! never an incorrect tree.
+
+use boat_tree::{split_impurity, Impurity};
+
+// No epsilon slack is needed in the bound comparisons: every impurity in
+// this workspace — candidate values in sweeps, the in-interval minimum `i'`,
+// and the corner bounds — is computed by the same `split_impurity` function
+// over integer class counts, so equal stamp points produce bit-identical
+// doubles and the tie logic below is exact. (The only theoretical gap is a
+// non-tied pair of stamp points whose impurities differ by less than one
+// ulp; real count data cannot produce that without being an exact tie.)
+
+/// Lemma 3.1: lower bound for the impurity of any split whose stamp point
+/// lies in the hyper-rectangle `[stamp_lo, stamp_hi]` (componentwise), at a
+/// node with class totals `totals`.
+///
+/// Evaluates the weighted split impurity at all `2^k` corners and returns
+/// the minimum. Panics if `k > 20` (the paper's setting is small `k`; the
+/// evaluation is exponential in the class count by construction).
+pub fn corner_lower_bound(
+    imp: &dyn Impurity,
+    stamp_lo: &[u64],
+    stamp_hi: &[u64],
+    totals: &[u64],
+) -> f64 {
+    let k = totals.len();
+    assert!(k <= 20, "corner bound is exponential in class count; got k={k}");
+    debug_assert_eq!(stamp_lo.len(), k);
+    debug_assert_eq!(stamp_hi.len(), k);
+    debug_assert!(stamp_lo.iter().zip(stamp_hi).all(|(l, h)| l <= h));
+    debug_assert!(stamp_hi.iter().zip(totals).all(|(h, t)| h <= t));
+
+    let mut best = f64::INFINITY;
+    let mut left = vec![0u64; k];
+    let mut right = vec![0u64; k];
+    for mask in 0u32..(1u32 << k) {
+        for i in 0..k {
+            left[i] = if mask & (1 << i) != 0 { stamp_hi[i] } else { stamp_lo[i] };
+            right[i] = totals[i] - left[i];
+        }
+        let v = split_impurity(imp, &left, &right);
+        if v < best {
+            best = v;
+        }
+    }
+    best
+}
+
+/// Whether a bucket with lower bound `bound` *passes* verification against
+/// the exact in-interval minimum `i_prime`.
+///
+/// `tie_wins` says whether a candidate inside this bucket would *win* an
+/// exact impurity tie against the chosen split under the deterministic
+/// total order (smaller attribute index, then smaller split value): ties on
+/// the winning side must fail (the reference builder would have picked that
+/// candidate), ties on the losing side are safe to pass.
+#[inline]
+pub fn bucket_passes(bound: f64, i_prime: f64, tie_wins: bool) -> bool {
+    if tie_wins {
+        bound > i_prime
+    } else {
+        bound >= i_prime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_tree::{Entropy, Gini};
+
+    #[test]
+    fn degenerate_rectangle_is_the_exact_value() {
+        // lo == hi: the "rectangle" is a single stamp point.
+        let stamp = [30u64, 10];
+        let totals = [50u64, 50];
+        let bound = corner_lower_bound(&Gini, &stamp, &stamp, &totals);
+        let exact = split_impurity(&Gini, &[30, 10], &[20, 40]);
+        assert_eq!(bound.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn bound_is_below_every_interior_point() {
+        let lo = [10u64, 40];
+        let hi = [60u64, 45];
+        let totals = [100u64, 100];
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let bound = corner_lower_bound(imp, &lo, &hi, &totals);
+            // Sample interior stamp points on the monotone diagonal.
+            for t in 0..=10 {
+                let a = lo[0] + (hi[0] - lo[0]) * t / 10;
+                let b = lo[1] + (hi[1] - lo[1]) * t / 10;
+                let v = split_impurity(imp, &[a, b], &[totals[0] - a, totals[1] - b]);
+                assert!(
+                    bound <= v + 1e-12,
+                    "{}: bound {bound} above interior value {v}",
+                    imp.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_rectangle_bounds_to_zero() {
+        // The rectangle spanning [0, N] per class contains the pure-split
+        // corner, so the bound collapses to 0 — the reason too-coarse
+        // discretizations cause false alarms.
+        let totals = [40u64, 60];
+        let bound = corner_lower_bound(&Gini, &[0, 0], &totals, &totals);
+        assert_eq!(bound, 0.0);
+    }
+
+    #[test]
+    fn three_class_corners() {
+        let lo = [5u64, 5, 5];
+        let hi = [10u64, 9, 7];
+        let totals = [20u64, 20, 20];
+        let bound = corner_lower_bound(&Gini, &lo, &hi, &totals);
+        // Brute-force all integer boxes on a coarse grid.
+        let mut min_seen = f64::INFINITY;
+        for a in lo[0]..=hi[0] {
+            for b in lo[1]..=hi[1] {
+                for c in lo[2]..=hi[2] {
+                    let v = split_impurity(
+                        &Gini,
+                        &[a, b, c],
+                        &[totals[0] - a, totals[1] - b, totals[2] - c],
+                    );
+                    min_seen = min_seen.min(v);
+                }
+            }
+        }
+        assert!(bound <= min_seen + 1e-12);
+        // And the bound is attained at a corner, so it is not vacuous.
+        assert!(bound > 0.3, "bound {bound} should be informative here");
+    }
+
+    #[test]
+    fn bucket_passes_is_tie_aware() {
+        // Strictly better bound always passes; strictly worse always fails.
+        assert!(bucket_passes(0.5, 0.4, true));
+        assert!(bucket_passes(0.5, 0.4, false));
+        assert!(!bucket_passes(0.3, 0.4, true));
+        assert!(!bucket_passes(0.3, 0.4, false));
+        // An exact tie fails only where the candidate would win the
+        // tie-break.
+        assert!(!bucket_passes(0.4, 0.4, true));
+        assert!(bucket_passes(0.4, 0.4, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn too_many_classes_panics() {
+        let z = vec![0u64; 21];
+        corner_lower_bound(&Gini, &z, &z, &z);
+    }
+}

@@ -1,0 +1,1456 @@
+//! The working tree: per-node cleanup state, the cleanup scan, and the
+//! top-down verification pass (paper §3.3–§3.5).
+//!
+//! ## Routing invariant
+//!
+//! Stored per-node statistics cover exactly the tuples that *reached* the
+//! node under the **parking rule**: at a node with a numeric coarse
+//! criterion, a tuple whose splitting-attribute value lies inside the
+//! closed confidence interval `[lo, hi]` is parked in the node's `S_n`
+//! buffer and never contributes to descendant statistics. Final split
+//! points therefore never influence stored state — which is what makes the
+//! same state incrementally maintainable under insertions and deletions
+//! (paper §4): the verification pass re-derives exact splits every time,
+//! carrying parked ancestor tuples downward *transiently*.
+
+use crate::buckets::{build_boundaries, BucketSet};
+use crate::coarse::{CoarseCriterion, CoarseTree, FrontierReason};
+use crate::config::BoatConfig;
+use crate::verify::bucket_passes;
+use boat_data::spill::SpillBuffer;
+use boat_data::{AttrType, DataError, IoStats, Record, Result, Schema};
+use boat_tree::split::{best_categorical_split, cmp_splits, sweep_numeric};
+use boat_tree::{AvcGroup, CatAvc, GrowthLimits, Impurity, NumAvc, SplitEval, Tree};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Stopping rules for a subtree grown at absolute depth `base_depth`.
+pub(crate) fn limits_for_subtree(limits: GrowthLimits, base_depth: u32) -> GrowthLimits {
+    GrowthLimits {
+        max_depth: limits.max_depth.map(|d| d.saturating_sub(base_depth)),
+        ..limits
+    }
+}
+
+/// Per-node statistics accumulated during the cleanup scan (and maintained
+/// by incremental updates).
+pub(crate) struct NodeState {
+    /// Per-class totals of tuples that reached this node (`N^i` minus
+    /// ancestor-parked).
+    pub class_totals: Vec<u64>,
+    /// Full category/class counts, per categorical attribute (internal
+    /// nodes only).
+    pub cat: Vec<Option<CatAvc>>,
+    /// Bucket counts, per numeric attribute (internal nodes only).
+    pub buckets: Vec<Option<BucketSet>>,
+    /// Class counts of tuples with splitting-attribute value `< lo`
+    /// (numeric criteria only).
+    pub edge_left: Vec<u64>,
+    /// Parked tuples `S_n` (numeric criteria only).
+    pub parked: Option<SpillBuffer>,
+    /// Retained family records (frontier nodes that may need growth).
+    pub family: Option<SpillBuffer>,
+    /// Incremental: the node's retained records changed since last grow.
+    pub dirty: bool,
+}
+
+/// How a node was resolved by the verification pass.
+#[derive(Debug, Clone)]
+pub(crate) enum Resolution {
+    /// Not yet finalized.
+    Pending,
+    /// The stopping rules make this a leaf of the final tree.
+    Leaf { counts: Vec<u64> },
+    /// The coarse criterion was verified; this is the exact final split.
+    Split { eval: SplitEval },
+    /// Frontier leaf that needs growth (records via its family buffer or a
+    /// collection scan).
+    Frontier { counts: Vec<u64> },
+    /// Verification failed; the subtree must be rebuilt (paper §3.4).
+    Failed { counts: Vec<u64> },
+}
+
+impl Resolution {
+    /// The exact family class counts, when resolved.
+    pub fn counts(&self) -> Option<&[u64]> {
+        match self {
+            Resolution::Pending => None,
+            Resolution::Leaf { counts }
+            | Resolution::Frontier { counts }
+            | Resolution::Failed { counts } => Some(counts),
+            Resolution::Split { eval } => {
+                // Split stores the partition counts; totals are derivable,
+                // so report nothing here (callers use the children).
+                let _ = eval;
+                None
+            }
+        }
+    }
+}
+
+/// A pending completion job produced by the verification pass.
+pub(crate) struct Job {
+    /// Work-tree node index.
+    pub idx: usize,
+    /// Ancestor-parked tuples routed into this node by final splits.
+    pub carried: Vec<Record>,
+    /// Fingerprint of `carried` (for grown-subtree reuse).
+    pub carried_fp: u64,
+}
+
+/// One node of the working tree.
+pub(crate) struct WorkNode {
+    pub crit: Option<CoarseCriterion>,
+    /// Why the coarse node is a frontier leaf (diagnostics).
+    #[allow(dead_code)]
+    pub reason: Option<FrontierReason>,
+    pub left: Option<usize>,
+    pub right: Option<usize>,
+    #[allow(dead_code)] // parent links are kept for diagnostics/debugging
+    pub parent: Option<usize>,
+    pub depth: u32,
+    /// Estimated `|F_n|` extrapolated from the sample (spill policy only).
+    #[allow(dead_code)]
+    pub est_family: u64,
+    pub state: NodeState,
+    pub resolution: Resolution,
+    /// Completed subtree for Frontier/Failed nodes.
+    pub grown: Option<Tree>,
+    /// Fingerprint of the carried set the grown subtree was built with.
+    pub grown_carried_fp: Option<u64>,
+    /// How many times this position has been promoted to maintained state.
+    /// Positions that keep failing verification (noise-driven structure)
+    /// fall back to cheap static regrowth instead of re-promoting.
+    pub promotions: u32,
+}
+
+/// The working tree: coarse structure + cleanup state + resolutions.
+pub(crate) struct WorkTree {
+    pub schema: Arc<Schema>,
+    pub nodes: Vec<WorkNode>,
+    pub spill_stats: IoStats,
+}
+
+impl WorkTree {
+    /// Prepare a working tree from the coarse tree and the in-memory
+    /// sample: route the sample down the coarse structure (numeric criteria
+    /// route by interval midpoint), estimate family sizes, build per-node
+    /// discretizations, and allocate cleanup state.
+    ///
+    /// `retain_all_families` keeps family buffers at *every* frontier node
+    /// (needed for incremental maintenance); otherwise only frontier nodes
+    /// expected to need growth retain records.
+    #[allow(clippy::too_many_arguments)] // construction-time plumbing
+    pub fn prepare(
+        coarse: &CoarseTree,
+        schema: Arc<Schema>,
+        sample: &[Record],
+        imp: &dyn Impurity,
+        config: &BoatConfig,
+        full_size: u64,
+        retain_all_families: bool,
+        spill_stats: IoStats,
+    ) -> WorkTree {
+        // Route the sample down the coarse tree to get per-node sample
+        // families (estimation + discretization input only).
+        let mut node_samples: Vec<Vec<u32>> = vec![Vec::new(); coarse.nodes.len()];
+        for (ri, r) in sample.iter().enumerate() {
+            let mut idx = 0usize;
+            loop {
+                node_samples[idx].push(ri as u32);
+                match &coarse.nodes[idx].crit {
+                    None => break,
+                    Some(CoarseCriterion::Num { attr, lo, hi }) => {
+                        let mid = 0.5 * (lo + hi);
+                        idx = if r.num(*attr) <= mid {
+                            coarse.nodes[idx].left.expect("internal")
+                        } else {
+                            coarse.nodes[idx].right.expect("internal")
+                        };
+                    }
+                    Some(CoarseCriterion::Cat { attr, subset }) => {
+                        idx = if subset.contains(r.cat(*attr)) {
+                            coarse.nodes[idx].left.expect("internal")
+                        } else {
+                            coarse.nodes[idx].right.expect("internal")
+                        };
+                    }
+                }
+            }
+        }
+
+        let scale = if sample.is_empty() {
+            0.0
+        } else {
+            full_size as f64 / sample.len() as f64
+        };
+        let k = schema.n_classes();
+        let nodes = coarse
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, cn)| {
+                let my_sample: Vec<&Record> =
+                    node_samples[i].iter().map(|&ri| &sample[ri as usize]).collect();
+                let est_family = (my_sample.len() as f64 * scale).round() as u64;
+                // Widen numeric confidence intervals: (1) cover the sample
+                // family's own best candidate on the splitting attribute
+                // (bootstrap points from small resample families can all
+                // undershoot it), then (2) extend to the adjacent distinct
+                // sample values on both sides. Split-point optima sit at
+                // the largest observed value below a concept boundary, so
+                // the full database's optimum lies in the sample-gap just
+                // beyond the sample's best candidate — one gap of padding
+                // parks a handful more tuples and spares a rebuild.
+                let crit = cn.crit.clone().map(|crit| match crit {
+                    CoarseCriterion::Num { attr, lo, hi } => {
+                        let mut avc = NumAvc::new(k);
+                        let mut totals = vec![0u64; k];
+                        for r in &my_sample {
+                            avc.add(r.num(attr), r.label());
+                            totals[r.label() as usize] += 1;
+                        }
+                        let (lo1, hi1) = widen_interval(
+                            &avc,
+                            &totals,
+                            imp,
+                            lo,
+                            hi,
+                            config.interval_pad_values.max(1),
+                        );
+                        CoarseCriterion::Num { attr, lo: lo1, hi: hi1 }
+                    }
+                    cat => cat,
+                });
+                let state = if crit.is_some() {
+                    // Internal: estimate the node's minimum impurity from
+                    // the sample, then build a discretization per numeric
+                    // attribute.
+                    let group = AvcGroup::from_records(
+                        &schema,
+                        my_sample.iter().copied(),
+                    );
+                    let est_min = boat_tree::best_split(&schema, &group, imp)
+                        .map(|e| e.impurity)
+                        .unwrap_or(0.0);
+                    let mut cat = Vec::with_capacity(schema.n_attributes());
+                    let mut buckets = Vec::with_capacity(schema.n_attributes());
+                    for (a, attr) in schema.attributes().iter().enumerate() {
+                        match attr.ty() {
+                            AttrType::Categorical { cardinality } => {
+                                cat.push(Some(CatAvc::new(cardinality, k)));
+                                buckets.push(None);
+                            }
+                            AttrType::Numeric => {
+                                cat.push(None);
+                                let must_include: Vec<f64> = match &crit {
+                                    Some(CoarseCriterion::Num { attr, lo, hi })
+                                        if *attr == a =>
+                                    {
+                                        vec![*lo, *hi]
+                                    }
+                                    _ => vec![],
+                                };
+                                let sample_avc = {
+                                    let mut avc = NumAvc::new(k);
+                                    for r in &my_sample {
+                                        avc.add(r.num(a), r.label());
+                                    }
+                                    avc
+                                };
+                                let bounds = build_boundaries(
+                                    &sample_avc,
+                                    group.class_totals(),
+                                    imp,
+                                    est_min,
+                                    config.discretize,
+                                    &must_include,
+                                );
+                                buckets.push(Some(BucketSet::new(bounds, k)));
+                            }
+                        }
+                    }
+                    let parked = match &crit {
+                        Some(CoarseCriterion::Num { .. }) => Some(SpillBuffer::new(
+                            schema.clone(),
+                            config.spill_budget,
+                            spill_stats.clone(),
+                        )),
+                        _ => None,
+                    };
+                    NodeState {
+                        class_totals: vec![0; k],
+                        cat,
+                        buckets,
+                        edge_left: vec![0; k],
+                        parked,
+                        family: None,
+                        dirty: false,
+                    }
+                } else {
+                    // Frontier: decide whether to retain family records.
+                    let keep = retain_all_families
+                        || match config.limits.stop_family_size {
+                            None => true,
+                            Some(t) => est_family.saturating_mul(2) > t,
+                        };
+                    NodeState {
+                        class_totals: vec![0; k],
+                        cat: Vec::new(),
+                        buckets: Vec::new(),
+                        edge_left: vec![0; k],
+                        parked: None,
+                        family: keep.then(|| {
+                            SpillBuffer::new(
+                                schema.clone(),
+                                config.spill_budget,
+                                spill_stats.clone(),
+                            )
+                        }),
+                        dirty: false,
+                    }
+                };
+                WorkNode {
+                    crit,
+                    reason: cn.reason,
+                    left: cn.left,
+                    right: cn.right,
+                    parent: cn.parent,
+                    depth: cn.depth,
+                    est_family,
+                    state,
+                    resolution: Resolution::Pending,
+                    grown: None,
+                    grown_carried_fp: None,
+                    promotions: 0,
+                }
+            })
+            .collect();
+        WorkTree { schema, nodes, spill_stats }
+    }
+
+    /// Stream one tuple down the tree, updating statistics (the cleanup
+    /// scan of §3.3/§3.5 and the §4 incremental update, unified).
+    /// `delete` subtracts instead of adding.
+    pub fn absorb(&mut self, r: &Record, delete: bool) -> Result<()> {
+        let mut idx = 0usize;
+        loop {
+            let node = &mut self.nodes[idx];
+            node.state.dirty = true;
+            let label = r.label() as usize;
+            if delete {
+                if node.state.class_totals[label] == 0 {
+                    return Err(DataError::Invalid(
+                        "deletion of a record not present at a node".into(),
+                    ));
+                }
+                node.state.class_totals[label] -= 1;
+            } else {
+                node.state.class_totals[label] += 1;
+            }
+            match node.crit.clone() {
+                None => {
+                    if let Some(family) = node.state.family.as_mut() {
+                        if delete {
+                            if !family.remove_one(r)? {
+                                return Err(DataError::Invalid(
+                                    "deletion of a record missing from a frontier family"
+                                        .into(),
+                                ));
+                            }
+                        } else {
+                            family.push(r.clone())?;
+                        }
+                    }
+                    return Ok(());
+                }
+                Some(crit) => {
+                    // Update the verification statistics.
+                    for (a, slot) in node.state.cat.iter_mut().enumerate() {
+                        if let Some(avc) = slot {
+                            if delete {
+                                avc.sub(r.cat(a), r.label());
+                            } else {
+                                avc.add(r.cat(a), r.label());
+                            }
+                        }
+                    }
+                    for (a, slot) in node.state.buckets.iter_mut().enumerate() {
+                        if let Some(b) = slot {
+                            if delete {
+                                b.sub(r.num(a), r.label());
+                            } else {
+                                b.add(r.num(a), r.label());
+                            }
+                        }
+                    }
+                    match crit {
+                        CoarseCriterion::Num { attr, lo, hi } => {
+                            let v = r.num(attr);
+                            if v < lo {
+                                if delete {
+                                    node.state.edge_left[label] -= 1;
+                                } else {
+                                    node.state.edge_left[label] += 1;
+                                }
+                                idx = node.left.expect("internal");
+                            } else if v <= hi {
+                                let parked =
+                                    node.state.parked.as_mut().expect("numeric node parks");
+                                if delete {
+                                    if !parked.remove_one(r)? {
+                                        return Err(DataError::Invalid(
+                                            "deletion of a record missing from S_n".into(),
+                                        ));
+                                    }
+                                } else {
+                                    parked.push(r.clone())?;
+                                }
+                                return Ok(());
+                            } else {
+                                idx = node.right.expect("internal");
+                            }
+                        }
+                        CoarseCriterion::Cat { attr, subset } => {
+                            idx = if subset.contains(r.cat(attr)) {
+                                node.left.expect("internal")
+                            } else {
+                                node.right.expect("internal")
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The verification / finalization pass: walk the tree top-down,
+    /// re-derive every exact split, verify the coarse criteria, resolve
+    /// every node, and emit completion [`Job`]s for frontier and failed
+    /// nodes. Idempotent with respect to stored state.
+    pub fn finalize(
+        &mut self,
+        imp: &dyn Impurity,
+        limits: GrowthLimits,
+    ) -> Result<Vec<Job>> {
+        for node in &mut self.nodes {
+            node.resolution = Resolution::Pending;
+        }
+        let mut jobs = Vec::new();
+        self.finalize_node(0, Vec::new(), imp, limits, &mut jobs)?;
+        Ok(jobs)
+    }
+
+    fn finalize_node(
+        &mut self,
+        idx: usize,
+        carried: Vec<Record>,
+        imp: &dyn Impurity,
+        limits: GrowthLimits,
+        jobs: &mut Vec<Job>,
+    ) -> Result<()> {
+        let depth = self.nodes[idx].depth;
+        let k = self.schema.n_classes();
+
+        let mut combined = self.nodes[idx].state.class_totals.clone();
+        for r in &carried {
+            combined[r.label() as usize] += 1;
+        }
+
+        if limits.must_stop(&combined, depth) {
+            self.nodes[idx].resolution = Resolution::Leaf { counts: combined };
+            return Ok(());
+        }
+
+        let Some(crit) = self.nodes[idx].crit.clone() else {
+            let fp = fingerprint(&self.schema, &carried);
+            self.nodes[idx].resolution = Resolution::Frontier { counts: combined };
+            jobs.push(Job { idx, carried, carried_fp: fp });
+            return Ok(());
+        };
+
+        // ---- build full-family views (stored + carried) ----
+        let mut full_cat: Vec<Option<CatAvc>> = self.nodes[idx].state.cat.clone();
+        let mut full_buckets: Vec<Option<BucketSet>> =
+            self.nodes[idx].state.buckets.clone();
+        for r in &carried {
+            for (a, slot) in full_cat.iter_mut().enumerate() {
+                if let Some(avc) = slot {
+                    avc.add(r.cat(a), r.label());
+                }
+            }
+            for (a, slot) in full_buckets.iter_mut().enumerate() {
+                if let Some(b) = slot {
+                    b.add(r.num(a), r.label());
+                }
+            }
+        }
+
+        // ---- derive the exact split for the coarse criterion ----
+        let chosen: Option<SplitEval> = match &crit {
+            CoarseCriterion::Cat { attr, subset } => {
+                let avc = full_cat[*attr].as_ref().expect("cat attr has AVC");
+                match best_categorical_split(*attr, avc, imp) {
+                    Some(eval) => {
+                        let same = matches!(
+                            eval.split.predicate,
+                            boat_tree::Predicate::CatIn(s) if s == *subset
+                        );
+                        same.then_some(eval)
+                    }
+                    None => None,
+                }
+            }
+            CoarseCriterion::Num { attr, lo, hi } => {
+                let mut full_parked: Vec<Record> = self
+                    .nodes[idx]
+                    .state
+                    .parked
+                    .as_mut()
+                    .expect("numeric node parks")
+                    .to_vec()?;
+                full_parked.extend(
+                    carried
+                        .iter()
+                        .filter(|r| {
+                            let v = r.num(*attr);
+                            v >= *lo && v <= *hi
+                        })
+                        .cloned(),
+                );
+                let mut edge = self.nodes[idx].state.edge_left.clone();
+                for r in &carried {
+                    if r.num(*attr) < *lo {
+                        edge[r.label() as usize] += 1;
+                    }
+                }
+                let mut interval_avc = NumAvc::new(k);
+                for r in &full_parked {
+                    interval_avc.add(r.num(*attr), r.label());
+                }
+                sweep_numeric(
+                    *attr,
+                    interval_avc.iter(),
+                    Some(&edge),
+                    None,
+                    &combined,
+                    imp,
+                )
+            }
+        };
+
+        let Some(chosen) = chosen else {
+            if std::env::var("BOAT_DEBUG_VERIFY").is_ok() {
+                eprintln!("node {idx} FAIL: no/mismatched chosen split for {crit:?}");
+            }
+            return self.fail_node(idx, carried, combined, jobs);
+        };
+
+        // ---- cross-attribute verification ----
+        let mut ok = true;
+        'attrs: for a in 0..self.schema.n_attributes() {
+            match self.schema.attribute(a).ty() {
+                AttrType::Categorical { .. } => {
+                    if a == chosen.split.attr {
+                        continue;
+                    }
+                    let avc = full_cat[a].as_ref().expect("cat attr has AVC");
+                    if let Some(cand) = best_categorical_split(a, avc, imp) {
+                        if cmp_splits(&cand, &chosen) == Ordering::Less {
+                            if std::env::var("BOAT_DEBUG_VERIFY").is_ok() {
+                                eprintln!(
+                                    "node {idx} FAIL: cat attr {a} beats chosen ({} < {})",
+                                    cand.impurity, chosen.impurity
+                                );
+                            }
+                            ok = false;
+                            break 'attrs;
+                        }
+                    }
+                }
+                AttrType::Numeric => {
+                    let bset = full_buckets[a].as_ref().expect("numeric attr has buckets");
+                    let stamps = bset.stamps();
+                    let boundaries = bset.boundaries();
+                    // For the splitting attribute, candidates inside the
+                    // closed interval `[lo, hi]` were examined exactly —
+                    // skip those buckets entirely, and skip the *exact
+                    // boundary candidate* of any boundary inside the
+                    // interval (the sweep already evaluated it).
+                    let interval = match &crit {
+                        CoarseCriterion::Num { attr, lo, hi } if *attr == a => {
+                            Some((*lo, *hi))
+                        }
+                        _ => None,
+                    };
+                    let n_total: u64 = combined.iter().sum();
+                    for b in 0..bset.n_buckets() {
+                        if bset.bucket_counts(b).iter().all(|&c| c == 0) {
+                            continue; // no candidate split points inside
+                        }
+                        let upper = if b < boundaries.len() {
+                            boundaries[b]
+                        } else {
+                            f64::INFINITY
+                        };
+                        let lower = if b == 0 {
+                            f64::NEG_INFINITY
+                        } else {
+                            boundaries[b - 1]
+                        };
+                        if let Some((lo_v, hi_v)) = interval {
+                            if lower >= lo_v && upper <= hi_v {
+                                continue; // fully inside: exactly examined
+                            }
+                        }
+                        let (exact_upper, interior) =
+                            bset.bucket_bound_parts_with(&stamps, b, &combined, imp);
+                        // Exact candidate at the upper boundary value:
+                        // compare tie-aware through the same total order the
+                        // reference builder uses (equal impurity does not
+                        // invalidate the chosen split unless the candidate
+                        // also wins the tie-break).
+                        let upper_in_interval =
+                            interval.is_some_and(|(lo_v, hi_v)| upper >= lo_v && upper <= hi_v);
+                        if let Some(stamp) = exact_upper {
+                            let left_n: u64 = stamp.iter().sum();
+                            if !upper_in_interval && left_n > 0 && left_n < n_total {
+                                let right: Vec<u64> = combined
+                                    .iter()
+                                    .zip(&stamp)
+                                    .map(|(t, s)| t - s)
+                                    .collect();
+                                let impurity =
+                                    boat_tree::split_impurity(imp, &stamp, &right);
+                                let cand = SplitEval {
+                                    split: boat_tree::Split {
+                                        attr: a,
+                                        predicate: boat_tree::Predicate::NumLe(upper),
+                                    },
+                                    impurity,
+                                    left_counts: stamp,
+                                    right_counts: right,
+                                };
+                                if cmp_splits(&cand, &chosen) == Ordering::Less {
+                                    if std::env::var("BOAT_DEBUG_VERIFY").is_ok() {
+                                        eprintln!(
+                                            "node {idx} FAIL: num attr {a} exact boundary \
+                                             candidate at {upper} ({impurity}) beats i'={}",
+                                            chosen.impurity
+                                        );
+                                    }
+                                    ok = false;
+                                    break 'attrs;
+                                }
+                            }
+                        }
+                        // Interior candidates (strictly between boundaries):
+                        // Lemma 3.1 corner bound, tie-aware. A candidate in
+                        // this bucket wins an exact tie against the chosen
+                        // split iff it precedes it in the deterministic
+                        // total order: smaller attribute index, or — on the
+                        // chosen attribute itself — a smaller split value
+                        // (buckets outside the interval sit entirely below
+                        // `lo` or entirely above `hi`, so the direction is
+                        // determined by the bucket, not the candidate).
+                        let tie_wins = if a == chosen.split.attr {
+                            upper <= match &crit {
+                                CoarseCriterion::Num { lo, .. } => *lo,
+                                CoarseCriterion::Cat { .. } => unreachable!(
+                                    "numeric chosen attr under a categorical criterion"
+                                ),
+                            }
+                        } else {
+                            a < chosen.split.attr
+                        };
+                        if let Some(bound) = interior {
+                            if !bucket_passes(bound, chosen.impurity, tie_wins) {
+                                if std::env::var("BOAT_DEBUG_VERIFY").is_ok() {
+                                    eprintln!(
+                                        "node {idx} FAIL: num attr {a} bucket {b}/{} \
+                                         interior bound {bound} vs i'={} (interval={interval:?})",
+                                        bset.n_buckets(),
+                                        chosen.impurity
+                                    );
+                                }
+                                ok = false;
+                                break 'attrs;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !ok {
+            return self.fail_node(idx, carried, combined, jobs);
+        }
+
+        // ---- verified: route parked + carried tuples to the children ----
+        let mut to_route = self.nodes[idx]
+            .state
+            .parked
+            .as_mut()
+            .map(|p| p.to_vec())
+            .transpose()?
+            .unwrap_or_default();
+        to_route.extend(carried);
+        let (mut left_c, mut right_c) = (Vec::new(), Vec::new());
+        for r in to_route {
+            if chosen.split.goes_left(&r) {
+                left_c.push(r);
+            } else {
+                right_c.push(r);
+            }
+        }
+        let (l, rgt) = (
+            self.nodes[idx].left.expect("internal"),
+            self.nodes[idx].right.expect("internal"),
+        );
+        self.nodes[idx].resolution = Resolution::Split { eval: chosen };
+        self.finalize_node(l, left_c, imp, limits, jobs)?;
+        self.finalize_node(rgt, right_c, imp, limits, jobs)?;
+        Ok(())
+    }
+
+    fn fail_node(
+        &mut self,
+        idx: usize,
+        carried: Vec<Record>,
+        combined: Vec<u64>,
+        jobs: &mut Vec<Job>,
+    ) -> Result<()> {
+        let fp = fingerprint(&self.schema, &carried);
+        self.nodes[idx].resolution = Resolution::Failed { counts: combined };
+        jobs.push(Job { idx, carried, carried_fp: fp });
+        Ok(())
+    }
+
+    /// Try to assemble the full family of `idx` from retained buffers in
+    /// its subtree: parked sets at numeric nodes plus family buffers at
+    /// frontier nodes. Returns `None` if some frontier descendant retained
+    /// no records (a collection scan is then required).
+    pub fn collect_subtree(&mut self, idx: usize) -> Result<Option<Vec<Record>>> {
+        // First check retainment without copying.
+        let mut stack = vec![idx];
+        let mut order = Vec::new();
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            if self.nodes[i].crit.is_some() {
+                stack.push(self.nodes[i].left.expect("internal"));
+                stack.push(self.nodes[i].right.expect("internal"));
+            } else if self.nodes[i].state.family.is_none()
+                && self.nodes[i].state.class_totals.iter().any(|&c| c > 0)
+            {
+                return Ok(None);
+            }
+        }
+        let mut out = Vec::new();
+        for i in order {
+            let node = &mut self.nodes[i];
+            if let Some(parked) = node.state.parked.as_mut() {
+                for r in parked.iter()? {
+                    out.push(r?);
+                }
+            }
+            if node.crit.is_none() {
+                if let Some(family) = node.state.family.as_mut() {
+                    for r in family.iter()? {
+                        out.push(r?);
+                    }
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Route one record by the *resolved* splits, returning the index of
+    /// the Frontier/Failed node it lands in (if any). Used by the
+    /// collection scan for jobs whose records were not retained.
+    pub fn route_to_job(&self, r: &Record) -> Option<usize> {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx].resolution {
+                Resolution::Split { eval } => {
+                    let node = &self.nodes[idx];
+                    idx = if eval.split.goes_left(r) {
+                        node.left.expect("internal")
+                    } else {
+                        node.right.expect("internal")
+                    };
+                }
+                Resolution::Frontier { .. } | Resolution::Failed { .. } => return Some(idx),
+                Resolution::Leaf { .. } | Resolution::Pending => return None,
+            }
+        }
+    }
+
+    /// Assemble the final decision tree from resolutions and grown
+    /// subtrees. Panics if a Frontier/Failed node has no grown subtree
+    /// (jobs must be executed first).
+    pub fn extract_tree(&self) -> Tree {
+        let mut tree = self.extract_node(0);
+        tree.compact();
+        tree
+    }
+
+    fn extract_node(&self, idx: usize) -> Tree {
+        match &self.nodes[idx].resolution {
+            Resolution::Pending => panic!("extract_tree before finalize"),
+            Resolution::Leaf { counts } => Tree::leaf(counts.clone()),
+            Resolution::Frontier { .. } | Resolution::Failed { .. } => self.nodes[idx]
+                .grown
+                .clone()
+                .expect("completion job not executed before extract_tree"),
+            Resolution::Split { eval } => {
+                let total: Vec<u64> = eval
+                    .left_counts
+                    .iter()
+                    .zip(&eval.right_counts)
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let mut tree = Tree::leaf(total);
+                let root = tree.root();
+                let (l, r) = tree.split_node(
+                    root,
+                    eval.split,
+                    eval.left_counts.clone(),
+                    eval.right_counts.clone(),
+                );
+                let lt = self.extract_node(self.nodes[idx].left.expect("internal"));
+                let rt = self.extract_node(self.nodes[idx].right.expect("internal"));
+                tree.replace_subtree(l, &lt);
+                tree.replace_subtree(r, &rt);
+                tree
+            }
+        }
+    }
+
+    /// Splice another working tree in place of node `at`: the sub-tree's
+    /// root replaces `at`, its other nodes are appended with indices
+    /// remapped, and its depths are shifted. Used by incremental
+    /// maintenance to *promote* a frontier node that outgrew the in-memory
+    /// threshold into fully maintained BOAT state (paper §4: the tree's
+    /// per-node information is kept up to date as the tree grows).
+    pub fn splice(&mut self, at: usize, sub: WorkTree) {
+        let base = self.nodes.len();
+        let depth_offset = self.nodes[at].depth;
+        let parent_of_at = self.nodes[at].parent;
+        let remap = |j: usize| if j == 0 { at } else { base + j - 1 };
+        for (j, mut n) in sub.nodes.into_iter().enumerate() {
+            n.depth += depth_offset;
+            n.left = n.left.map(remap);
+            n.right = n.right.map(remap);
+            n.parent = if j == 0 { parent_of_at } else { Some(remap(n.parent.expect("non-root"))) };
+            if j == 0 {
+                self.nodes[at] = n;
+            } else {
+                self.nodes.push(n);
+            }
+        }
+    }
+
+    /// Size of the root family (the current logical dataset size).
+    pub fn root_family(&self) -> u64 {
+        self.nodes[0].state.class_totals.iter().sum()
+    }
+
+    /// Total parked tuples across all nodes.
+    pub fn parked_total(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.state.parked.as_ref().map_or(0, |p| p.len()))
+            .sum()
+    }
+
+    /// Total tuples that overflowed to spill files (parked + families).
+    pub fn spilled_total(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.state.parked.as_ref().map_or(0, |p| p.spilled_len())
+                    + n.state.family.as_ref().map_or(0, |f| f.spilled_len())
+            })
+            .sum()
+    }
+}
+
+/// Build maintained BOAT state *exactly* from an in-memory family: every
+/// split is computed from the full family (not a sample), numeric criteria
+/// get degenerate confidence intervals at the exact split point, and bucket
+/// / category statistics are built from the family itself. Used to
+/// *promote* a frontier node that outgrew the in-memory threshold into
+/// fully maintained state (paper §4 keeps the whole tree's per-node
+/// information current as the tree grows) — much cheaper than a bootstrap
+/// sub-run, and it verifies trivially on the next pass.
+///
+/// The records handed in must follow the parking invariant (no
+/// ancestor-parked tuples); the returned tree's nodes follow it too.
+pub(crate) fn build_exact_work(
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+    imp: &dyn Impurity,
+    config: &BoatConfig,
+    limits: GrowthLimits,
+    spill_stats: IoStats,
+) -> Result<WorkTree> {
+    let mut work = WorkTree { schema, nodes: Vec::new(), spill_stats };
+    build_exact_node(&mut work, None, 0, records, imp, config, limits)?;
+    Ok(work)
+}
+
+fn build_exact_node(
+    work: &mut WorkTree,
+    parent: Option<usize>,
+    depth: u32,
+    records: Vec<Record>,
+    imp: &dyn Impurity,
+    config: &BoatConfig,
+    limits: GrowthLimits,
+) -> Result<usize> {
+    let schema = work.schema.clone();
+    let k = schema.n_classes();
+    let mut class_totals = vec![0u64; k];
+    for r in &records {
+        class_totals[r.label() as usize] += 1;
+    }
+    let idx = work.nodes.len();
+
+    let selector = boat_tree::ImpuritySelector::new(ErasedImpurity(imp));
+    let refs: Vec<&Record> = records.iter().collect();
+    let eval = if limits.must_stop(&class_totals, depth) {
+        None
+    } else {
+        boat_tree::grow::SplitSelector::select_records(&selector, &schema, &refs)
+    };
+    drop(refs);
+
+    let Some(eval) = eval else {
+        // Frontier leaf: retain the family so future growth never rescans.
+        let mut family =
+            SpillBuffer::new(schema.clone(), config.spill_budget, work.spill_stats.clone());
+        family.extend(records)?;
+        work.nodes.push(WorkNode {
+            crit: None,
+            reason: Some(FrontierReason::SampleLeaf),
+            left: None,
+            right: None,
+            parent,
+            depth,
+            est_family: class_totals.iter().sum(),
+            state: NodeState {
+                class_totals,
+                cat: Vec::new(),
+                buckets: Vec::new(),
+                edge_left: vec![0; k],
+                parked: None,
+                family: Some(family),
+                dirty: true,
+            },
+            resolution: Resolution::Pending,
+            grown: None,
+            grown_carried_fp: None,
+            promotions: 0,
+        });
+        return Ok(idx);
+    };
+
+    // Exact criterion. Numeric splits get the statistical *shelf* around
+    // the exact split point as their confidence interval (not a degenerate
+    // point: future chunks shift the optimum within sampling noise, and
+    // the interval must absorb that or every update would re-promote).
+    let crit = match eval.split.predicate {
+        boat_tree::Predicate::NumLe(x) => {
+            let a = eval.split.attr;
+            let mut avc = NumAvc::new(k);
+            for r in &records {
+                avc.add(r.num(a), r.label());
+            }
+            let (lo, hi) = widen_interval(
+                &avc,
+                &class_totals,
+                imp,
+                x,
+                x,
+                config.interval_pad_values.max(1),
+            );
+            CoarseCriterion::Num { attr: a, lo, hi }
+        }
+        boat_tree::Predicate::CatIn(subset) => {
+            CoarseCriterion::Cat { attr: eval.split.attr, subset }
+        }
+    };
+
+    // Exact per-attribute statistics from the family.
+    let mut cat: Vec<Option<CatAvc>> = Vec::with_capacity(schema.n_attributes());
+    let mut buckets: Vec<Option<BucketSet>> = Vec::with_capacity(schema.n_attributes());
+    for (a, attr) in schema.attributes().iter().enumerate() {
+        match attr.ty() {
+            AttrType::Categorical { cardinality } => {
+                let mut avc = CatAvc::new(cardinality, k);
+                for r in &records {
+                    avc.add(r.cat(a), r.label());
+                }
+                cat.push(Some(avc));
+                buckets.push(None);
+            }
+            AttrType::Numeric => {
+                cat.push(None);
+                let mut sample_avc = NumAvc::new(k);
+                for r in &records {
+                    sample_avc.add(r.num(a), r.label());
+                }
+                let must_include: Vec<f64> = match &crit {
+                    CoarseCriterion::Num { attr, lo, hi } if *attr == a => vec![*lo, *hi],
+                    _ => vec![],
+                };
+                let bounds = build_boundaries(
+                    &sample_avc,
+                    &class_totals,
+                    imp,
+                    eval.impurity,
+                    config.discretize,
+                    &must_include,
+                );
+                let mut bset = BucketSet::new(bounds, k);
+                for r in &records {
+                    bset.add(r.num(a), r.label());
+                }
+                buckets.push(Some(bset));
+            }
+        }
+    }
+
+    // Partition by the exact criterion with parking.
+    let mut edge_left = vec![0u64; k];
+    let mut parked =
+        SpillBuffer::new(schema.clone(), config.spill_budget, work.spill_stats.clone());
+    let (mut left_recs, mut right_recs) = (Vec::new(), Vec::new());
+    match &crit {
+        CoarseCriterion::Num { attr, lo, hi } => {
+            for r in records {
+                let v = r.num(*attr);
+                if v < *lo {
+                    edge_left[r.label() as usize] += 1;
+                    left_recs.push(r);
+                } else if v <= *hi {
+                    parked.push(r)?;
+                } else {
+                    right_recs.push(r);
+                }
+            }
+        }
+        CoarseCriterion::Cat { attr, subset } => {
+            for r in records {
+                if subset.contains(r.cat(*attr)) {
+                    left_recs.push(r);
+                } else {
+                    right_recs.push(r);
+                }
+            }
+        }
+    }
+
+    work.nodes.push(WorkNode {
+        crit: Some(crit.clone()),
+        reason: None,
+        left: None,
+        right: None,
+        parent,
+        depth,
+        est_family: class_totals.iter().sum(),
+        state: NodeState {
+            class_totals,
+            cat,
+            buckets,
+            edge_left,
+            parked: matches!(crit, CoarseCriterion::Num { .. }).then_some(parked),
+            family: None,
+            dirty: true,
+        },
+        resolution: Resolution::Pending,
+        grown: None,
+        grown_carried_fp: None,
+        promotions: 0,
+    });
+    let l = build_exact_node(work, Some(idx), depth + 1, left_recs, imp, config, limits)?;
+    let r = build_exact_node(work, Some(idx), depth + 1, right_recs, imp, config, limits)?;
+    work.nodes[idx].left = Some(l);
+    work.nodes[idx].right = Some(r);
+    Ok(idx)
+}
+
+/// Adapter making a `&dyn Impurity` usable where an owned `Impurity` is
+/// expected.
+#[derive(Debug, Clone, Copy)]
+struct ErasedImpurity<'a>(&'a dyn Impurity);
+
+impl Impurity for ErasedImpurity<'_> {
+    fn node_impurity(&self, counts: &[u64]) -> f64 {
+        self.0.node_impurity(counts)
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// Order-insensitive fingerprint of a carried set (used to reuse grown
+/// subtrees across verification passes when nothing changed).
+fn fingerprint(schema: &Schema, records: &[Record]) -> u64 {
+    let mut acc: u64 = 0x9E3779B97F4A7C15 ^ (records.len() as u64);
+    for r in records {
+        let mut h = DefaultHasher::new();
+        if let Ok(bytes) = boat_data::codec::encode(schema, r) {
+            bytes.hash(&mut h);
+        }
+        // XOR-fold per record: order-insensitive.
+        acc ^= h.finish();
+    }
+    acc
+}
+
+/// Widen a bootstrap confidence interval using the node's *sample family*.
+///
+/// Three effects, all optimism heuristics (verification still guarantees
+/// the exact tree):
+///
+/// 1. the interval is stretched to cover the sample family's own best
+///    candidate on the attribute (small-resample bootstrap points can all
+///    undershoot it);
+/// 2. it is stretched across the *statistically indistinguishable shelf*:
+///    adjacent sample candidates whose impurity is within ~½σ of the
+///    sample best, where σ ≈ 1/√m is the impurity estimation noise at a
+///    sample family of size m — the full database's optimum wanders inside
+///    that shelf, and bucket bounds can never resolve it;
+/// 3. it is padded by `pad_min` extra distinct sample values on each side
+///    (the full database's optimum usually sits in the sample-gap just
+///    past the sample's best candidate).
+///
+/// Extension stops once the added sample mass on a side exceeds 2% of the
+/// family (keeps parked sets small on low-cardinality attributes where a
+/// single value carries percent-level mass).
+fn widen_interval(
+    avc: &NumAvc,
+    totals: &[u64],
+    imp: &dyn Impurity,
+    lo: f64,
+    hi: f64,
+    pad_min: usize,
+) -> (f64, f64) {
+    let m: u64 = totals.iter().sum();
+    if m == 0 || avc.n_distinct() == 0 {
+        return (lo, hi);
+    }
+    // Candidate evaluations: (value, impurity, mass at value).
+    let mut evals: Vec<(f64, f64, u64)> = Vec::with_capacity(avc.n_distinct());
+    let mut cum = vec![0u64; totals.len()];
+    let mut best = f64::INFINITY;
+    for (v, counts) in avc.iter() {
+        let mass: u64 = counts.iter().sum();
+        for (c, x) in cum.iter_mut().zip(counts) {
+            *c += x;
+        }
+        let left_n: u64 = cum.iter().sum();
+        let impurity = if left_n == 0 || left_n == m {
+            f64::INFINITY
+        } else {
+            let right: Vec<u64> = totals.iter().zip(&cum).map(|(t, c)| t - c).collect();
+            boat_tree::split_impurity(imp, &cum, &right)
+        };
+        if impurity < best {
+            best = impurity;
+        }
+        evals.push((v, impurity, mass));
+    }
+    if !best.is_finite() {
+        return (lo, hi);
+    }
+    let tol = best + 0.5 / (m as f64).sqrt();
+    // Parking even a quarter of the family per side is still far cheaper
+    // than the rebuild a false alarm triggers (parked tuples cost two
+    // sequential spill passes; a rebuild re-samples, re-bootstraps and
+    // re-scans the whole partition).
+    let mass_cap = (m / 4).max(8);
+
+    // Start from the bootstrap interval, stretched over the sample best.
+    let best_idx = evals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty evals");
+    let mut lo_idx = evals.partition_point(|e| e.0 < lo).min(best_idx);
+    let mut hi_idx = evals.partition_point(|e| e.0 <= hi).saturating_sub(1).max(best_idx);
+
+    // Shelf extension, mass-capped per side.
+    let mut added: u64 = 0;
+    while lo_idx > 0 && evals[lo_idx - 1].1 <= tol && added <= mass_cap {
+        lo_idx -= 1;
+        added += evals[lo_idx].2;
+    }
+    let mut added: u64 = 0;
+    while hi_idx + 1 < evals.len() && evals[hi_idx + 1].1 <= tol && added <= mass_cap {
+        hi_idx += 1;
+        added += evals[hi_idx].2;
+    }
+    // Minimum gap padding.
+    lo_idx = lo_idx.saturating_sub(pad_min);
+    hi_idx = (hi_idx + pad_min).min(evals.len() - 1);
+    (evals[lo_idx].0.min(lo), evals[hi_idx].0.max(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::build_coarse_tree;
+    use boat_data::{Attribute, Field, MemoryDataset, RecordSource};
+    use boat_tree::{Gini, ImpuritySelector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(vec![Attribute::numeric("x")], 2).unwrap()
+    }
+
+    fn rec(x: f64, label: u16) -> Record {
+        Record::new(vec![Field::Num(x)], label)
+    }
+
+    /// Threshold concept at 500 over 0..1000.
+    fn threshold_records(n: usize) -> Vec<Record> {
+        (0..n).map(|i| {
+            let x = (i % 1000) as f64;
+            rec(x, u16::from(x > 500.0))
+        }).collect()
+    }
+
+    fn prepared(records: &[Record], cfg: &BoatConfig) -> WorkTree {
+        let ds = MemoryDataset::new(schema(), records.to_vec());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let sample =
+            boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
+        let selector = ImpuritySelector::new(Gini);
+        let coarse =
+            build_coarse_tree(&schema(), &sample, &selector, cfg, ds.len(), &mut rng);
+        WorkTree::prepare(
+            &coarse,
+            schema(),
+            &sample,
+            &Gini,
+            cfg,
+            ds.len(),
+            false,
+            boat_data::IoStats::new(),
+        )
+    }
+
+    fn small_cfg() -> BoatConfig {
+        BoatConfig {
+            sample_size: 500,
+            bootstrap_reps: 8,
+            bootstrap_sample_size: 250,
+            in_memory_threshold: 100,
+            spill_budget: 32,
+            seed: 99,
+            ..BoatConfig::default()
+        }
+    }
+
+    #[test]
+    fn absorb_then_finalize_resolves_a_clean_root() {
+        let records = threshold_records(4000);
+        let cfg = small_cfg();
+        let mut work = prepared(&records, &cfg);
+        for r in &records {
+            work.absorb(r, false).unwrap();
+        }
+        assert_eq!(work.root_family(), 4000);
+        let jobs = work.finalize(&Gini, cfg.limits).unwrap();
+        // Root must be a verified split at exactly 500.
+        match &work.nodes[0].resolution {
+            Resolution::Split { eval } => {
+                assert_eq!(eval.split.attr, 0);
+                match eval.split.predicate {
+                    boat_tree::Predicate::NumLe(x) => assert_eq!(x, 500.0),
+                    ref p => panic!("unexpected predicate {p:?}"),
+                }
+            }
+            other => panic!("root should verify, got {other:?}"),
+        }
+        // Children are pure -> leaves, no completion jobs from them.
+        for job in &jobs {
+            assert_ne!(job.idx, 0);
+        }
+    }
+
+    #[test]
+    fn absorb_delete_inverts_insert() {
+        let records = threshold_records(1000);
+        let cfg = small_cfg();
+        let mut work = prepared(&records, &cfg);
+        for r in &records {
+            work.absorb(r, false).unwrap();
+        }
+        let counts_before = work.nodes[0].state.class_totals.clone();
+        let extra = rec(333.0, 0);
+        work.absorb(&extra, false).unwrap();
+        work.absorb(&extra, true).unwrap();
+        assert_eq!(work.nodes[0].state.class_totals, counts_before);
+    }
+
+    #[test]
+    fn deleting_a_class_never_seen_errors() {
+        // All records are class 0; deleting a class-1 record must fail at
+        // the root's class totals.
+        let records: Vec<Record> = (0..500).map(|i| rec((i % 100) as f64, 0)).collect();
+        let cfg = small_cfg();
+        let mut work = prepared(&records, &cfg);
+        for r in &records {
+            work.absorb(r, false).unwrap();
+        }
+        assert!(work.absorb(&rec(3.0, 1), true).is_err());
+    }
+
+    #[test]
+    fn build_exact_work_verifies_trivially() {
+        let records = threshold_records(2000);
+        let cfg = small_cfg();
+        let work_limits = GrowthLimits::default();
+        let mut work = build_exact_work(
+            schema(),
+            records.clone(),
+            &Gini,
+            &cfg,
+            work_limits,
+            boat_data::IoStats::new(),
+        )
+        .unwrap();
+        let jobs = work.finalize(&Gini, work_limits).unwrap();
+        assert!(
+            matches!(work.nodes[0].resolution, Resolution::Split { .. }),
+            "exact-built root must verify"
+        );
+        assert!(
+            !work
+                .nodes
+                .iter()
+                .any(|n| matches!(n.resolution, Resolution::Failed { .. })),
+            "exact-built state must not fail its own verification"
+        );
+        // Frontier jobs (pure leaves resolved as Leaf) need no records.
+        for job in &jobs {
+            assert!(matches!(
+                work.nodes[job.idx].resolution,
+                Resolution::Frontier { .. }
+            ));
+        }
+        // The extracted tree (after executing trivial jobs) matches the
+        // reference builder.
+        let selector = ImpuritySelector::new(Gini);
+        let reference =
+            boat_tree::TdTreeBuilder::new(&selector, work_limits).fit(&schema(), &records);
+        // Execute jobs in-place via static growth (families retained).
+        for job in jobs {
+            let mut family = work.collect_subtree(job.idx).unwrap().unwrap();
+            family.extend(job.carried.iter().cloned());
+            let sub =
+                boat_tree::TdTreeBuilder::new(&selector, work_limits).fit(&schema(), &family);
+            work.nodes[job.idx].grown = Some(sub);
+            work.nodes[job.idx].grown_carried_fp = Some(job.carried_fp);
+        }
+        assert_eq!(work.extract_tree(), reference);
+    }
+
+    #[test]
+    fn splice_remaps_structure_and_depths() {
+        let records = threshold_records(2000);
+        let cfg = small_cfg();
+        let mut outer = build_exact_work(
+            schema(),
+            records.clone(),
+            &Gini,
+            &cfg,
+            GrowthLimits::default(),
+            boat_data::IoStats::new(),
+        )
+        .unwrap();
+        let n_before = outer.nodes.len();
+        // Splice a small exact tree over the root's left child.
+        let left = outer.nodes[0].left.unwrap();
+        let child_depth = outer.nodes[left].depth;
+        let sub = build_exact_work(
+            schema(),
+            threshold_records(300),
+            &Gini,
+            &cfg,
+            GrowthLimits::default(),
+            boat_data::IoStats::new(),
+        )
+        .unwrap();
+        let sub_nodes = sub.nodes.len();
+        outer.splice(left, sub);
+        assert_eq!(outer.nodes.len(), n_before + sub_nodes - 1);
+        // Depths below the splice point are shifted by the child's depth.
+        assert_eq!(outer.nodes[left].depth, child_depth);
+        if let Some(l2) = outer.nodes[left].left {
+            assert_eq!(outer.nodes[l2].depth, child_depth + 1);
+            assert_eq!(outer.nodes[l2].parent, Some(left));
+        }
+        // Parent link of the splice root is preserved.
+        assert_eq!(outer.nodes[left].parent, Some(0));
+    }
+
+    #[test]
+    fn widen_interval_covers_the_shelf_and_pads() {
+        // Steep curve: minimum at 10, neighbors clearly worse.
+        let mut avc = NumAvc::new(2);
+        let mut totals = vec![0u64; 2];
+        for i in 0..200u64 {
+            let v = (i % 20) as f64;
+            let label = u16::from(v > 10.0);
+            avc.add(v, label);
+            totals[label as usize] += 1;
+        }
+        let (lo, hi) = widen_interval(&avc, &totals, &Gini, 10.0, 10.0, 1);
+        // One padding value each side at minimum.
+        assert!(lo <= 9.0, "lo={lo}");
+        assert!(hi >= 11.0, "hi={hi}");
+        // Steepness keeps it from swallowing the whole axis.
+        assert!(lo >= 5.0 && hi <= 15.0, "[{lo},{hi}] too wide for a steep curve");
+    }
+
+    #[test]
+    fn widen_interval_mass_cap_limits_flat_valleys() {
+        // Perfectly flat (useless) attribute: every candidate ties, the
+        // shelf is everything — the mass cap must stop the extension.
+        let mut avc = NumAvc::new(2);
+        let mut totals = vec![0u64; 2];
+        for i in 0..1000u64 {
+            let v = (i % 100) as f64;
+            let label = (i % 2) as u16;
+            avc.add(v, label);
+            totals[label as usize] += 1;
+        }
+        let (lo, hi) = widen_interval(&avc, &totals, &Gini, 50.0, 50.0, 1);
+        let covered = avc.iter().filter(|&(v, _)| v >= lo && v <= hi).count();
+        assert!(
+            covered < 80,
+            "mass cap should stop a flat shelf from covering everything ({covered}/100)"
+        );
+    }
+
+    #[test]
+    fn limits_for_subtree_adjusts_depth_only() {
+        let limits = GrowthLimits {
+            min_split: 5,
+            max_depth: Some(10),
+            stop_family_size: Some(100),
+        };
+        let sub = limits_for_subtree(limits, 4);
+        assert_eq!(sub.max_depth, Some(6));
+        assert_eq!(sub.min_split, 5);
+        assert_eq!(sub.stop_family_size, Some(100));
+        assert_eq!(limits_for_subtree(limits, 12).max_depth, Some(0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Paper §4: incremental maintenance. After any sequence of insert/delete
+//! chunks, the maintained tree must be *identical* to a full rebuild on the
+//! net training data — including under distribution drift, where only the
+//! affected subtree is rebuilt.
+
+use boat_core::{reference_tree, Boat, BoatConfig};
+use boat_data::dataset::RecordSource;
+use boat_data::{MemoryDataset, Record};
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_tree::{Gini, GrowthLimits};
+
+fn config(seed: u64) -> BoatConfig {
+    BoatConfig {
+        sample_size: 1_200,
+        bootstrap_reps: 10,
+        bootstrap_sample_size: 500,
+        in_memory_threshold: 400,
+        spill_budget: 64,
+        seed,
+        ..BoatConfig::default()
+    }
+}
+
+fn mem(schema: &std::sync::Arc<boat_data::Schema>, records: Vec<Record>) -> MemoryDataset {
+    MemoryDataset::new(schema.clone(), records)
+}
+
+/// Insert chunks one at a time; after each, the model tree must equal the
+/// reference tree over the accumulated records.
+#[test]
+fn insertions_match_rebuild() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(21);
+    let schema = gen.schema();
+    let all = gen.generate_vec(9_000);
+    let base = mem(&schema, all[..5_000].to_vec());
+    let algo = Boat::new(config(2100));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+
+    let mut upto = 5_000;
+    for chunk_end in [7_000, 9_000] {
+        let chunk = mem(&schema, all[upto..chunk_end].to_vec());
+        let report = model.insert(&chunk).unwrap();
+        assert_eq!(report.inserted, (chunk_end - upto) as u64);
+        upto = chunk_end;
+        let net = mem(&schema, all[..upto].to_vec());
+        let reference = reference_tree(&net, Gini, GrowthLimits::default()).unwrap();
+        assert_eq!(
+            model.tree().unwrap(),
+            &reference,
+            "after inserting up to {upto}: maintained tree != rebuild"
+        );
+    }
+}
+
+#[test]
+fn deletions_match_rebuild() {
+    let gen = GeneratorConfig::new(LabelFunction::F6).with_seed(22);
+    let schema = gen.schema();
+    let all = gen.generate_vec(8_000);
+    let base = mem(&schema, all.clone());
+    let algo = Boat::new(config(2200));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+
+    // Delete the *most recent* chunk (the paper's expiry scenario).
+    let expired = mem(&schema, all[6_000..].to_vec());
+    let report = model.delete(&expired).unwrap();
+    assert_eq!(report.deleted, 2_000);
+    let net = mem(&schema, all[..6_000].to_vec());
+    let reference = reference_tree(&net, Gini, GrowthLimits::default()).unwrap();
+    assert_eq!(model.tree().unwrap(), &reference);
+}
+
+#[test]
+fn interleaved_inserts_and_deletes_match_rebuild() {
+    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(23);
+    let schema = gen.schema();
+    let all = gen.generate_vec(10_000);
+    let algo = Boat::new(config(2300));
+    let base = mem(&schema, all[..4_000].to_vec());
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+
+    // +[4000,7000), -[1000,2000), +[7000,10000), -[5000,6000)
+    model.insert(&mem(&schema, all[4_000..7_000].to_vec())).unwrap();
+    model.delete(&mem(&schema, all[1_000..2_000].to_vec())).unwrap();
+    model.insert(&mem(&schema, all[7_000..10_000].to_vec())).unwrap();
+    model.delete(&mem(&schema, all[5_000..6_000].to_vec())).unwrap();
+
+    let mut net: Vec<Record> = Vec::new();
+    net.extend_from_slice(&all[..1_000]);
+    net.extend_from_slice(&all[2_000..5_000]);
+    net.extend_from_slice(&all[6_000..10_000]);
+    let reference =
+        reference_tree(&mem(&schema, net), Gini, GrowthLimits::default()).unwrap();
+    assert_eq!(model.tree().unwrap(), &reference);
+}
+
+#[test]
+fn same_distribution_updates_do_not_rescan_base() {
+    // The paper's key cost claim: updates from the same distribution only
+    // scan the chunk. We verify via scan accounting on the base dataset.
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(24);
+    let schema = gen.schema();
+    let all = gen.generate_vec(8_000);
+    let base = mem(&schema, all[..6_000].to_vec());
+    let algo = Boat::new(config(2400));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let scans_after_build = base.stats().snapshot().scans;
+
+    let chunk = mem(&schema, all[6_000..].to_vec());
+    model.insert(&chunk).unwrap();
+    model.maintain().unwrap();
+    assert_eq!(
+        base.stats().snapshot().scans,
+        scans_after_build,
+        "incremental insert + maintenance must not rescan the base dataset"
+    );
+    assert_eq!(chunk.stats().snapshot().scans, 1, "exactly one scan over the chunk");
+}
+
+#[test]
+fn drift_chunk_still_yields_exact_tree() {
+    // Figure 14's scenario: new chunks follow a distribution that differs
+    // in part of the attribute space. Verification must fail exactly where
+    // the drift bites, subtrees get rebuilt, and the tree stays exact.
+    let base_gen = GeneratorConfig::new(LabelFunction::F1).with_seed(25);
+    let drift_gen = GeneratorConfig::new(LabelFunction::F1Drift).with_seed(26);
+    let schema = base_gen.schema();
+    let base_records = base_gen.generate_vec(6_000);
+    let drift_records = drift_gen.generate_vec(4_000);
+
+    let algo = Boat::new(config(2500));
+    let (mut model, _) = algo.fit_model(&mem(&schema, base_records.clone())).unwrap();
+    model.insert(&mem(&schema, drift_records.clone())).unwrap();
+
+    let report = model.maintain().unwrap();
+    let mut net = base_records;
+    net.extend(drift_records);
+    let reference =
+        reference_tree(&mem(&schema, net), Gini, GrowthLimits::default()).unwrap();
+    assert_eq!(model.tree().unwrap(), &reference);
+    let _ = report; // drift may or may not surface as Failed at this scale
+}
+
+#[test]
+fn insert_then_delete_roundtrips_to_original_tree() {
+    let gen = GeneratorConfig::new(LabelFunction::F7).with_seed(27);
+    let schema = gen.schema();
+    let all = gen.generate_vec(7_000);
+    let base = mem(&schema, all[..5_000].to_vec());
+    let algo = Boat::new(config(2600));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let original = model.tree().unwrap().clone();
+
+    let chunk = mem(&schema, all[5_000..].to_vec());
+    model.insert(&chunk).unwrap();
+    model.delete(&chunk).unwrap();
+    assert_eq!(model.tree().unwrap(), &original, "insert followed by delete must round-trip");
+}
+
+#[test]
+fn deleting_a_missing_record_errors() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(28);
+    let schema = gen.schema();
+    let base = mem(&schema, gen.generate_vec(3_000));
+    let algo = Boat::new(config(2700));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+
+    let foreign = GeneratorConfig::new(LabelFunction::F1).with_seed(999).generate_vec(1);
+    let result = model.delete(&mem(&schema, foreign));
+    assert!(result.is_err(), "deleting a record that was never inserted must fail");
+}
+
+#[test]
+fn update_with_mismatched_schema_errors() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(29);
+    let base = mem(&gen.schema(), gen.generate_vec(2_000));
+    let algo = Boat::new(config(2800));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+
+    let other = GeneratorConfig::new(LabelFunction::F1).with_extra_attrs(1);
+    let chunk = MemoryDataset::new(other.schema(), other.generate_vec(10));
+    assert!(model.insert(&chunk).is_err());
+}
+
+#[test]
+fn many_small_chunks_match_one_big_chunk() {
+    // Figure 15's question: does chunk granularity change the result? It
+    // must not (and the harness shows it barely changes the cost).
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(30);
+    let schema = gen.schema();
+    let all = gen.generate_vec(9_000);
+    let algo = Boat::new(config(2900));
+
+    let (mut small_chunks, _) =
+        algo.fit_model(&mem(&schema, all[..3_000].to_vec())).unwrap();
+    for start in (3_000..9_000).step_by(1_000) {
+        small_chunks.insert(&mem(&schema, all[start..start + 1_000].to_vec())).unwrap();
+    }
+
+    let (mut one_chunk, _) = algo.fit_model(&mem(&schema, all[..3_000].to_vec())).unwrap();
+    one_chunk.insert(&mem(&schema, all[3_000..].to_vec())).unwrap();
+
+    assert_eq!(small_chunks.tree().unwrap(), one_chunk.tree().unwrap());
+    let reference =
+        reference_tree(&mem(&schema, all), Gini, GrowthLimits::default()).unwrap();
+    assert_eq!(small_chunks.tree().unwrap(), &reference);
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for BOAT itself — the heavyweight one being the
+//! paper's guarantee as a property: over *arbitrary* schema-conformant
+//! datasets (discrete values, so exact ties and degenerate layouts are
+//! common), BOAT's tree is identical to the in-memory reference, and any
+//! interleaving of insert/delete chunks matches a rebuild.
+
+use boat_core::verify::corner_lower_bound;
+use boat_core::{reference_tree, Boat, BoatConfig};
+use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
+use boat_tree::{split_impurity, Entropy, Gini, Impurity};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::shared(
+        vec![
+            Attribute::numeric("x"),
+            Attribute::categorical("c", 4),
+            Attribute::numeric("y"),
+        ],
+        2,
+    )
+    .unwrap()
+}
+
+fn arb_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(
+        (0i64..30, 0u32..4, 0i64..10, 0u16..2).prop_map(|(x, c, y, l)| {
+            Record::new(vec![Field::Num(x as f64), Field::Cat(c), Field::Num(y as f64)], l)
+        }),
+        0..=max,
+    )
+}
+
+fn tiny_config(seed: u64) -> BoatConfig {
+    BoatConfig {
+        sample_size: 200,
+        bootstrap_reps: 8,
+        bootstrap_sample_size: 100,
+        in_memory_threshold: 40,
+        spill_budget: 16,
+        seed,
+        ..BoatConfig::default()
+    }
+}
+
+proptest! {
+    // These cases each run full BOAT pipelines; keep counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central guarantee as a property: BOAT == reference, always.
+    #[test]
+    fn boat_equals_reference_on_arbitrary_data(
+        records in arb_records(600),
+        seed in 0u64..30,
+    ) {
+        let ds = MemoryDataset::new(schema(), records);
+        let cfg = tiny_config(seed);
+        let fit = Boat::new(cfg.clone()).fit(&ds).unwrap();
+        let reference = reference_tree(&ds, Gini, cfg.limits).unwrap();
+        prop_assert_eq!(&fit.tree, &reference);
+    }
+
+    /// The guarantee over *random schemas* too: attribute mixes, class
+    /// counts and cardinalities drawn arbitrarily.
+    #[test]
+    fn boat_equals_reference_on_random_schemas(
+        kinds in prop::collection::vec(prop_oneof![Just(None), (2u32..=6).prop_map(Some)], 1..=4),
+        classes in 2u16..=4,
+        raw in prop::collection::vec((0i64..20, 0u32..6, 0u16..4), 10..400),
+        seed in 0u64..20,
+    ) {
+        let attrs: Vec<Attribute> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, card)| match card {
+                None => Attribute::numeric(format!("n{i}")),
+                Some(c) => Attribute::categorical(format!("c{i}"), *c),
+            })
+            .collect();
+        let schema = Schema::shared(attrs, classes).unwrap();
+        let records: Vec<Record> = raw
+            .iter()
+            .map(|&(x, c, l)| {
+                let fields: Vec<Field> = schema
+                    .attributes()
+                    .iter()
+                    .map(|a| match a.ty() {
+                        boat_data::AttrType::Numeric => Field::Num(x as f64),
+                        boat_data::AttrType::Categorical { cardinality } => {
+                            Field::Cat(c % cardinality)
+                        }
+                    })
+                    .collect();
+                Record::new(fields, l % classes)
+            })
+            .collect();
+        let ds = MemoryDataset::new(schema, records);
+        let cfg = tiny_config(seed);
+        let fit = Boat::new(cfg.clone()).fit(&ds).unwrap();
+        let reference = reference_tree(&ds, Gini, cfg.limits).unwrap();
+        prop_assert_eq!(&fit.tree, &reference);
+    }
+
+    /// Incremental maintenance as a property: base + insert chunk + delete
+    /// prefix == rebuild on the net records.
+    #[test]
+    fn model_updates_equal_rebuild_on_arbitrary_data(
+        base in arb_records(300),
+        chunk in arb_records(150),
+        del in 0usize..100,
+        seed in 0u64..20,
+    ) {
+        let s = schema();
+        let ds = MemoryDataset::new(s.clone(), base.clone());
+        let cfg = tiny_config(seed);
+        let (mut model, _) = Boat::new(cfg.clone()).fit_model(&ds).unwrap();
+        model.insert(&MemoryDataset::new(s.clone(), chunk.clone())).unwrap();
+        let del = del.min(base.len());
+        model.delete(&MemoryDataset::new(s.clone(), base[..del].to_vec())).unwrap();
+
+        let mut net = base[del..].to_vec();
+        net.extend(chunk);
+        let reference =
+            reference_tree(&MemoryDataset::new(s, net), Gini, cfg.limits).unwrap();
+        prop_assert_eq!(model.tree().unwrap(), &reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lemma 3.1 as a property: the corner bound never exceeds the true
+    /// minimum impurity over any monotone stamp path through the box.
+    #[test]
+    fn corner_bound_is_sound(
+        lo in prop::collection::vec(0u64..50, 2..4),
+        extra in prop::collection::vec(0u64..50, 2..4),
+        headroom in prop::collection::vec(0u64..50, 2..4),
+        steps in 1usize..6,
+        jitter in 0u64..1_000,
+    ) {
+        let k = lo.len().min(extra.len()).min(headroom.len());
+        let lo = &lo[..k];
+        let hi: Vec<u64> = lo.iter().zip(&extra[..k]).map(|(l, e)| l + e).collect();
+        let totals: Vec<u64> =
+            hi.iter().zip(&headroom[..k]).map(|(h, r)| h + r).collect();
+        prop_assume!(totals.iter().sum::<u64>() > 0);
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let bound = corner_lower_bound(imp, lo, &hi, &totals);
+            // Walk a pseudo-random monotone path from lo to hi; every stamp
+            // on it must sit at or above the bound.
+            let mut stamp = lo.to_vec();
+            let mut state = jitter;
+            for _ in 0..steps {
+                for i in 0..k {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let room = hi[i] - stamp[i];
+                    if room > 0 {
+                        stamp[i] += state % (room + 1);
+                    }
+                }
+                let right: Vec<u64> =
+                    totals.iter().zip(&stamp).map(|(t, s)| t - s).collect();
+                let v = split_impurity(imp, &stamp, &right);
+                prop_assert!(
+                    bound <= v + 1e-12,
+                    "{}: corner bound {bound} above stamp value {v} at {stamp:?}",
+                    imp.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Streaming record sources.
+//!
+//! Everything BOAT and the baselines do with the training database goes
+//! through [`RecordSource::scan`]: a resettable, sequential, *counted* scan.
+//! Two concrete sources live here — [`MemoryDataset`] (samples, tests) and
+//! [`FileDataset`] (the on-disk training database) — and other crates add
+//! more (the synthetic generator and the base-plus-delta [`crate::log`]).
+
+use crate::codec;
+use crate::iostats::IoStats;
+use crate::record::Record;
+use crate::schema::{AttrType, Attribute, Schema};
+use crate::{DataError, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A streaming scan over records. The blanket impl makes any
+/// `Iterator<Item = Result<Record>>` a scan.
+pub trait RecordScan: Iterator<Item = Result<Record>> {}
+impl<T: Iterator<Item = Result<Record>>> RecordScan for T {}
+
+/// A dataset that can be sequentially scanned any number of times.
+pub trait RecordSource {
+    /// The schema all records conform to.
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// Begin a fresh sequential scan. Each call increments the source's
+    /// scan counter.
+    fn scan(&self) -> Result<Box<dyn RecordScan + '_>>;
+
+    /// Number of records.
+    fn len(&self) -> u64;
+
+    /// Whether the source has no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The I/O counter handle this source reports into.
+    fn stats(&self) -> &IoStats;
+
+    /// Collect every record into memory. Intended for small sources (node
+    /// families below the in-memory threshold, samples, tests).
+    fn collect_records(&self) -> Result<Vec<Record>> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for r in self.scan()? {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory dataset
+// ---------------------------------------------------------------------------
+
+/// A fully in-memory dataset. Scans are counted like file scans so that
+/// algorithms behave identically regardless of backing store.
+#[derive(Debug, Clone)]
+pub struct MemoryDataset {
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+    stats: IoStats,
+}
+
+impl MemoryDataset {
+    /// Wrap records (assumed schema-conformant) in a dataset.
+    pub fn new(schema: Arc<Schema>, records: Vec<Record>) -> Self {
+        MemoryDataset { schema, records, stats: IoStats::new() }
+    }
+
+    /// Like [`MemoryDataset::new`] but reporting into an existing counter
+    /// handle.
+    pub fn with_stats(schema: Arc<Schema>, records: Vec<Record>, stats: IoStats) -> Self {
+        MemoryDataset { schema, records, stats }
+    }
+
+    /// Validate every record against the schema, then wrap.
+    pub fn validated(schema: Arc<Schema>, records: Vec<Record>) -> Result<Self> {
+        for r in &records {
+            r.validate(&schema)?;
+        }
+        Ok(Self::new(schema, records))
+    }
+
+    /// Direct slice access (no scan accounting); for in-memory algorithms.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consume the dataset, returning its records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl RecordSource for MemoryDataset {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn scan(&self) -> Result<Box<dyn RecordScan + '_>> {
+        self.stats.record_scan();
+        let width = self.schema.record_width() as u64;
+        let stats = self.stats.clone();
+        Ok(Box::new(self.records.iter().map(move |r| {
+            stats.record_read(1, width);
+            Ok(r.clone())
+        })))
+    }
+
+    fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-disk dataset
+// ---------------------------------------------------------------------------
+
+const MAGIC: &[u8; 8] = b"BOATDS01";
+
+fn write_schema(w: &mut impl Write, schema: &Schema) -> Result<()> {
+    w.write_all(&(schema.n_classes() as u16).to_le_bytes())?;
+    w.write_all(&(schema.n_attributes() as u32).to_le_bytes())?;
+    for attr in schema.attributes() {
+        match attr.ty() {
+            AttrType::Numeric => {
+                w.write_all(&[0u8])?;
+                w.write_all(&0u32.to_le_bytes())?;
+            }
+            AttrType::Categorical { cardinality } => {
+                w.write_all(&[1u8])?;
+                w.write_all(&cardinality.to_le_bytes())?;
+            }
+        }
+        let name = attr.name().as_bytes();
+        if name.len() > u16::MAX as usize {
+            return Err(DataError::Schema("attribute name too long".into()));
+        }
+        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        w.write_all(name)?;
+    }
+    Ok(())
+}
+
+fn read_exact_buf<const N: usize>(r: &mut impl Read) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_schema(r: &mut impl Read) -> Result<Schema> {
+    let n_classes = u16::from_le_bytes(read_exact_buf::<2>(r)?);
+    let n_attrs = u32::from_le_bytes(read_exact_buf::<4>(r)?);
+    if n_attrs > 1 << 20 {
+        return Err(DataError::Corrupt(format!("implausible attribute count {n_attrs}")));
+    }
+    let mut attrs = Vec::with_capacity(n_attrs as usize);
+    for _ in 0..n_attrs {
+        let tag = read_exact_buf::<1>(r)?[0];
+        let cardinality = u32::from_le_bytes(read_exact_buf::<4>(r)?);
+        let name_len = u16::from_le_bytes(read_exact_buf::<2>(r)?) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| DataError::Corrupt("attribute name is not UTF-8".into()))?;
+        attrs.push(match tag {
+            0 => Attribute::numeric(name),
+            1 => Attribute::categorical(name, cardinality),
+            t => return Err(DataError::Corrupt(format!("unknown attribute tag {t}"))),
+        });
+    }
+    Schema::new(attrs, n_classes)
+}
+
+/// A fixed-width binary dataset file:
+/// `magic | schema | record-count | records…`.
+#[derive(Debug, Clone)]
+pub struct FileDataset {
+    path: PathBuf,
+    schema: Arc<Schema>,
+    n_records: u64,
+    data_offset: u64,
+    stats: IoStats,
+}
+
+impl FileDataset {
+    /// Open an existing dataset file.
+    pub fn open(path: impl AsRef<Path>, stats: IoStats) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let magic = read_exact_buf::<8>(&mut reader)?;
+        if &magic != MAGIC {
+            return Err(DataError::Corrupt(format!(
+                "bad magic in {}: expected BOATDS01",
+                path.display()
+            )));
+        }
+        let schema = Arc::new(read_schema(&mut reader)?);
+        let n_records = u64::from_le_bytes(read_exact_buf::<8>(&mut reader)?);
+        let data_offset = reader.stream_position()?;
+        let expected = data_offset + n_records * schema.record_width() as u64;
+        let actual = std::fs::metadata(&path)?.len();
+        if actual != expected {
+            return Err(DataError::Corrupt(format!(
+                "{}: file is {actual} bytes, header implies {expected}",
+                path.display()
+            )));
+        }
+        Ok(FileDataset { path, schema, n_records, data_offset, stats })
+    }
+
+    /// Materialize any source into a new dataset file at `path`.
+    pub fn create_from(
+        path: impl AsRef<Path>,
+        source: &dyn RecordSource,
+        stats: IoStats,
+    ) -> Result<Self> {
+        let mut writer = FileDatasetWriter::create(path, source.schema().clone(), stats)?;
+        for r in source.scan()? {
+            writer.append(&r?)?;
+        }
+        writer.finish()
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl RecordSource for FileDataset {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn scan(&self) -> Result<Box<dyn RecordScan + '_>> {
+        self.stats.record_scan();
+        let mut reader = BufReader::with_capacity(1 << 18, File::open(&self.path)?);
+        reader.seek(SeekFrom::Start(self.data_offset))?;
+        Ok(Box::new(FileScan {
+            reader,
+            schema: self.schema.clone(),
+            remaining: self.n_records,
+            buf: vec![0u8; self.schema.record_width()],
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn len(&self) -> u64 {
+        self.n_records
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+struct FileScan {
+    reader: BufReader<File>,
+    schema: Arc<Schema>,
+    remaining: u64,
+    buf: Vec<u8>,
+    stats: IoStats,
+}
+
+impl Iterator for FileScan {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if let Err(e) = self.reader.read_exact(&mut self.buf) {
+            self.remaining = 0;
+            return Some(Err(e.into()));
+        }
+        self.stats.record_read(1, self.buf.len() as u64);
+        Some(codec::decode(&self.schema, &self.buf))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Incremental writer for [`FileDataset`] files.
+pub struct FileDatasetWriter {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    schema: Arc<Schema>,
+    n_records: u64,
+    count_offset: u64,
+    buf: Vec<u8>,
+    stats: IoStats,
+}
+
+impl FileDatasetWriter {
+    /// Create (truncating) a dataset file at `path`.
+    pub fn create(path: impl AsRef<Path>, schema: Arc<Schema>, stats: IoStats) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut writer = BufWriter::with_capacity(1 << 18, File::create(&path)?);
+        writer.write_all(MAGIC)?;
+        write_schema(&mut writer, &schema)?;
+        let count_offset = writer.stream_position()?;
+        writer.write_all(&0u64.to_le_bytes())?; // patched by finish()
+        Ok(FileDatasetWriter {
+            path,
+            writer,
+            schema,
+            n_records: 0,
+            count_offset,
+            buf: Vec::new(),
+            stats,
+        })
+    }
+
+    /// The schema records must conform to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, record: &Record) -> Result<()> {
+        self.buf.clear();
+        codec::encode_into(&self.schema, record, &mut self.buf)?;
+        self.writer.write_all(&self.buf)?;
+        self.n_records += 1;
+        self.stats.record_write(1, self.buf.len() as u64);
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> u64 {
+        self.n_records
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// Patch the record count into the header and open the finished dataset.
+    pub fn finish(mut self) -> Result<FileDataset> {
+        self.writer.flush()?;
+        let mut file = self.writer.into_inner().map_err(|e| DataError::Io(e.into_error()))?;
+        file.seek(SeekFrom::Start(self.count_offset))?;
+        file.write_all(&self.n_records.to_le_bytes())?;
+        file.sync_data()?;
+        drop(file);
+        FileDataset::open(&self.path, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Field;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 4)],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    vec![Field::Num(i as f64 * 0.5), Field::Cat((i % 4) as u32)],
+                    (i % 2) as u16,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn memory_dataset_scan_roundtrip_and_counts() {
+        let ds = MemoryDataset::new(schema(), records(10));
+        assert_eq!(ds.len(), 10);
+        let collected = ds.collect_records().unwrap();
+        assert_eq!(collected, records(10));
+        let snap = ds.stats().snapshot();
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.records_read, 10);
+    }
+
+    #[test]
+    fn memory_dataset_validated_rejects_bad_records() {
+        let bad = vec![Record::new(vec![Field::Num(1.0), Field::Cat(9)], 0)];
+        assert!(MemoryDataset::validated(schema(), bad).is_err());
+    }
+
+    #[test]
+    fn file_dataset_roundtrip() {
+        let dir = std::env::temp_dir().join("boat-data-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.boat");
+        let stats = IoStats::new();
+        let mut w = FileDatasetWriter::create(&path, schema(), stats.clone()).unwrap();
+        for r in records(100) {
+            w.append(&r).unwrap();
+        }
+        let ds = w.finish().unwrap();
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.collect_records().unwrap(), records(100));
+        // one scan; 100 records of width 14 read
+        let snap = stats.snapshot();
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.records_read, 100);
+        assert_eq!(snap.bytes_read, 100 * ds.schema().record_width() as u64);
+        assert_eq!(snap.records_written, 100);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_dataset_rescan_restarts() {
+        let dir = std::env::temp_dir().join("boat-data-test-rescan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.boat");
+        let mut w = FileDatasetWriter::create(&path, schema(), IoStats::new()).unwrap();
+        for r in records(5) {
+            w.append(&r).unwrap();
+        }
+        let ds = w.finish().unwrap();
+        for _ in 0..3 {
+            assert_eq!(ds.collect_records().unwrap().len(), 5);
+        }
+        assert_eq!(ds.stats().snapshot().scans, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("boat-data-test-magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.boat");
+        std::fs::write(&path, b"NOTBOAT!rest").unwrap();
+        assert!(FileDataset::open(&path, IoStats::new()).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("boat-data-test-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.boat");
+        let mut w = FileDatasetWriter::create(&path, schema(), IoStats::new()).unwrap();
+        for r in records(8) {
+            w.append(&r).unwrap();
+        }
+        let ds = w.finish().unwrap();
+        let full = std::fs::metadata(ds.path()).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        assert!(FileDataset::open(&path, IoStats::new()).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_from_materializes_a_source() {
+        let dir = std::env::temp_dir().join("boat-data-test-createfrom");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("copy.boat");
+        let mem = MemoryDataset::new(schema(), records(17));
+        let ds = FileDataset::create_from(&path, &mem, IoStats::new()).unwrap();
+        assert_eq!(ds.len(), 17);
+        assert_eq!(ds.collect_records().unwrap(), records(17));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_dataset_is_valid() {
+        let dir = std::env::temp_dir().join("boat-data-test-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.boat");
+        let w = FileDatasetWriter::create(&path, schema(), IoStats::new()).unwrap();
+        assert!(w.is_empty());
+        let ds = w.finish().unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.collect_records().unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn schema_header_roundtrips_exotic_names() {
+        let schema = Schema::shared(
+            vec![Attribute::numeric("日本語 name"), Attribute::categorical("c-2", 64)],
+            7,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("boat-data-test-names");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("n.boat");
+        let w = FileDatasetWriter::create(&path, schema.clone(), IoStats::new()).unwrap();
+        let ds = w.finish().unwrap();
+        assert_eq!(**ds.schema(), *schema);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

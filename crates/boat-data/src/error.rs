@@ -1,0 +1,68 @@
+//! Error type shared by the whole workspace's data layer.
+
+use std::fmt;
+
+/// Convenient result alias for data-layer operations.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug)]
+pub enum DataError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A file did not conform to the expected on-disk format.
+    Corrupt(String),
+    /// A record or operation did not conform to the schema.
+    Schema(String),
+    /// An invalid argument or configuration value.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Corrupt(msg) => write!(f, "corrupt dataset file: {msg}"),
+            DataError::Schema(msg) => write!(f, "schema violation: {msg}"),
+            DataError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = DataError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = DataError::Schema("field 3".into());
+        assert!(e.to_string().contains("field 3"));
+        let e = DataError::Invalid("k must be > 0".into());
+        assert!(e.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e = DataError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("missing"));
+    }
+}

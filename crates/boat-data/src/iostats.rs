@@ -1,0 +1,159 @@
+//! Shared I/O counters.
+//!
+//! The BOAT paper's headline claim is about *scans over the training
+//! database*: one per tree level for all previous algorithms, two (typically)
+//! for BOAT. Wall-clock time on modern hardware with small test datasets is
+//! noisy, so every dataset operation in this workspace is counted through an
+//! [`IoStats`] handle, and the bench harness reports scan and byte counts
+//! alongside wall time.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Inner {
+    scans: AtomicU64,
+    records_read: AtomicU64,
+    bytes_read: AtomicU64,
+    records_written: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A cheaply clonable handle to a set of shared I/O counters.
+///
+/// All datasets created from the same handle accumulate into the same
+/// counters, so an experiment can create one handle, hand it to every file it
+/// opens, and read off totals at the end.
+#[derive(Clone, Default)]
+pub struct IoStats(Arc<Inner>);
+
+impl IoStats {
+    /// Create a fresh set of zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the start of a sequential scan.
+    pub fn record_scan(&self) {
+        self.0.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` records / `bytes` bytes read.
+    pub fn record_read(&self, n: u64, bytes: u64) {
+        self.0.records_read.fetch_add(n, Ordering::Relaxed);
+        self.0.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `n` records / `bytes` bytes written.
+    pub fn record_write(&self, n: u64, bytes: u64) {
+        self.0.records_written.fetch_add(n, Ordering::Relaxed);
+        self.0.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            scans: self.0.scans.load(Ordering::Relaxed),
+            records_read: self.0.records_read.load(Ordering::Relaxed),
+            bytes_read: self.0.bytes_read.load(Ordering::Relaxed),
+            records_written: self.0.records_written.load(Ordering::Relaxed),
+            bytes_written: self.0.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters; supports subtraction to
+/// measure a phase (`after - before`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Sequential scans started.
+    pub scans: u64,
+    /// Records read.
+    pub records_read: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Records written.
+    pub records_written: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            scans: self.scans - rhs.scans,
+            records_read: self.records_read - rhs.records_read,
+            bytes_read: self.bytes_read - rhs.bytes_read,
+            records_written: self.records_written - rhs.records_written,
+            bytes_written: self.bytes_written - rhs.bytes_written,
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scans={} read={}rec/{}B written={}rec/{}B",
+            self.scans, self.records_read, self.bytes_read, self.records_written,
+            self.bytes_written
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_scan();
+        s.record_read(10, 400);
+        s.record_write(3, 120);
+        let snap = s.snapshot();
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.records_read, 10);
+        assert_eq!(snap.bytes_read, 400);
+        assert_eq!(snap.records_written, 3);
+        assert_eq!(snap.bytes_written, 120);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = IoStats::new();
+        let t = s.clone();
+        t.record_scan();
+        t.record_scan();
+        assert_eq!(s.snapshot().scans, 2);
+    }
+
+    #[test]
+    fn snapshot_subtraction_measures_a_phase() {
+        let s = IoStats::new();
+        s.record_read(5, 100);
+        let before = s.snapshot();
+        s.record_scan();
+        s.record_read(7, 140);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.scans, 1);
+        assert_eq!(delta.records_read, 7);
+        assert_eq!(delta.bytes_read, 140);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = IoStats::new();
+        s.record_scan();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("scans=1"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Storage and I/O substrate for the BOAT reproduction.
+//!
+//! The BOAT paper operates on a *training database*: a large sequential file
+//! of fixed-width records scanned from secondary storage, with temporary
+//! spill files for the per-node sets `S_n` of tuples that fall inside a
+//! node's confidence interval. This crate provides that substrate:
+//!
+//! * [`schema`] — attribute schemas (numeric / categorical predictor
+//!   attributes plus the class label).
+//! * [`record`] — the in-memory record representation.
+//! * [`codec`] — a fixed-width binary record codec derived from the schema.
+//! * [`dataset`] — the [`dataset::RecordSource`] streaming-scan
+//!   abstraction with in-memory and on-disk implementations.
+//! * [`iostats`] — shared scan/byte counters; every experiment in the bench
+//!   harness reports these alongside wall time.
+//! * [`sample`] — reservoir sampling over a stream and bootstrap resampling.
+//! * [`spill`] — memory-budgeted record buffers that transparently spill to
+//!   temporary files (the paper's `S_n` files).
+//! * [`log`] — a base-plus-delta *dataset log* modelling a dynamically
+//!   changing training database (insertions and deletions).
+//! * [`csv`] — CSV import (in-memory or streamed to disk) with per-column
+//!   category dictionaries.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod iostats;
+pub mod log;
+pub mod record;
+pub mod sample;
+pub mod schema;
+pub mod spill;
+
+pub use dataset::{FileDataset, FileDatasetWriter, MemoryDataset, RecordScan, RecordSource};
+pub use error::{DataError, Result};
+pub use iostats::{IoSnapshot, IoStats};
+pub use record::{Field, Record};
+pub use schema::{AttrType, Attribute, Schema};

@@ -1,0 +1,302 @@
+//! A base-plus-delta *dataset log*.
+//!
+//! The paper's §4 dynamic environment has a training database that changes
+//! through chunk insertions and deletions (a data warehouse). BOAT's
+//! incremental maintenance only scans the *chunks*, but a detected
+//! distribution change forces a partial rebuild, which needs a scan of the
+//! *current* database. [`DatasetLog`] provides exactly that view: the base
+//! dataset plus applied insertion chunks, minus a deletion multiset, all
+//! behind the ordinary [`RecordSource`] scan interface.
+
+use crate::codec;
+use crate::dataset::{RecordScan, RecordSource};
+use crate::iostats::IoStats;
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::{DataError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The logical "current training database": base ⊎ inserts ∖ deletes.
+///
+/// Deletions are matched by record *content* with multiplicity (a multiset),
+/// so deleting a chunk that was previously inserted restores the prior
+/// logical contents exactly. The caller is responsible for only deleting
+/// records that are present; `len()` assumes every recorded deletion matches
+/// (which scanning verifies — a scan that cannot match every deletion yields
+/// an error at exhaustion).
+pub struct DatasetLog {
+    schema: Arc<Schema>,
+    sources: Vec<Box<dyn RecordSource>>,
+    deletes: HashMap<Vec<u8>, u64>,
+    n_deletes: u64,
+    stats: IoStats,
+}
+
+impl DatasetLog {
+    /// Start a log from a base dataset.
+    pub fn new(base: Box<dyn RecordSource>, stats: IoStats) -> Self {
+        let schema = base.schema().clone();
+        DatasetLog { schema, sources: vec![base], deletes: HashMap::new(), n_deletes: 0, stats }
+    }
+
+    /// Append an insertion chunk. Its schema must match the base schema.
+    pub fn push_insertions(&mut self, chunk: Box<dyn RecordSource>) -> Result<()> {
+        if **chunk.schema() != *self.schema {
+            return Err(DataError::Schema("insertion chunk schema mismatch".into()));
+        }
+        self.sources.push(chunk);
+        Ok(())
+    }
+
+    /// Record the deletion of every record in `chunk` (matched by content,
+    /// with multiplicity).
+    pub fn push_deletions(&mut self, chunk: &dyn RecordSource) -> Result<()> {
+        if **chunk.schema() != *self.schema {
+            return Err(DataError::Schema("deletion chunk schema mismatch".into()));
+        }
+        for r in chunk.scan()? {
+            let key = codec::encode(&self.schema, &r?)?;
+            *self.deletes.entry(key).or_insert(0) += 1;
+            self.n_deletes += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of physical sources (base + insertion chunks).
+    pub fn n_chunks(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of pending logical deletions.
+    pub fn n_deletions(&self) -> u64 {
+        self.n_deletes
+    }
+
+    /// Compact the log: materialize the net logical contents into a fresh
+    /// dataset file (the warehouse maintenance step that turns a base +
+    /// delta chain back into a single base). One scan over the log.
+    pub fn compact_to(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        stats: IoStats,
+    ) -> Result<crate::FileDataset> {
+        let mut writer =
+            crate::FileDatasetWriter::create(path, self.schema.clone(), stats)?;
+        for r in self.scan()? {
+            writer.append(&r?)?;
+        }
+        writer.finish()
+    }
+}
+
+impl RecordSource for DatasetLog {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn scan(&self) -> Result<Box<dyn RecordScan + '_>> {
+        self.stats.record_scan();
+        Ok(Box::new(LogScan {
+            log: self,
+            chunk: 0,
+            inner: None,
+            pending_deletes: self.deletes.clone(),
+            unmatched: self.n_deletes,
+            buf: Vec::new(),
+        }))
+    }
+
+    fn len(&self) -> u64 {
+        let total: u64 = self.sources.iter().map(|s| s.len()).sum();
+        total - self.n_deletes
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+struct LogScan<'a> {
+    log: &'a DatasetLog,
+    chunk: usize,
+    inner: Option<Box<dyn RecordScan + 'a>>,
+    pending_deletes: HashMap<Vec<u8>, u64>,
+    unmatched: u64,
+    buf: Vec<u8>,
+}
+
+impl Iterator for LogScan<'_> {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.inner.is_none() {
+                if self.chunk >= self.log.sources.len() {
+                    if self.unmatched > 0 {
+                        let n = self.unmatched;
+                        self.unmatched = 0;
+                        return Some(Err(DataError::Invalid(format!(
+                            "{n} recorded deletions matched no record in the log"
+                        ))));
+                    }
+                    return None;
+                }
+                match self.log.sources[self.chunk].scan() {
+                    Ok(s) => self.inner = Some(s),
+                    Err(e) => {
+                        self.chunk = self.log.sources.len();
+                        return Some(Err(e));
+                    }
+                }
+                self.chunk += 1;
+            }
+            match self.inner.as_mut().expect("just ensured").next() {
+                None => {
+                    self.inner = None;
+                    continue;
+                }
+                Some(Err(e)) => return Some(Err(e)),
+                Some(Ok(r)) => {
+                    if !self.pending_deletes.is_empty() {
+                        self.buf.clear();
+                        if let Err(e) = codec::encode_into(&self.log.schema, &r, &mut self.buf) {
+                            return Some(Err(e));
+                        }
+                        if let Some(count) = self.pending_deletes.get_mut(self.buf.as_slice()) {
+                            *count -= 1;
+                            self.unmatched -= 1;
+                            if *count == 0 {
+                                self.pending_deletes.remove(self.buf.as_slice());
+                            }
+                            continue; // logically deleted
+                        }
+                    }
+                    return Some(Ok(r));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::MemoryDataset;
+    use crate::record::Field;
+    use crate::schema::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(vec![Attribute::numeric("x")], 2).unwrap()
+    }
+
+    fn rec(x: f64) -> Record {
+        Record::new(vec![Field::Num(x)], 0)
+    }
+
+    fn mem(xs: &[f64]) -> Box<MemoryDataset> {
+        Box::new(MemoryDataset::new(schema(), xs.iter().map(|&x| rec(x)).collect()))
+    }
+
+    fn xs_of(log: &DatasetLog) -> Vec<i64> {
+        let mut v: Vec<i64> =
+            log.collect_records().unwrap().iter().map(|r| r.num(0) as i64).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn base_only_passes_through() {
+        let log = DatasetLog::new(mem(&[1.0, 2.0, 3.0]), IoStats::new());
+        assert_eq!(log.len(), 3);
+        assert_eq!(xs_of(&log), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn insertions_concatenate() {
+        let mut log = DatasetLog::new(mem(&[1.0]), IoStats::new());
+        log.push_insertions(mem(&[2.0, 3.0])).unwrap();
+        log.push_insertions(mem(&[4.0])).unwrap();
+        assert_eq!(log.len(), 4);
+        assert_eq!(xs_of(&log), vec![1, 2, 3, 4]);
+        assert_eq!(log.n_chunks(), 3);
+    }
+
+    #[test]
+    fn deletions_remove_by_content_with_multiplicity() {
+        let mut log = DatasetLog::new(mem(&[5.0, 5.0, 5.0, 6.0]), IoStats::new());
+        log.push_deletions(&*mem(&[5.0, 5.0])).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(xs_of(&log), vec![5, 6]);
+        assert_eq!(log.n_deletions(), 2);
+    }
+
+    #[test]
+    fn delete_then_insert_same_content_nets_out() {
+        let mut log = DatasetLog::new(mem(&[1.0, 2.0]), IoStats::new());
+        log.push_deletions(&*mem(&[2.0])).unwrap();
+        log.push_insertions(mem(&[2.0])).unwrap();
+        // One of the two content-equal 2.0 records is suppressed.
+        assert_eq!(log.len(), 2);
+        assert_eq!(xs_of(&log), vec![1, 2]);
+    }
+
+    #[test]
+    fn unmatched_deletion_is_an_error_at_scan_end() {
+        let mut log = DatasetLog::new(mem(&[1.0]), IoStats::new());
+        log.push_deletions(&*mem(&[9.0])).unwrap();
+        let results: Vec<_> = log.scan().unwrap().collect();
+        assert!(results.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let other = Schema::shared(vec![Attribute::numeric("x"), Attribute::numeric("y")], 2)
+            .unwrap();
+        let chunk = Box::new(MemoryDataset::new(
+            other,
+            vec![Record::new(vec![Field::Num(0.0), Field::Num(0.0)], 0)],
+        ));
+        let mut log = DatasetLog::new(mem(&[1.0]), IoStats::new());
+        assert!(log.push_insertions(chunk.clone()).is_err());
+        assert!(log.push_deletions(&*chunk).is_err());
+    }
+
+    #[test]
+    fn rescans_are_independent() {
+        let mut log = DatasetLog::new(mem(&[1.0, 2.0]), IoStats::new());
+        log.push_deletions(&*mem(&[1.0])).unwrap();
+        assert_eq!(xs_of(&log), vec![2]);
+        assert_eq!(xs_of(&log), vec![2], "second scan sees the same logical contents");
+    }
+
+    #[test]
+    fn compaction_materializes_net_contents() {
+        let dir = std::env::temp_dir().join("boat-log-compact");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.boat");
+        let mut log = DatasetLog::new(mem(&[1.0, 2.0, 3.0]), IoStats::new());
+        log.push_insertions(mem(&[4.0, 5.0])).unwrap();
+        log.push_deletions(&*mem(&[2.0, 5.0])).unwrap();
+        let compacted = log.compact_to(&path, IoStats::new()).unwrap();
+        assert_eq!(compacted.len(), 3);
+        let mut xs: Vec<i64> = compacted
+            .collect_records()
+            .unwrap()
+            .iter()
+            .map(|r| r.num(0) as i64)
+            .collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![1, 3, 4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn log_scan_counts_one_logical_scan() {
+        let stats = IoStats::new();
+        let mut log = DatasetLog::new(mem(&[1.0]), stats.clone());
+        log.push_insertions(mem(&[2.0])).unwrap();
+        log.collect_records().unwrap();
+        assert_eq!(stats.snapshot().scans, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Attribute schemas.
+//!
+//! Following the paper's §2.1: a training record has predictor attributes
+//! `X_1 … X_m` — each *numeric* (ordered, splits of the form `X <= x`) or
+//! *categorical* (unordered finite domain, splits of the form `X ∈ Y`) — and
+//! one distinguished *class label* attribute with domain `{0, …, k-1}`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a predictor attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// A numeric (ordered) attribute; values are `f64`, splits are `X <= x`.
+    Numeric,
+    /// A categorical attribute with category codes `0..cardinality`;
+    /// splits are `X ∈ Y` for a subset `Y` of the codes.
+    Categorical {
+        /// Number of distinct categories. Must be `>= 2` and `<= 64` (the
+        /// splitting-subset representation is a 64-bit set).
+        cardinality: u32,
+    },
+}
+
+impl AttrType {
+    /// Whether this is a numeric attribute.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Numeric)
+    }
+
+    /// Whether this is a categorical attribute.
+    pub fn is_categorical(self) -> bool {
+        matches!(self, AttrType::Categorical { .. })
+    }
+
+    /// The categorical cardinality, if categorical.
+    pub fn cardinality(self) -> Option<u32> {
+        match self {
+            AttrType::Numeric => None,
+            AttrType::Categorical { cardinality } => Some(cardinality),
+        }
+    }
+}
+
+/// One named predictor attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    ty: AttrType,
+}
+
+impl Attribute {
+    /// Create a numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), ty: AttrType::Numeric }
+    }
+
+    /// Create a categorical attribute with the given number of categories.
+    pub fn categorical(name: impl Into<String>, cardinality: u32) -> Self {
+        Attribute { name: name.into(), ty: AttrType::Categorical { cardinality } }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's type.
+    pub fn ty(&self) -> AttrType {
+        self.ty
+    }
+}
+
+/// A full dataset schema: the ordered predictor attributes plus the number
+/// of class labels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    n_classes: u16,
+}
+
+impl Schema {
+    /// Build a schema. Fails if there are no attributes, fewer than two
+    /// classes, or a categorical attribute has cardinality outside `2..=64`.
+    pub fn new(attributes: Vec<Attribute>, n_classes: u16) -> crate::Result<Self> {
+        if attributes.is_empty() {
+            return Err(crate::DataError::Schema("schema needs at least one attribute".into()));
+        }
+        if n_classes < 2 {
+            return Err(crate::DataError::Schema("schema needs at least two classes".into()));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if let AttrType::Categorical { cardinality } = a.ty {
+                if !(2..=64).contains(&cardinality) {
+                    return Err(crate::DataError::Schema(format!(
+                        "attribute {i} ({}) has cardinality {cardinality}, expected 2..=64",
+                        a.name
+                    )));
+                }
+            }
+        }
+        Ok(Schema { attributes, n_classes })
+    }
+
+    /// Build a schema wrapped in an [`Arc`], the form most APIs consume.
+    pub fn shared(attributes: Vec<Attribute>, n_classes: u16) -> crate::Result<Arc<Self>> {
+        Self::new(attributes, n_classes).map(Arc::new)
+    }
+
+    /// Number of predictor attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of class labels (`k` in the paper).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes as usize
+    }
+
+    /// The attribute at position `idx`.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// All attributes, in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Indices of the numeric attributes.
+    pub fn numeric_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attributes.iter().enumerate().filter(|(_, a)| a.ty.is_numeric()).map(|(i, _)| i)
+    }
+
+    /// Indices of the categorical attributes.
+    pub fn categorical_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.attributes.iter().enumerate().filter(|(_, a)| a.ty.is_categorical()).map(|(i, _)| i)
+    }
+
+    /// Width in bytes of one encoded record (see [`crate::codec`]): 8 bytes
+    /// per numeric field, 4 per categorical field, 2 for the class label.
+    pub fn record_width(&self) -> usize {
+        let fields: usize = self
+            .attributes
+            .iter()
+            .map(|a| if a.ty.is_numeric() { 8 } else { 4 })
+            .sum();
+        fields + 2
+    }
+
+    /// Look up an attribute index by name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema({} classes; ", self.n_classes)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match a.ty {
+                AttrType::Numeric => write!(f, "{}: num", a.name)?,
+                AttrType::Categorical { cardinality } => {
+                    write!(f, "{}: cat({cardinality})", a.name)?
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::numeric("age"),
+                Attribute::categorical("elevel", 5),
+                Attribute::numeric("salary"),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.n_attributes(), 3);
+        assert_eq!(s.n_classes(), 2);
+        assert_eq!(s.attribute(0).name(), "age");
+        assert!(s.attribute(0).ty().is_numeric());
+        assert!(s.attribute(1).ty().is_categorical());
+        assert_eq!(s.attribute(1).ty().cardinality(), Some(5));
+        assert_eq!(s.attr_index("salary"), Some(2));
+        assert_eq!(s.attr_index("nope"), None);
+    }
+
+    #[test]
+    fn attr_type_partitions() {
+        let s = sample();
+        assert_eq!(s.numeric_attrs().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(s.categorical_attrs().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn record_width_counts_field_bytes() {
+        let s = sample();
+        // 8 (age) + 4 (elevel) + 8 (salary) + 2 (label)
+        assert_eq!(s.record_width(), 22);
+    }
+
+    #[test]
+    fn rejects_empty_attributes() {
+        assert!(Schema::new(vec![], 2).is_err());
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        assert!(Schema::new(vec![Attribute::numeric("x")], 1).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_cardinality() {
+        assert!(Schema::new(vec![Attribute::categorical("c", 65)], 2).is_err());
+        assert!(Schema::new(vec![Attribute::categorical("c", 1)], 2).is_err());
+        assert!(Schema::new(vec![Attribute::categorical("c", 64)], 2).is_ok());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample().to_string();
+        assert!(s.contains("age: num"));
+        assert!(s.contains("elevel: cat(5)"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Memory-budgeted record buffers with transparent spilling.
+//!
+//! The cleanup phase of BOAT parks, at each node `n`, the tuples that fall
+//! inside the node's confidence interval (the paper's set `S_n`). These sets
+//! are usually small, but the paper notes its implementation "writes
+//! temporary files to disk to be truly scalable" (§3.3). [`SpillBuffer`]
+//! reproduces that: records are kept in memory up to a budget and appended to
+//! a private temporary file beyond it; iteration is transparent either way.
+
+use crate::codec;
+use crate::iostats::IoStats;
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::{DataError, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_temp_path() -> PathBuf {
+    let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("boat-spill-{}-{id}.tmp", std::process::id()))
+}
+
+struct SpillFile {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    n_records: u64,
+}
+
+impl SpillFile {
+    fn create() -> Result<Self> {
+        let path = fresh_temp_path();
+        let writer = BufWriter::with_capacity(1 << 16, File::create(&path)?);
+        Ok(SpillFile { path, writer: Some(writer), n_records: 0 })
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        self.writer = None;
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A container of records that spills to a temporary file once it exceeds a
+/// configured in-memory budget. The temporary file is deleted on drop.
+pub struct SpillBuffer {
+    schema: Arc<Schema>,
+    mem_budget: usize,
+    in_mem: Vec<Record>,
+    spill: Option<SpillFile>,
+    stats: IoStats,
+}
+
+impl SpillBuffer {
+    /// Create a buffer holding at most `mem_budget` records in memory.
+    /// A budget of 0 spills every record.
+    pub fn new(schema: Arc<Schema>, mem_budget: usize, stats: IoStats) -> Self {
+        SpillBuffer { schema, mem_budget, in_mem: Vec::new(), spill: None, stats }
+    }
+
+    /// Total records held (in memory + spilled).
+    pub fn len(&self) -> u64 {
+        self.in_mem.len() as u64 + self.spill.as_ref().map_or(0, |s| s.n_records)
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records that have overflowed to disk.
+    pub fn spilled_len(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.n_records)
+    }
+
+    /// The schema of the buffered records.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: Record) -> Result<()> {
+        if self.in_mem.len() < self.mem_budget {
+            self.in_mem.push(record);
+            return Ok(());
+        }
+        if self.spill.is_none() {
+            self.spill = Some(SpillFile::create()?);
+        }
+        let spill = self.spill.as_mut().expect("just created");
+        let writer = spill.writer.as_mut().expect("writer open while buffer is live");
+        let mut buf = Vec::with_capacity(self.schema.record_width());
+        codec::encode_into(&self.schema, &record, &mut buf)?;
+        writer.write_all(&buf)?;
+        spill.n_records += 1;
+        self.stats.record_write(1, buf.len() as u64);
+        Ok(())
+    }
+
+    /// Append many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = Record>) -> Result<()> {
+        for r in records {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over all records: the in-memory prefix first, then the
+    /// spilled suffix (read back from the temporary file).
+    pub fn iter(&mut self) -> Result<impl Iterator<Item = Result<Record>> + '_> {
+        let spilled: Option<(BufReader<File>, u64)> = match self.spill.as_mut() {
+            Some(s) => {
+                s.flush()?;
+                Some((BufReader::with_capacity(1 << 16, File::open(&s.path)?), s.n_records))
+            }
+            None => None,
+        };
+        let schema = self.schema.clone();
+        let stats = self.stats.clone();
+        let width = schema.record_width();
+        let mem_iter = self.in_mem.iter().map(|r| Ok(r.clone()));
+        let spill_iter = SpillIter { reader: spilled, schema, buf: vec![0u8; width], stats };
+        Ok(mem_iter.chain(spill_iter))
+    }
+
+    /// Materialize every record into a vector.
+    pub fn to_vec(&mut self) -> Result<Vec<Record>> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for r in self.iter()? {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Remove one record equal to `target` (by value), if present. Returns
+    /// whether a record was removed. Used by incremental *deletions*: a
+    /// deleted tuple that was parked in `S_n` must leave the buffer.
+    ///
+    /// Removal from the spilled region rewrites the temporary file; parked
+    /// sets are small by construction, so this stays cheap.
+    pub fn remove_one(&mut self, target: &Record) -> Result<bool> {
+        if let Some(pos) = self.in_mem.iter().position(|r| r == target) {
+            self.in_mem.swap_remove(pos);
+            return Ok(true);
+        }
+        if self.spill.is_none() {
+            return Ok(false);
+        }
+        let mut all: Vec<Record> = Vec::with_capacity(self.spilled_len() as usize);
+        {
+            let s = self.spill.as_mut().expect("checked above");
+            s.flush()?;
+            let mut reader = BufReader::with_capacity(1 << 16, File::open(&s.path)?);
+            let mut buf = vec![0u8; self.schema.record_width()];
+            for _ in 0..s.n_records {
+                reader.read_exact(&mut buf)?;
+                all.push(codec::decode(&self.schema, &buf)?);
+            }
+        }
+        let Some(pos) = all.iter().position(|r| r == target) else {
+            return Ok(false);
+        };
+        all.swap_remove(pos);
+        self.spill = None; // drops + deletes the old file
+        if !all.is_empty() {
+            let mut fresh = SpillFile::create()?;
+            {
+                let writer = fresh.writer.as_mut().expect("writer open");
+                let mut buf = Vec::with_capacity(self.schema.record_width());
+                for r in &all {
+                    buf.clear();
+                    codec::encode_into(&self.schema, r, &mut buf)?;
+                    writer.write_all(&buf)?;
+                }
+            }
+            fresh.n_records = all.len() as u64;
+            fresh.flush()?;
+            self.spill = Some(fresh);
+        }
+        Ok(true)
+    }
+
+    /// Drop all contents (and the temporary file, if any).
+    pub fn clear(&mut self) {
+        self.in_mem.clear();
+        self.spill = None;
+    }
+}
+
+impl std::fmt::Debug for SpillBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillBuffer")
+            .field("len", &self.len())
+            .field("in_mem", &self.in_mem.len())
+            .field("spilled", &self.spilled_len())
+            .field("budget", &self.mem_budget)
+            .finish()
+    }
+}
+
+struct SpillIter {
+    reader: Option<(BufReader<File>, u64)>,
+    schema: Arc<Schema>,
+    buf: Vec<u8>,
+    stats: IoStats,
+}
+
+impl Iterator for SpillIter {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (reader, remaining) = self.reader.as_mut()?;
+        if *remaining == 0 {
+            return None;
+        }
+        *remaining -= 1;
+        if let Err(e) = reader.read_exact(&mut self.buf) {
+            *remaining = 0;
+            return Some(Err(DataError::Io(e)));
+        }
+        self.stats.record_read(1, self.buf.len() as u64);
+        Some(codec::decode(&self.schema, &self.buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Field;
+    use crate::schema::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(vec![Attribute::numeric("x")], 2).unwrap()
+    }
+
+    fn rec(x: f64) -> Record {
+        Record::new(vec![Field::Num(x)], if x as i64 % 2 == 0 { 0 } else { 1 })
+    }
+
+    #[test]
+    fn stays_in_memory_under_budget() {
+        let mut b = SpillBuffer::new(schema(), 10, IoStats::new());
+        for i in 0..10 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.spilled_len(), 0);
+        let v = b.to_vec().unwrap();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[3], rec(3.0));
+    }
+
+    #[test]
+    fn spills_beyond_budget_and_preserves_order() {
+        let mut b = SpillBuffer::new(schema(), 4, IoStats::new());
+        for i in 0..20 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        assert_eq!(b.len(), 20);
+        assert_eq!(b.spilled_len(), 16);
+        let v = b.to_vec().unwrap();
+        let xs: Vec<f64> = v.iter().map(|r| r.num(0)).collect();
+        assert_eq!(xs, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn budget_zero_spills_everything() {
+        let mut b = SpillBuffer::new(schema(), 0, IoStats::new());
+        for i in 0..5 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        assert_eq!(b.spilled_len(), 5);
+        assert_eq!(b.to_vec().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn iterate_push_iterate_again() {
+        let mut b = SpillBuffer::new(schema(), 2, IoStats::new());
+        for i in 0..4 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        assert_eq!(b.to_vec().unwrap().len(), 4);
+        b.push(rec(99.0)).unwrap();
+        let v = b.to_vec().unwrap();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.last().unwrap().num(0), 99.0);
+    }
+
+    #[test]
+    fn remove_one_from_memory_and_disk() {
+        let mut b = SpillBuffer::new(schema(), 2, IoStats::new());
+        for i in 0..6 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        // in_mem = [0,1], spilled = [2,3,4,5]
+        assert!(b.remove_one(&rec(1.0)).unwrap());
+        assert!(b.remove_one(&rec(4.0)).unwrap());
+        assert!(!b.remove_one(&rec(42.0)).unwrap());
+        let mut xs: Vec<i64> = b.to_vec().unwrap().iter().map(|r| r.num(0) as i64).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn remove_one_removes_only_one_duplicate() {
+        let mut b = SpillBuffer::new(schema(), 1, IoStats::new());
+        b.push(rec(7.0)).unwrap();
+        b.push(rec(7.0)).unwrap();
+        b.push(rec(7.0)).unwrap();
+        assert!(b.remove_one(&rec(7.0)).unwrap());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut b = SpillBuffer::new(schema(), 1, IoStats::new());
+        for i in 0..5 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        let spill_path = b.spill.as_ref().unwrap().path.clone();
+        assert!(spill_path.exists());
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!spill_path.exists(), "clear must delete the temp file");
+    }
+
+    #[test]
+    fn drop_deletes_temp_file() {
+        let path;
+        {
+            let mut b = SpillBuffer::new(schema(), 0, IoStats::new());
+            b.push(rec(1.0)).unwrap();
+            path = b.spill.as_ref().unwrap().path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn spill_io_is_counted() {
+        let stats = IoStats::new();
+        let mut b = SpillBuffer::new(schema(), 0, stats.clone());
+        for i in 0..3 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        b.to_vec().unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.records_written, 3);
+        assert_eq!(snap.records_read, 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! The paper's Figure 12 *instability* scenario.
+//!
+//! Figure 12 illustrates why impurity-based split selection can destabilize
+//! BOAT's bootstrapping: a numeric attribute with 81 values (0…80) where the
+//! impurity function has two near-tied minima, at attribute values 20 and
+//! 60. Inserting or deleting a handful of tuples makes the *global* minimum
+//! jump between the two, so bootstrap repetitions split about half the time
+//! near 20 and half the time near 60, the subtrees disagree, and tree growth
+//! stops at that node.
+//!
+//! [`two_minima_dataset`] constructs that situation deterministically: class
+//! composition is pure group-0 below 20, perfectly mixed on \[20, 60), and
+//! pure group-1 from 60 up. With the Gini index, splitting at 20 and
+//! splitting at 60 then score within a fraction of a percent of each other,
+//! while every split in between scores visibly worse. A `tilt` parameter
+//! nudges the balance so either side can be made the true global minimum.
+
+use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
+
+/// Number of distinct attribute values (0 ..= 80), as in the paper's figure.
+pub const N_VALUES: u32 = 81;
+
+/// Build the two-minima dataset.
+///
+/// * `per_value` — tuples per attribute value (the figure's "nearly the same
+///   number of tuples inside each interval"). Must be even so the middle
+///   region can be perfectly mixed.
+/// * `tilt` — number of *extra* class-0 tuples added at attribute value 70
+///   (inside the otherwise-pure high region). They make the split at 60
+///   slightly impure on its right side, so the split at 20 becomes the
+///   strict global minimum — while staying within bootstrap-noise distance
+///   of the split at 60, which is exactly the bimodal situation the paper
+///   describes.
+///
+/// The single predictor attribute is numeric with integer values 0…80.
+pub fn two_minima_dataset(per_value: usize, tilt: usize) -> MemoryDataset {
+    assert!(per_value >= 2 && per_value.is_multiple_of(2), "per_value must be even and >= 2");
+    let schema = Schema::shared(vec![Attribute::numeric("x")], 2)
+        .expect("instability schema is statically valid");
+    let mut records = Vec::with_capacity(per_value * N_VALUES as usize + tilt);
+    for x in 0..N_VALUES {
+        for i in 0..per_value {
+            let label: u16 = if x < 20 {
+                0
+            } else if x < 60 {
+                (i % 2) as u16 // perfectly mixed
+            } else {
+                1
+            };
+            records.push(Record::new(vec![Field::Num(x as f64)], label));
+        }
+    }
+    for _ in 0..tilt {
+        records.push(Record::new(vec![Field::Num(70.0)], 0));
+    }
+    MemoryDataset::new(schema, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_data::dataset::RecordSource;
+
+    /// Gini impurity of splitting `records` at `x <= split`.
+    fn gini_at(records: &[Record], split: f64) -> f64 {
+        let (mut l0, mut l1, mut r0, mut r1) = (0f64, 0f64, 0f64, 0f64);
+        for r in records {
+            match (r.num(0) <= split, r.label()) {
+                (true, 0) => l0 += 1.0,
+                (true, _) => l1 += 1.0,
+                (false, 0) => r0 += 1.0,
+                (false, _) => r1 += 1.0,
+            }
+        }
+        let n = l0 + l1 + r0 + r1;
+        let gini = |a: f64, b: f64| {
+            let m = a + b;
+            if m == 0.0 {
+                0.0
+            } else {
+                2.0 * (a / m) * (b / m) * (m / n)
+            }
+        };
+        gini(l0, l1) + gini(r0, r1)
+    }
+
+    #[test]
+    fn minima_sit_at_20_and_60_and_nearly_tie() {
+        let ds = two_minima_dataset(10, 0);
+        let recs = ds.records();
+        // The candidate split "x <= 19" isolates the pure low region; the
+        // candidate "x <= 59" isolates the pure high region.
+        let at_20 = gini_at(recs, 19.0);
+        let at_60 = gini_at(recs, 59.0);
+        let mid = gini_at(recs, 40.0);
+        assert!((at_20 - at_60).abs() < 0.01, "minima should nearly tie: {at_20} vs {at_60}");
+        assert!(mid > at_20 + 0.02, "the middle must be clearly worse: {mid} vs {at_20}");
+        // And both minima beat every other candidate by being local minima
+        // of the sweep.
+        let at_10 = gini_at(recs, 10.0);
+        let at_70 = gini_at(recs, 70.0);
+        assert!(at_10 > at_20 && at_70 > at_60);
+    }
+
+    #[test]
+    fn tilt_breaks_the_tie_towards_20() {
+        let ds = two_minima_dataset(10, 6);
+        let recs = ds.records();
+        let at_20 = gini_at(recs, 19.0);
+        let at_60 = gini_at(recs, 59.0);
+        assert!(at_20 < at_60, "positive tilt must favour the low split");
+        assert!(at_60 - at_20 < 0.01, "…but only slightly, to stay inside bootstrap noise");
+    }
+
+    #[test]
+    fn record_count_is_as_documented() {
+        let ds = two_minima_dataset(4, 3);
+        assert_eq!(ds.len(), 4 * 81 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_per_value_rejected() {
+        two_minima_dataset(3, 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! AVC-sets and AVC-groups \[GRG98\].
+//!
+//! The RainForest framework observed that split selection never needs the
+//! tuples themselves — only, per predictor attribute, the count of tuples
+//! for each (attribute value, class label) pair: the **AVC-set** of the
+//! attribute at a node. The collection of all attributes' AVC-sets at a node
+//! is its **AVC-group**. BOAT's categorical verification uses the same
+//! structure, and the in-memory builder evaluates splits through it too, so
+//! every algorithm derives splits from *identical counts* — which is what
+//! makes their outputs bit-identical.
+
+use crate::catset::CatSet;
+use boat_data::{AttrType, Record, Schema};
+use std::collections::BTreeMap;
+
+/// A totally-ordered wrapper for finite `f64` attribute values
+/// (via `f64::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// AVC-set of a categorical attribute: per-(category, class) counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatAvc {
+    cardinality: u32,
+    n_classes: usize,
+    counts: Vec<u64>, // cardinality × n_classes, row-major by category
+}
+
+impl CatAvc {
+    /// An empty AVC-set for an attribute with `cardinality` categories.
+    pub fn new(cardinality: u32, n_classes: usize) -> Self {
+        CatAvc { cardinality, n_classes, counts: vec![0; cardinality as usize * n_classes] }
+    }
+
+    /// Count one tuple with category `cat` and class `label`.
+    #[inline]
+    pub fn add(&mut self, cat: u32, label: u16) {
+        self.counts[cat as usize * self.n_classes + label as usize] += 1;
+    }
+
+    /// Remove one previously-counted tuple (incremental deletions).
+    #[inline]
+    pub fn sub(&mut self, cat: u32, label: u16) {
+        let cell = &mut self.counts[cat as usize * self.n_classes + label as usize];
+        debug_assert!(*cell > 0, "CatAvc::sub below zero");
+        *cell -= 1;
+    }
+
+    /// The per-class counts of one category.
+    #[inline]
+    pub fn counts_for(&self, cat: u32) -> &[u64] {
+        let base = cat as usize * self.n_classes;
+        &self.counts[base..base + self.n_classes]
+    }
+
+    /// Number of categories in the domain.
+    pub fn cardinality(&self) -> u32 {
+        self.cardinality
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Categories with at least one tuple.
+    pub fn observed(&self) -> CatSet {
+        CatSet::from_iter(
+            (0..self.cardinality).filter(|&c| self.counts_for(c).iter().any(|&x| x > 0)),
+        )
+    }
+
+    /// Number of (value, class) cells with the domain's full cardinality —
+    /// the RainForest memory-accounting unit.
+    pub fn n_entries(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// AVC-set of a numeric attribute: per-(distinct value, class) counts, value
+/// ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumAvc {
+    n_classes: usize,
+    map: BTreeMap<OrdF64, Vec<u64>>,
+}
+
+impl NumAvc {
+    /// An empty numeric AVC-set.
+    pub fn new(n_classes: usize) -> Self {
+        NumAvc { n_classes, map: BTreeMap::new() }
+    }
+
+    /// Count one tuple with value `v` and class `label`.
+    pub fn add(&mut self, v: f64, label: u16) {
+        self.map.entry(OrdF64(v)).or_insert_with(|| vec![0; self.n_classes])
+            [label as usize] += 1;
+    }
+
+    /// Remove one previously-counted tuple; drops the entry when its counts
+    /// reach zero (so `n_entries` reflects live distinct values).
+    pub fn sub(&mut self, v: f64, label: u16) {
+        let entry = self.map.get_mut(&OrdF64(v)).expect("NumAvc::sub of unseen value");
+        debug_assert!(entry[label as usize] > 0, "NumAvc::sub below zero");
+        entry[label as usize] -= 1;
+        if entry.iter().all(|&c| c == 0) {
+            self.map.remove(&OrdF64(v));
+        }
+    }
+
+    /// Distinct values in ascending order with their per-class counts.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[u64])> {
+        self.map.iter().map(|(k, v)| (k.0, v.as_slice()))
+    }
+
+    /// Number of distinct values.
+    pub fn n_distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of (value, class) cells — the RainForest memory-accounting
+    /// unit.
+    pub fn n_entries(&self) -> usize {
+        self.map.len() * self.n_classes
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// One attribute's AVC-set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrAvc {
+    /// Numeric attribute.
+    Num(NumAvc),
+    /// Categorical attribute.
+    Cat(CatAvc),
+}
+
+impl AttrAvc {
+    /// Memory-accounting cells.
+    pub fn n_entries(&self) -> usize {
+        match self {
+            AttrAvc::Num(a) => a.n_entries(),
+            AttrAvc::Cat(a) => a.n_entries(),
+        }
+    }
+}
+
+/// The AVC-group of a node: one AVC-set per predictor attribute plus the
+/// node's class totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvcGroup {
+    attrs: Vec<AttrAvc>,
+    class_totals: Vec<u64>,
+}
+
+impl AvcGroup {
+    /// An empty AVC-group for `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        let attrs = schema
+            .attributes()
+            .iter()
+            .map(|a| match a.ty() {
+                AttrType::Numeric => AttrAvc::Num(NumAvc::new(schema.n_classes())),
+                AttrType::Categorical { cardinality } => {
+                    AttrAvc::Cat(CatAvc::new(cardinality, schema.n_classes()))
+                }
+            })
+            .collect();
+        AvcGroup { attrs, class_totals: vec![0; schema.n_classes()] }
+    }
+
+    /// Build from a set of records.
+    pub fn from_records<'a>(
+        schema: &Schema,
+        records: impl IntoIterator<Item = &'a Record>,
+    ) -> Self {
+        let mut g = AvcGroup::new(schema);
+        for r in records {
+            g.add_record(r);
+        }
+        g
+    }
+
+    /// Count one record into every attribute's AVC-set.
+    pub fn add_record(&mut self, r: &Record) {
+        self.class_totals[r.label() as usize] += 1;
+        for (i, avc) in self.attrs.iter_mut().enumerate() {
+            match avc {
+                AttrAvc::Num(a) => a.add(r.num(i), r.label()),
+                AttrAvc::Cat(a) => a.add(r.cat(i), r.label()),
+            }
+        }
+    }
+
+    /// Remove one previously-counted record.
+    pub fn sub_record(&mut self, r: &Record) {
+        debug_assert!(self.class_totals[r.label() as usize] > 0);
+        self.class_totals[r.label() as usize] -= 1;
+        for (i, avc) in self.attrs.iter_mut().enumerate() {
+            match avc {
+                AttrAvc::Num(a) => a.sub(r.num(i), r.label()),
+                AttrAvc::Cat(a) => a.sub(r.cat(i), r.label()),
+            }
+        }
+    }
+
+    /// Per-class totals of the counted records (the paper's `N^i`).
+    pub fn class_totals(&self) -> &[u64] {
+        &self.class_totals
+    }
+
+    /// Total records counted (`|F_n|`).
+    pub fn n_records(&self) -> u64 {
+        self.class_totals.iter().sum()
+    }
+
+    /// The AVC-set of attribute `attr`.
+    pub fn attr(&self, attr: usize) -> &AttrAvc {
+        &self.attrs[attr]
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Total memory-accounting cells across all AVC-sets (the RainForest
+    /// "AVC-group size" an algorithm must budget for).
+    pub fn n_entries(&self) -> usize {
+        self.attrs.iter().map(|a| a.n_entries()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_data::{Attribute, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::numeric("x"), Attribute::categorical("c", 3)], 2).unwrap()
+    }
+
+    fn rec(x: f64, c: u32, label: u16) -> Record {
+        Record::new(vec![Field::Num(x), Field::Cat(c)], label)
+    }
+
+    #[test]
+    fn group_counts_records() {
+        let s = schema();
+        let rs = vec![rec(1.0, 0, 0), rec(1.0, 1, 1), rec(2.0, 0, 1), rec(3.0, 2, 0)];
+        let g = AvcGroup::from_records(&s, &rs);
+        assert_eq!(g.class_totals(), &[2, 2]);
+        assert_eq!(g.n_records(), 4);
+        let AttrAvc::Num(num) = g.attr(0) else { panic!("attr 0 numeric") };
+        let entries: Vec<(f64, Vec<u64>)> =
+            num.iter().map(|(v, c)| (v, c.to_vec())).collect();
+        assert_eq!(
+            entries,
+            vec![(1.0, vec![1, 1]), (2.0, vec![0, 1]), (3.0, vec![1, 0])]
+        );
+        let AttrAvc::Cat(cat) = g.attr(1) else { panic!("attr 1 categorical") };
+        assert_eq!(cat.counts_for(0), &[1, 1]);
+        assert_eq!(cat.counts_for(1), &[0, 1]);
+        assert_eq!(cat.counts_for(2), &[1, 0]);
+        assert_eq!(cat.observed(), CatSet::from_iter([0, 1, 2]));
+    }
+
+    #[test]
+    fn sub_record_inverts_add() {
+        let s = schema();
+        let rs = vec![rec(1.0, 0, 0), rec(2.0, 1, 1), rec(2.0, 1, 1)];
+        let mut g = AvcGroup::from_records(&s, &rs);
+        let baseline = AvcGroup::from_records(&s, &rs[..2]);
+        g.sub_record(&rs[2]);
+        assert_eq!(g, baseline);
+    }
+
+    #[test]
+    fn num_avc_drops_empty_entries() {
+        let mut a = NumAvc::new(2);
+        a.add(5.0, 0);
+        a.add(5.0, 1);
+        assert_eq!(a.n_distinct(), 1);
+        a.sub(5.0, 0);
+        assert_eq!(a.n_distinct(), 1);
+        a.sub(5.0, 1);
+        assert_eq!(a.n_distinct(), 0);
+    }
+
+    #[test]
+    fn num_avc_iterates_in_value_order() {
+        let mut a = NumAvc::new(2);
+        for v in [3.0, -1.0, 2.5, -1.0] {
+            a.add(v, 0);
+        }
+        let vals: Vec<f64> = a.iter().map(|(v, _)| v).collect();
+        assert_eq!(vals, vec![-1.0, 2.5, 3.0]);
+        assert_eq!(a.n_distinct(), 3);
+    }
+
+    #[test]
+    fn entry_accounting() {
+        let s = schema();
+        let rs = vec![rec(1.0, 0, 0), rec(2.0, 1, 1)];
+        let g = AvcGroup::from_records(&s, &rs);
+        // numeric: 2 distinct × 2 classes; categorical: 3 cats × 2 classes.
+        assert_eq!(g.n_entries(), 4 + 6);
+    }
+
+    #[test]
+    fn cat_avc_observed_skips_empty_categories() {
+        let mut a = CatAvc::new(4, 2);
+        a.add(1, 0);
+        a.add(3, 1);
+        assert_eq!(a.observed(), CatSet::from_iter([1, 3]));
+        a.sub(3, 1);
+        assert_eq!(a.observed(), CatSet::from_iter([1]));
+    }
+
+    #[test]
+    fn ordf64_total_order_handles_negatives() {
+        let mut v = [OrdF64(1.0), OrdF64(-2.0), OrdF64(0.0), OrdF64(-0.0)];
+        v.sort();
+        assert_eq!(v.map(|o| o.0), [-2.0, -0.0, 0.0, 1.0]);
+    }
+}

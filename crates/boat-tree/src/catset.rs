@@ -1,0 +1,179 @@
+//! Small category sets for splitting subsets.
+//!
+//! A categorical split predicate is `X ∈ Y` for a subset `Y` of the
+//! attribute's categories (paper §2.1). Schemas cap categorical cardinality
+//! at 64, so a subset is a 64-bit mask.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of category codes (each `< 64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CatSet(u64);
+
+impl CatSet {
+    /// The empty set.
+    pub const EMPTY: CatSet = CatSet(0);
+
+    /// Build from a raw bitmask.
+    pub fn from_mask(mask: u64) -> Self {
+        CatSet(mask)
+    }
+
+    /// Build from an iterator of category codes. (Deliberately named like
+    /// `FromIterator::from_iter`; a `FromIterator` impl would conflict with
+    /// the inherent constructor's doc-visibility, so the inherent form is
+    /// kept.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(codes: impl IntoIterator<Item = u32>) -> Self {
+        let mut s = CatSet::EMPTY;
+        for c in codes {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// The raw bitmask.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Whether `code` is a member.
+    #[inline]
+    pub fn contains(self, code: u32) -> bool {
+        debug_assert!(code < 64);
+        self.0 & (1u64 << code) != 0
+    }
+
+    /// Add `code`.
+    #[inline]
+    pub fn insert(&mut self, code: u32) {
+        debug_assert!(code < 64);
+        self.0 |= 1u64 << code;
+    }
+
+    /// Remove `code`.
+    #[inline]
+    pub fn remove(&mut self, code: u32) {
+        debug_assert!(code < 64);
+        self.0 &= !(1u64 << code);
+    }
+
+    /// Number of members.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Members in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut rest = self.0;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let c = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(c)
+            }
+        })
+    }
+
+    /// The complement within a universe set.
+    pub fn complement_within(self, universe: CatSet) -> CatSet {
+        CatSet(universe.0 & !self.0)
+    }
+
+    /// Canonical representative of the split `{Y, universe∖Y}`: a subset and
+    /// its complement induce the same partition (with children swapped), so
+    /// every algorithm in this workspace normalizes to whichever mask is
+    /// numerically smaller. This makes categorical splits comparable across
+    /// algorithms.
+    pub fn canonicalize(self, universe: CatSet) -> CatSet {
+        let comp = self.complement_within(universe);
+        if comp.0 < self.0 {
+            comp
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for CatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CatSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(63);
+        assert!(s.contains(3));
+        assert!(s.contains(63));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let s = CatSet::from_iter([5, 1, 9]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn complement_within_universe() {
+        let universe = CatSet::from_iter([0, 1, 2, 3]);
+        let s = CatSet::from_iter([1, 3]);
+        assert_eq!(s.complement_within(universe), CatSet::from_iter([0, 2]));
+    }
+
+    #[test]
+    fn canonicalize_picks_smaller_mask() {
+        let universe = CatSet::from_iter([0, 1, 2]);
+        let big = CatSet::from_iter([1, 2]); // mask 0b110
+        let small = CatSet::from_iter([0]); // mask 0b001
+        assert_eq!(big.canonicalize(universe), small);
+        assert_eq!(small.canonicalize(universe), small);
+    }
+
+    #[test]
+    fn canonicalize_is_involution_invariant() {
+        let universe = CatSet::from_iter([0, 2, 4, 6]);
+        for mask in 0..16u64 {
+            // Spread the 4-bit mask over the universe members.
+            let s = CatSet::from_iter(
+                universe.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| c),
+            );
+            let canon = s.canonicalize(universe);
+            assert_eq!(canon.canonicalize(universe), canon);
+            assert_eq!(s.complement_within(universe).canonicalize(universe), canon);
+        }
+    }
+
+    #[test]
+    fn display_lists_members() {
+        assert_eq!(CatSet::from_iter([2, 0]).to_string(), "{0,2}");
+        assert_eq!(CatSet::EMPTY.to_string(), "{}");
+    }
+}

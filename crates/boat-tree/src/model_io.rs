@@ -1,0 +1,221 @@
+//! Compact binary serialization for trained trees.
+//!
+//! A classifier that cannot be saved is a benchmark, not a product. The
+//! format is a versioned, preorder encoding of the reachable tree:
+//!
+//! ```text
+//! magic "BOATTREE" | version u32 | n_classes u16 | preorder nodes…
+//! node := tag u8 (0 = leaf, 1 = internal)
+//!         class_counts (n_classes × u64)
+//!         internal only: attr u32, pred_tag u8 (0 = NumLe, 1 = CatIn),
+//!                        operand (f64 bits | u64 mask), left subtree,
+//!                        right subtree
+//! ```
+//!
+//! Round-trips are exact (split points restored bit-for-bit), so a
+//! serialized tree still satisfies the workspace's structural-equality
+//! guarantees.
+
+use crate::catset::CatSet;
+use crate::model::{NodeKind, Predicate, Split, Tree};
+use boat_data::{DataError, Result};
+
+const MAGIC: &[u8; 8] = b"BOATTREE";
+const VERSION: u32 = 1;
+
+impl Tree {
+    /// Serialize the reachable tree to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let root = self.root();
+        let k = self.node(root).class_counts.len();
+        let mut out = Vec::with_capacity(16 + self.n_nodes() * (2 + k * 8));
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(k as u16).to_le_bytes());
+        self.write_node(root, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: crate::model::NodeId, out: &mut Vec<u8>) {
+        let node = self.node(id);
+        match &node.kind {
+            NodeKind::Leaf => out.push(0),
+            NodeKind::Internal { .. } => out.push(1),
+        }
+        for &c in &node.class_counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        if let NodeKind::Internal { split, left, right } = &node.kind {
+            out.extend_from_slice(&(split.attr as u32).to_le_bytes());
+            match split.predicate {
+                Predicate::NumLe(x) => {
+                    out.push(0);
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+                Predicate::CatIn(set) => {
+                    out.push(1);
+                    out.extend_from_slice(&set.mask().to_le_bytes());
+                }
+            }
+            self.write_node(*left, out);
+            self.write_node(*right, out);
+        }
+    }
+
+    /// Deserialize a tree previously produced by [`Tree::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Tree> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(DataError::Corrupt("not a BOATTREE blob".into()));
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(DataError::Corrupt(format!("unsupported tree version {version}")));
+        }
+        let k = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
+        if k == 0 || k > 1 << 12 {
+            return Err(DataError::Corrupt(format!("implausible class count {k}")));
+        }
+        let tree = read_node(&mut r, k)?;
+        if r.pos != bytes.len() {
+            return Err(DataError::Corrupt(format!(
+                "{} trailing bytes after the tree",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(tree)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DataError::Corrupt("truncated tree blob".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+fn read_node(r: &mut Reader<'_>, k: usize) -> Result<Tree> {
+    let tag = r.take(1)?[0];
+    let mut counts = Vec::with_capacity(k);
+    for _ in 0..k {
+        counts.push(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")));
+    }
+    match tag {
+        0 => Ok(Tree::leaf(counts)),
+        1 => {
+            let attr = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes")) as usize;
+            let pred = match r.take(1)?[0] {
+                0 => Predicate::NumLe(f64::from_bits(u64::from_le_bytes(
+                    r.take(8)?.try_into().expect("8 bytes"),
+                ))),
+                1 => Predicate::CatIn(CatSet::from_mask(u64::from_le_bytes(
+                    r.take(8)?.try_into().expect("8 bytes"),
+                ))),
+                t => return Err(DataError::Corrupt(format!("unknown predicate tag {t}"))),
+            };
+            let left = read_node(r, k)?;
+            let right = read_node(r, k)?;
+            let left_counts = left.node(left.root()).class_counts.clone();
+            let right_counts = right.node(right.root()).class_counts.clone();
+            let mut tree = Tree::leaf(counts);
+            let root = tree.root();
+            let (l, rt) =
+                tree.split_node(root, Split { attr, predicate: pred }, left_counts, right_counts);
+            tree.replace_subtree(l, &left);
+            tree.replace_subtree(rt, &right);
+            tree.compact();
+            Ok(tree)
+        }
+        t => Err(DataError::Corrupt(format!("unknown node tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grow::{GrowthLimits, TdTreeBuilder};
+    use crate::{Gini, ImpuritySelector};
+    use boat_data::{Attribute, Field, Record, Schema};
+
+    fn sample_tree() -> Tree {
+        let schema = Schema::new(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 5)],
+            3,
+        )
+        .unwrap();
+        let records: Vec<Record> = (0..300)
+            .map(|i| {
+                let x = (i % 60) as f64;
+                let c = (i % 5) as u32;
+                let label = if c == 4 { 2 } else { u16::from(x >= 30.0) };
+                Record::new(vec![Field::Num(x), Field::Cat(c)], label)
+            })
+            .collect();
+        let sel = ImpuritySelector::new(Gini);
+        TdTreeBuilder::new(&sel, GrowthLimits::default()).fit(&schema, &records)
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let tree = sample_tree();
+        let bytes = tree.to_bytes();
+        let back = Tree::from_bytes(&bytes).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn roundtrip_single_leaf() {
+        let tree = Tree::leaf(vec![3, 0, 9]);
+        let back = Tree::from_bytes(&tree.to_bytes()).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let tree = sample_tree();
+        let mut bytes = tree.to_bytes();
+        assert!(Tree::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Tree::from_bytes(&[]).is_err());
+        bytes[0] = b'X';
+        assert!(Tree::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let tree = sample_tree();
+        let mut bytes = tree.to_bytes();
+        bytes.push(7);
+        assert!(Tree::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let tree = Tree::leaf(vec![1, 1]);
+        let mut bytes = tree.to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(Tree::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn predictions_survive_roundtrip() {
+        let tree = sample_tree();
+        let back = Tree::from_bytes(&tree.to_bytes()).unwrap();
+        for i in 0..200 {
+            let r = Record::new(
+                vec![Field::Num((i % 60) as f64), Field::Cat((i % 5) as u32)],
+                0,
+            );
+            assert_eq!(tree.predict(&r), back.predict(&r));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the decision-tree substrate: impurity
+//! concavity, optimality of the categorical ordering sweep, equivalence of
+//! the numeric split fast path, determinism of the builder, and prediction
+//! consistency.
+
+use boat_data::{Attribute, Field, Record, Schema};
+use boat_tree::split::{
+    best_categorical_split, best_numeric_split, best_numeric_split_from_pairs,
+};
+use boat_tree::{
+    split_impurity, CatAvc, Entropy, Gini, GrowthLimits, Impurity, ImpuritySelector, NumAvc,
+    TdTreeBuilder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Concavity on the count lattice: for equal-total vectors a, b with
+    /// even component sums, imp((a+b)/2) >= (imp(a)+imp(b))/2.
+    #[test]
+    fn impurities_are_concave(
+        a in prop::collection::vec(0u64..500, 2..5),
+        b_seed in prop::collection::vec(0u64..500, 2..5),
+    ) {
+        let k = a.len().min(b_seed.len());
+        let a = &a[..k];
+        // Force equal totals: scale b to a's total by construction.
+        let total_a: u64 = a.iter().sum();
+        let total_b: u64 = b_seed[..k].iter().sum();
+        prop_assume!(total_a > 0 && total_b > 0);
+        // Use 2a and a+b' where b' has the same total as a (via remainder
+        // spreading); then midpoint of 2a and 2b' is exact.
+        let b: Vec<u64> = {
+            let mut b: Vec<u64> =
+                b_seed[..k].iter().map(|&x| x * total_a / total_b).collect();
+            let diff = total_a as i64 - b.iter().sum::<u64>() as i64;
+            b[0] = (b[0] as i64 + diff).max(0) as u64;
+            b
+        };
+        prop_assume!(b.iter().sum::<u64>() == total_a);
+        let a2: Vec<u64> = a.iter().map(|&x| 2 * x).collect();
+        let b2: Vec<u64> = b.iter().map(|&x| 2 * x).collect();
+        let mid: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let lhs = imp.node_impurity(&mid);
+            let rhs = 0.5 * imp.node_impurity(&a2) + 0.5 * imp.node_impurity(&b2);
+            prop_assert!(
+                lhs >= rhs - 1e-9,
+                "{} not concave: imp({mid:?})={lhs} < avg(imp({a2:?}), imp({b2:?}))={rhs}",
+                imp.name()
+            );
+        }
+    }
+
+    /// The 2-class categorical prefix sweep must match exhaustive search.
+    #[test]
+    fn categorical_ordering_sweep_is_optimal_for_two_classes(
+        counts in prop::collection::vec((0u64..30, 0u64..30), 2..=8),
+    ) {
+        let card = counts.len() as u32;
+        let mut avc = CatAvc::new(card, 2);
+        for (cat, &(c0, c1)) in counts.iter().enumerate() {
+            for _ in 0..c0 {
+                avc.add(cat as u32, 0);
+            }
+            for _ in 0..c1 {
+                avc.add(cat as u32, 1);
+            }
+        }
+        let observed: Vec<u32> = avc.observed().iter().collect();
+        prop_assume!(observed.len() >= 2);
+        let fast = best_categorical_split(0, &avc, &Gini).unwrap();
+
+        // Exhaustive minimum over all proper subsets of the observed set.
+        let totals: Vec<u64> = {
+            let mut t = vec![0u64; 2];
+            for &c in &observed {
+                for (ti, x) in t.iter_mut().zip(avc.counts_for(c)) {
+                    *ti += x;
+                }
+            }
+            t
+        };
+        let n: u64 = totals.iter().sum();
+        let mut best = f64::INFINITY;
+        for bits in 1..(1u64 << observed.len()) - 1 {
+            let mut left = vec![0u64; 2];
+            for (i, &c) in observed.iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    for (l, x) in left.iter_mut().zip(avc.counts_for(c)) {
+                        *l += x;
+                    }
+                }
+            }
+            let ln: u64 = left.iter().sum();
+            if ln == 0 || ln == n {
+                continue;
+            }
+            let right: Vec<u64> = totals.iter().zip(&left).map(|(t, l)| t - l).collect();
+            best = best.min(split_impurity(&Gini, &left, &right));
+        }
+        prop_assert!(
+            (fast.impurity - best).abs() < 1e-12,
+            "prefix sweep {} vs exhaustive {best}",
+            fast.impurity
+        );
+    }
+
+    /// The sorted-pairs fast path is bit-identical to the AVC sweep.
+    #[test]
+    fn numeric_fast_path_equals_avc_path(
+        pairs in prop::collection::vec((-100i64..100, 0u16..3), 1..200),
+    ) {
+        let pairs: Vec<(f64, u16)> = pairs.into_iter().map(|(v, l)| (v as f64, l)).collect();
+        let mut avc = NumAvc::new(3);
+        let mut totals = vec![0u64; 3];
+        for &(v, l) in &pairs {
+            avc.add(v, l);
+            totals[l as usize] += 1;
+        }
+        let slow = best_numeric_split(0, &avc, &totals, &Gini);
+        let mut p = pairs.clone();
+        let fast = best_numeric_split_from_pairs(0, &mut p, &totals, &Gini);
+        match (slow, fast) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.split, b.split);
+                prop_assert_eq!(a.impurity.to_bits(), b.impurity.to_bits());
+                prop_assert_eq!(a.left_counts, b.left_counts);
+                prop_assert_eq!(a.right_counts, b.right_counts);
+            }
+            (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The split chosen by the sweep truly minimizes among all candidates
+    /// (cross-check against a brute-force evaluation).
+    #[test]
+    fn numeric_sweep_minimizes(
+        pairs in prop::collection::vec((-50i64..50, 0u16..2), 2..120),
+    ) {
+        let pairs: Vec<(f64, u16)> = pairs.into_iter().map(|(v, l)| (v as f64, l)).collect();
+        let mut totals = vec![0u64; 2];
+        for &(_, l) in &pairs {
+            totals[l as usize] += 1;
+        }
+        let mut p = pairs.clone();
+        let Some(chosen) = best_numeric_split_from_pairs(0, &mut p, &totals, &Gini) else {
+            return Ok(());
+        };
+        let n = pairs.len() as u64;
+        let mut values: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        for &x in &values {
+            let mut left = vec![0u64; 2];
+            for &(v, l) in &pairs {
+                if v <= x {
+                    left[l as usize] += 1;
+                }
+            }
+            let ln: u64 = left.iter().sum();
+            if ln == 0 || ln == n {
+                continue;
+            }
+            let right: Vec<u64> = totals.iter().zip(&left).map(|(t, l)| t - l).collect();
+            let imp = split_impurity(&Gini, &left, &right);
+            prop_assert!(
+                chosen.impurity <= imp + 1e-12,
+                "candidate at {x} ({imp}) beats chosen {} ({})",
+                match chosen.split.predicate {
+                    boat_tree::Predicate::NumLe(v) => v,
+                    _ => f64::NAN,
+                },
+                chosen.impurity
+            );
+        }
+    }
+
+    /// The builder's tree routes every training record to a leaf whose
+    /// class counts include it, and the tree is invariant to input order.
+    #[test]
+    fn builder_is_order_invariant_and_consistent(
+        raw in prop::collection::vec((0i64..40, 0u32..3, 0u16..2), 2..150),
+        seed in 0u64..50,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let schema =
+            Schema::new(vec![Attribute::numeric("x"), Attribute::categorical("c", 3)], 2)
+                .unwrap();
+        let records: Vec<Record> = raw
+            .iter()
+            .map(|&(x, c, l)| Record::new(vec![Field::Num(x as f64), Field::Cat(c)], l))
+            .collect();
+        let selector = ImpuritySelector::new(Gini);
+        let builder = TdTreeBuilder::new(&selector, GrowthLimits::default());
+        let tree = builder.fit(&schema, &records);
+
+        let mut shuffled = records.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&builder.fit(&schema, &shuffled), &tree, "order dependence");
+
+        // Leaf counts partition the training set.
+        let total_at_leaves: u64 = tree
+            .preorder_ids()
+            .iter()
+            .filter(|&&id| tree.node(id).is_leaf())
+            .map(|&id| tree.node(id).n_records())
+            .sum();
+        prop_assert_eq!(total_at_leaves, records.len() as u64);
+        // Every record lands in a leaf that counted its class.
+        for r in &records {
+            let leaf = tree.node(tree.leaf_for(r));
+            prop_assert!(leaf.class_counts[r.label() as usize] > 0);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Plugging a different split selection method into the shared induction
+//! schema (paper §2.2: "our techniques can be instantiated with other, not
+//! impurity-based split selection methods from the literature, e.g.,
+//! QUEST").
+//!
+//! This example grows two trees over the same data — one with the
+//! exhaustive Gini search (CART-style), one with the QUEST-style selector
+//! (attribute by ANOVA/chi-square association, split point by discriminant
+//! midpoint) — and compares their shape and holdout accuracy.
+//!
+//! ```sh
+//! cargo run --release --example custom_split_selection
+//! ```
+
+use boat_repro::datagen::{GeneratorConfig, LabelFunction};
+use boat_repro::tree::{
+    Gini, GrowthLimits, ImpuritySelector, QuestSelector, SplitSelector, TdTreeBuilder, Tree,
+};
+
+fn main() {
+    let train_gen = GeneratorConfig::new(LabelFunction::F3).with_seed(31).with_noise(0.05);
+    let schema = train_gen.schema();
+    let train = train_gen.generate_vec(30_000);
+    let holdout = GeneratorConfig::new(LabelFunction::F3).with_seed(32).generate_vec(10_000);
+
+    let limits = GrowthLimits { stop_family_size: Some(1_000), ..GrowthLimits::default() };
+
+    let gini = ImpuritySelector::new(Gini);
+    let quest = QuestSelector::new();
+    let runs: [(&str, &dyn SplitSelector); 2] = [("CART (Gini)", &gini), ("QUEST-style", &quest)];
+
+    println!("F3 (age × education level), 30k train / 10k holdout, stop at 1000\n");
+    println!("{:<14} {:>6} {:>7} {:>9} {:>10}", "selector", "nodes", "depth", "train acc", "holdout");
+    for (name, selector) in runs {
+        let tree = TdTreeBuilder::new(selector, limits).fit(&schema, &train);
+        let acc = |data: &[boat_repro::data::Record], t: &Tree| {
+            let ok = data.iter().filter(|r| t.predict(r) == r.label()).count();
+            100.0 * ok as f64 / data.len() as f64
+        };
+        println!(
+            "{:<14} {:>6} {:>7} {:>8.1}% {:>9.1}%",
+            name,
+            tree.n_nodes(),
+            tree.max_depth(),
+            acc(&train, &tree),
+            acc(&holdout, &tree),
+        );
+    }
+    println!(
+        "\nBoth selectors run through the same top-down schema; the exhaustive \
+         impurity search usually wins on raw fit, while the association-test \
+         selector is unbiased across attribute types and far cheaper per node."
+    );
+}
