@@ -54,8 +54,14 @@ fn ablate_discretization(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/discretization");
     group.sample_size(10);
     let strategies: [(&str, DiscretizeStrategy); 3] = [
-        ("equidepth_32", DiscretizeStrategy::EquiDepth { buckets: 32 }),
-        ("equidepth_256", DiscretizeStrategy::EquiDepth { buckets: 256 }),
+        (
+            "equidepth_32",
+            DiscretizeStrategy::EquiDepth { buckets: 32 },
+        ),
+        (
+            "equidepth_256",
+            DiscretizeStrategy::EquiDepth { buckets: 256 },
+        ),
         ("adaptive", DiscretizeStrategy::default()),
     ];
     for (name, strategy) in strategies {

@@ -22,8 +22,7 @@ fn fit_benches(c: &mut Criterion) {
         ("fig6_f7", LabelFunction::F7),
     ] {
         let gen = GeneratorConfig::new(func).with_seed(5);
-        let data =
-            materialize_cached(&gen, N, &format!("crit-{fig}"), IoStats::new()).unwrap();
+        let data = materialize_cached(&gen, N, &format!("crit-{fig}"), IoStats::new()).unwrap();
         let limits = paper_limits(N);
         let mut group = c.benchmark_group(fig);
         group.sample_size(10);
@@ -69,8 +68,9 @@ fn noise_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_9_noise");
     group.sample_size(10);
     for pct in [2u64, 10] {
-        let gen =
-            GeneratorConfig::new(LabelFunction::F1).with_seed(6).with_noise(pct as f64 / 100.0);
+        let gen = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(6)
+            .with_noise(pct as f64 / 100.0);
         let data =
             materialize_cached(&gen, N, &format!("crit-noise-{pct}"), IoStats::new()).unwrap();
         group.bench_function(format!("boat_noise_{pct}pct"), |b| {
@@ -90,7 +90,9 @@ fn dynamic_bench(c: &mut Criterion) {
     let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(9);
     let schema = gen.schema();
     let base = boat_data::MemoryDataset::new(schema.clone(), gen.generate_vec(N as usize));
-    let chunk_gen = GeneratorConfig::new(LabelFunction::F1).with_seed(10).with_noise(0.10);
+    let chunk_gen = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(10)
+        .with_noise(0.10);
     let chunk = boat_data::MemoryDataset::new(schema.clone(), chunk_gen.generate_vec(5_000));
 
     let limits = paper_limits(N + 5_000);

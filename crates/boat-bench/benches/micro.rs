@@ -85,7 +85,10 @@ fn bench_bootstrap_tree(c: &mut Criterion) {
     let schema = gen.schema();
     let sample = gen.generate_vec(5_000);
     let selector = ImpuritySelector::new(Gini);
-    let limits = GrowthLimits { stop_family_size: Some(400), ..GrowthLimits::default() };
+    let limits = GrowthLimits {
+        stop_family_size: Some(400),
+        ..GrowthLimits::default()
+    };
     c.bench_function("bootstrap/tdtree_5k_sample", |b| {
         b.iter(|| black_box(TdTreeBuilder::new(&selector, limits).fit(&schema, &sample)))
     });

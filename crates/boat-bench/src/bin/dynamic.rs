@@ -69,14 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// The stopping rule shared by the dynamic experiments (15 % of the final
 /// cumulative size, like the static sweeps).
 fn limits_for(total: u64) -> GrowthLimits {
-    GrowthLimits { stop_family_size: Some((total * 3 / 20).max(500)), ..GrowthLimits::default() }
+    GrowthLimits {
+        stop_family_size: Some((total * 3 / 20).max(500)),
+        ..GrowthLimits::default()
+    }
 }
 
-fn chunk_file(
-    gen: &GeneratorConfig,
-    n: u64,
-    key: &str,
-) -> boat_data::Result<FileDataset> {
+fn chunk_file(gen: &GeneratorConfig, n: u64, key: &str) -> boat_data::Result<FileDataset> {
     let path = bench_dir().join(format!("dyn-{key}-{n}.boat"));
     let _ = std::fs::remove_file(&path);
     gen.materialize_with_stats(&path, n, IoStats::new())
@@ -110,8 +109,11 @@ fn run_updates(
     let algo = Boat::new(config.clone());
     let t = Instant::now();
     let (mut model, _) = algo.fit_model(&base)?;
-    println!("initial model on {base_n} tuples: {} ({} nodes)\n", fmt_duration(t.elapsed()),
-        model.tree()?.n_nodes());
+    println!(
+        "initial model on {base_n} tuples: {} ({} nodes)\n",
+        fmt_duration(t.elapsed()),
+        model.tree()?.n_nodes()
+    );
 
     // The "current database" view for rebuild baselines.
     let mut log = DatasetLog::new(Box::new(base), IoStats::new());
@@ -129,7 +131,9 @@ fn run_updates(
     let (mut cum_update, mut cum_boat, mut cum_rf) =
         (Duration::ZERO, Duration::ZERO, Duration::ZERO);
     for i in 0..chunks {
-        let gen = GeneratorConfig::new(chunk_fn).with_seed(seed ^ (1000 + i)).with_noise(0.10);
+        let gen = GeneratorConfig::new(chunk_fn)
+            .with_seed(seed ^ (1000 + i))
+            .with_noise(0.10);
         let chunk = chunk_file(&gen, chunk_n, &format!("chunk-{seed}-{i}"))?;
         let cumulative = base_n + (i + 1) * chunk_n;
 
@@ -159,11 +163,23 @@ fn run_updates(
         let rf_rebuild = t.elapsed();
         cum_rf += rf_rebuild;
 
-        assert_eq!(model.tree()?, &rebuilt.tree, "incremental must equal BOAT rebuild");
-        assert_eq!(model.tree()?, &rf_fit.tree, "incremental must equal RF rebuild");
+        assert_eq!(
+            model.tree()?,
+            &rebuilt.tree,
+            "incremental must equal BOAT rebuild"
+        );
+        assert_eq!(
+            model.tree()?,
+            &rf_fit.tree,
+            "incremental must equal RF rebuild"
+        );
         if verify {
             let reference = reference_tree(&log, Gini, limits)?;
-            assert_eq!(model.tree()?, &reference, "incremental must equal the reference");
+            assert_eq!(
+                model.tree()?,
+                &reference,
+                "incremental must equal the reference"
+            );
         }
 
         table.row(vec![
@@ -209,12 +225,20 @@ fn run_chunk_size(
         small_chunk
     );
 
-    let mut table = Table::new(&["arrived", "cum update (big chunks)", "cum update (small chunks)"]);
+    let mut table = Table::new(&[
+        "arrived",
+        "cum update (big chunks)",
+        "cum update (small chunks)",
+    ]);
     let mut cum: Vec<Duration> = vec![Duration::ZERO, Duration::ZERO];
     let mut models = Vec::new();
     for _ in 0..2 {
         let base_gen = GeneratorConfig::new(LabelFunction::F1).with_seed(seed);
-        let base = chunk_file(&base_gen, base_n, &format!("base15-{seed}-{}", models.len()))?;
+        let base = chunk_file(
+            &base_gen,
+            base_n,
+            &format!("base15-{seed}-{}", models.len()),
+        )?;
         let mut config = BoatConfig::scaled_for(total).with_seed(seed);
         config.limits = limits;
         config.in_memory_threshold = limits.stop_family_size.unwrap();
@@ -223,8 +247,9 @@ fn run_chunk_size(
     }
 
     for i in 0..chunks {
-        let gen =
-            GeneratorConfig::new(LabelFunction::F1).with_seed(seed ^ (2000 + i)).with_noise(0.10);
+        let gen = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(seed ^ (2000 + i))
+            .with_noise(0.10);
         // Big-chunk model gets one chunk; small-chunk model gets the same
         // records as two half-chunks.
         let all = gen.generate_vec(big_chunk as usize);

@@ -11,7 +11,9 @@
 
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
-use boat_bench::{materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table};
+use boat_bench::{
+    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table,
+};
 use boat_data::IoStats;
 use boat_datagen::{GeneratorConfig, LabelFunction};
 
@@ -30,17 +32,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         6 => "Figure 11",
         _ => "(custom function)",
     };
-    println!(
-        "# {fig}: Extra Attributes vs Time, F{function} — n = {n}, extras {extras:?}\n"
-    );
+    println!("# {fig}: Extra Attributes vs Time, F{function} — n = {n}, extras {extras:?}\n");
 
     let mut table = Table::new(&[
-        "extras", "algo", "time", "scans", "input reads", "spill reads", "nodes", "failures",
+        "extras",
+        "algo",
+        "time",
+        "scans",
+        "input reads",
+        "spill reads",
+        "nodes",
+        "failures",
     ]);
     let mut base_nodes: Option<usize> = None;
     for &k in &extras {
-        let gen =
-            GeneratorConfig::new(func).with_seed(seed).with_extra_attrs(k as usize);
+        let gen = GeneratorConfig::new(func)
+            .with_seed(seed)
+            .with_extra_attrs(k as usize);
         let data = materialize_cached(
             &gen,
             n,
@@ -54,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_rf_vertical(&data, limits, vertical_budget)?,
         ];
         for pair in results.windows(2) {
-            assert_eq!(pair[0].tree, pair[1].tree, "algorithms must build the same tree");
+            assert_eq!(
+                pair[0].tree, pair[1].tree,
+                "algorithms must build the same tree"
+            );
         }
         // Extra attributes must not change the tree *shape* (they are
         // never selected), only the cost.

@@ -84,11 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Build `reps` bootstrap trees on resamples of the dataset's sample and
 /// collect the *raw* root split points (before any agreement/clustering
 /// logic), which is what the paper's Figure 12 is about.
-fn bootstrap_histogram(
-    data: &MemoryDataset,
-    reps: usize,
-    seed: u64,
-) -> Vec<(i64, usize)> {
+fn bootstrap_histogram(data: &MemoryDataset, reps: usize, seed: u64) -> Vec<(i64, usize)> {
     use boat_tree::{ImpuritySelector, Predicate, TdTreeBuilder};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -101,11 +97,8 @@ fn bootstrap_histogram(
     let builder = TdTreeBuilder::new(&selector, limits);
     let mut hist: Vec<(i64, usize)> = Vec::new();
     for _ in 0..reps {
-        let resample = boat_data::sample::bootstrap_resample(
-            &sample,
-            cfg.bootstrap_sample_size,
-            &mut rng,
-        );
+        let resample =
+            boat_data::sample::bootstrap_resample(&sample, cfg.bootstrap_sample_size, &mut rng);
         let tree = builder.fit(data.schema(), &resample);
         if let Some(split) = tree.node(tree.root()).split() {
             if let Predicate::NumLe(x) = split.predicate {

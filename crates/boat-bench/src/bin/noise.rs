@@ -11,7 +11,9 @@
 
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
-use boat_bench::{materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table};
+use boat_bench::{
+    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table,
+};
 use boat_data::IoStats;
 use boat_datagen::{GeneratorConfig, LabelFunction};
 
@@ -39,10 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut table = Table::new(&[
-        "noise%", "algo", "time", "scans", "input reads", "spill reads", "nodes", "failures",
+        "noise%",
+        "algo",
+        "time",
+        "scans",
+        "input reads",
+        "spill reads",
+        "nodes",
+        "failures",
     ]);
     for &pct in &noise_pcts {
-        let gen = GeneratorConfig::new(func).with_seed(seed).with_noise(pct as f64 / 100.0);
+        let gen = GeneratorConfig::new(func)
+            .with_seed(seed)
+            .with_noise(pct as f64 / 100.0);
         let data = materialize_cached(
             &gen,
             n,
@@ -56,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run_rf_vertical(&data, limits, vertical_budget)?,
         ];
         for pair in results.windows(2) {
-            assert_eq!(pair[0].tree, pair[1].tree, "algorithms must build the same tree");
+            assert_eq!(
+                pair[0].tree, pair[1].tree,
+                "algorithms must build the same tree"
+            );
         }
         for r in &results {
             table.row(vec![

@@ -42,11 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut table = Table::new(&[
-        "tuples", "algo", "time", "scans", "input reads", "spill reads", "nodes", "failures",
+        "tuples",
+        "algo",
+        "time",
+        "scans",
+        "input reads",
+        "spill reads",
+        "nodes",
+        "failures",
     ]);
     for &n in &sizes {
         let gen = GeneratorConfig::new(func).with_seed(seed);
-        let data = materialize_cached(&gen, n, &format!("scal-f{function}-{seed}"), IoStats::new())?;
+        let data =
+            materialize_cached(&gen, n, &format!("scal-f{function}-{seed}"), IoStats::new())?;
         let (hybrid_budget, vertical_budget) = rf_budgets(n, 0);
 
         let mut results = vec![
@@ -58,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             results.push(run_rf_write(&data, limits, hybrid_budget)?);
         }
         for pair in results.windows(2) {
-            assert_eq!(pair[0].tree, pair[1].tree, "algorithms must build the same tree");
+            assert_eq!(
+                pair[0].tree, pair[1].tree,
+                "algorithms must build the same tree"
+            );
         }
         for r in &results {
             table.row(vec![

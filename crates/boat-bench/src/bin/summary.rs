@@ -9,7 +9,9 @@
 
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
-use boat_bench::{materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table};
+use boat_bench::{
+    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table,
+};
 use boat_core::{Boat, BoatConfig};
 use boat_data::dataset::RecordSource;
 use boat_data::{IoStats, MemoryDataset};
@@ -23,15 +25,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let limits = paper_limits(n);
     let t0 = Instant::now();
 
-    println!("# BOAT reproduction summary (n = {n}, stop at {})\n", limits.stop_family_size.unwrap());
+    println!(
+        "# BOAT reproduction summary (n = {n}, stop at {})\n",
+        limits.stop_family_size.unwrap()
+    );
 
     // --- Figures 4-6 digest: one size, three functions, three algorithms.
     println!("## Scalability digest (Figures 4-6)\n");
-    let mut table = Table::new(&["function", "algo", "time", "scans", "input reads", "failures"]);
-    for (f, func) in [(1u32, LabelFunction::F1), (6, LabelFunction::F6), (7, LabelFunction::F7)] {
+    let mut table = Table::new(&[
+        "function",
+        "algo",
+        "time",
+        "scans",
+        "input reads",
+        "failures",
+    ]);
+    for (f, func) in [
+        (1u32, LabelFunction::F1),
+        (6, LabelFunction::F6),
+        (7, LabelFunction::F7),
+    ] {
         let gen = GeneratorConfig::new(func).with_seed(seed);
-        let data =
-            materialize_cached(&gen, n, &format!("summary-f{f}-{seed}"), IoStats::new())?;
+        let data = materialize_cached(&gen, n, &format!("summary-f{f}-{seed}"), IoStats::new())?;
         let (hb, vb) = rf_budgets(n, 0);
         let results = [
             run_boat(&data, limits, seed ^ f as u64)?,
@@ -81,13 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = BoatConfig::scaled_for(unstable.len()).with_seed(seed);
     cfg.in_memory_threshold = unstable.len() / 10;
     let fit = Boat::new(cfg.clone()).fit(&unstable)?;
-    let reference =
-        boat_core::reference_tree(&unstable, boat_tree::Gini, cfg.limits)?;
+    let reference = boat_core::reference_tree(&unstable, boat_tree::Gini, cfg.limits)?;
     assert_eq!(fit.tree, reference);
-    println!(
-        "  two-minima data: {} (exact tree: yes)",
-        fit.stats
-    );
+    println!("  two-minima data: {} (exact tree: yes)", fit.stats);
 
     // --- Dynamic digest (Figures 13-15): repeated chunks, cumulative
     //     update cost vs re-building at every arrival (the paper's
@@ -119,7 +130,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = Instant::now();
         let rebuilt = algo.fit(&cumulative)?;
         cum_rebuild += t.elapsed();
-        assert_eq!(model.tree()?, &rebuilt.tree, "incremental must equal rebuild");
+        assert_eq!(
+            model.tree()?,
+            &rebuilt.tree,
+            "incremental must equal rebuild"
+        );
     }
     println!(
         "  {chunks} chunks of +{chunk_n}: cumulative incremental {} vs cumulative re-builds {} \

@@ -24,8 +24,11 @@ impl Args {
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 let is_flag = iter.peek().is_none_or(|next| next.starts_with("--"));
-                let value =
-                    if is_flag { "true".to_string() } else { iter.next().expect("peeked") };
+                let value = if is_flag {
+                    "true".to_string()
+                } else {
+                    iter.next().expect("peeked")
+                };
                 values.insert(key.to_string(), value);
             } else {
                 eprintln!("warning: ignoring positional argument {arg:?}");
@@ -49,7 +52,10 @@ impl Args {
 
     /// A string value with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Whether a bare flag was passed.
@@ -63,7 +69,11 @@ impl Args {
             None => default.to_vec(),
             Some(v) => v
                 .split(',')
-                .map(|p| p.trim().parse().unwrap_or_else(|e| panic!("--{key}: bad list ({e})")))
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--{key}: bad list ({e})"))
+                })
                 .collect(),
         }
     }

@@ -11,7 +11,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
@@ -114,7 +117,10 @@ mod tests {
 
     #[test]
     fn duration_formatting() {
-        assert_eq!(fmt_duration(std::time::Duration::from_millis(1500)), "1500ms");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(1500)),
+            "1500ms"
+        );
         assert_eq!(fmt_duration(std::time::Duration::from_secs(25)), "25.00s");
     }
 }

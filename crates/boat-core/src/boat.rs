@@ -8,8 +8,8 @@
 //! unfinished partitions recurse into BOAT itself; small ones finish with
 //! the in-memory builder, exactly as §3.5 prescribes.
 
-use crate::config::BoatConfig;
 use crate::coarse::build_coarse_tree;
+use crate::config::BoatConfig;
 use crate::stats::BoatRunStats;
 use crate::work::{limits_for_subtree, Job, Resolution, WorkTree};
 use boat_data::dataset::RecordSource;
@@ -44,7 +44,10 @@ pub struct Boat<I: Impurity + Clone = Gini> {
 impl Boat<Gini> {
     /// BOAT with the Gini index (CART's split selection).
     pub fn new(config: BoatConfig) -> Self {
-        Boat { config, impurity: Gini }
+        Boat {
+            config,
+            impurity: Gini,
+        }
     }
 }
 
@@ -84,8 +87,7 @@ impl<I: Impurity + Clone> Boat<I> {
             };
             return Ok(BoatFit { tree, stats });
         }
-        let (work, mut stats) =
-            self.fit_work(source, self.config.max_recursion, false)?;
+        let (work, mut stats) = self.fit_work(source, self.config.max_recursion, false)?;
         let tree = work.extract_tree();
         stats.io = source.stats().snapshot();
         Ok(BoatFit { tree, stats })
@@ -135,10 +137,16 @@ impl<I: Impurity + Clone> Boat<I> {
         stats.sampling_time = t0.elapsed();
 
         // ---- cleanup phase (scan 2) ----
+        // One sequential pass over the source either way; with more than
+        // one worker the routing work fans out over chunks and is reduced
+        // by an exact merge, so the resulting state (and hence the final
+        // tree) is bit-identical at every thread count.
         let t1 = Instant::now();
-        for r in source.scan()? {
-            work.absorb(&r?, false)?;
-        }
+        work.parallel_cleanup(
+            source,
+            self.config.effective_cleanup_threads(),
+            self.config.cleanup_chunk_size,
+        )?;
         stats.scans_over_input += 1;
         stats.parked_tuples = work.parked_total();
         stats.cleanup_time = t1.elapsed();
@@ -209,9 +217,7 @@ impl<I: Impurity + Clone> Boat<I> {
         // Collection scan for jobs whose records were not retained.
         if pending.iter().any(|(_, c)| c.is_none()) {
             let source = source.ok_or_else(|| {
-                DataError::Invalid(
-                    "completion requires a scan but no source is available".into(),
-                )
+                DataError::Invalid("completion requires a scan but no source is available".into())
             })?;
             let mut buffers: Vec<(usize, SpillBuffer)> = pending
                 .iter()
@@ -358,9 +364,21 @@ impl<I: Impurity + Clone> Boat<I> {
             self.config.sample_size
         };
         stats.recursive_builds += 1;
+        // The global counter only keeps temp-file names unique. The
+        // sub-run's seed must NOT depend on it: run statistics are part of
+        // the library's contract (the parallel-exactness oracle compares
+        // them across thread counts), so they must be a pure function of
+        // (config, data) — independent of how many rebuilds *other* fits in
+        // this process have performed. Derive the seed from the rebuild's
+        // own position and family instead.
         let id = REBUILD_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir()
-            .join(format!("boat-rebuild-{}-{id}.boat", std::process::id()));
+        let sub_seed = self.config.seed
+            ^ (0xD1CE << 16)
+            ^ ((idx as u64) << 40)
+            ^ ((depth as u64) << 32)
+            ^ records.len() as u64;
+        let path =
+            std::env::temp_dir().join(format!("boat-rebuild-{}-{id}.boat", std::process::id()));
         let mut writer =
             FileDatasetWriter::create(&path, work.schema.clone(), work.spill_stats.clone())?;
         for r in &records {
@@ -371,7 +389,7 @@ impl<I: Impurity + Clone> Boat<I> {
         let sub = Boat {
             config: BoatConfig {
                 limits: sub_limits,
-                seed: self.config.seed ^ (0xD1CE << 16) ^ id,
+                seed: sub_seed,
                 sample_size: sub_sample,
                 ..self.config.clone()
             },

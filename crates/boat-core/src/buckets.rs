@@ -88,6 +88,43 @@ impl BucketSet {
         }
     }
 
+    /// An empty bucket set with the same boundaries and class count as
+    /// `self`. Shard accumulators in the parallel cleanup scan start from
+    /// this and are later combined with [`BucketSet::merge_from`].
+    pub fn zeroed_like(&self) -> Self {
+        BucketSet {
+            boundaries: self.boundaries.clone(),
+            counts: vec![0; self.counts.len()],
+            at_boundary: vec![0; self.at_boundary.len()],
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Add every cell of `other` (bucket counts and exact boundary counts)
+    /// into `self`. Both sets must share identical boundaries.
+    ///
+    /// Counts are `u64` sums, so merging is exactly associative and
+    /// commutative: any merge order over a set of shards produces
+    /// bit-identical counts to a single sequential accumulation.
+    pub fn merge_from(&mut self, other: &BucketSet) {
+        debug_assert_eq!(self.n_classes, other.n_classes, "BucketSet shape mismatch");
+        debug_assert!(
+            self.boundaries.len() == other.boundaries.len()
+                && self
+                    .boundaries
+                    .iter()
+                    .zip(&other.boundaries)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "BucketSet boundary mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.at_boundary.iter_mut().zip(&other.at_boundary) {
+            *a += b;
+        }
+    }
+
     /// Per-class counts of bucket `b`.
     pub fn bucket_counts(&self, b: usize) -> &[u64] {
         &self.counts[b * self.n_classes..(b + 1) * self.n_classes]
@@ -155,7 +192,11 @@ impl BucketSet {
         totals: &[u64],
         imp: &dyn Impurity,
     ) -> (Option<Vec<u64>>, Option<f64>) {
-        let lo = if b == 0 { vec![0u64; self.n_classes] } else { stamps[b - 1].clone() };
+        let lo = if b == 0 {
+            vec![0u64; self.n_classes]
+        } else {
+            stamps[b - 1].clone()
+        };
         let mut hi = stamps[b].clone();
         let exact_upper = (b < self.boundaries.len()).then(|| hi.clone());
         if b < self.boundaries.len() {
@@ -367,8 +408,7 @@ mod tests {
     /// split points falling inside that bucket.
     #[test]
     fn bucket_bound_is_a_true_lower_bound() {
-        let pairs: Vec<(f64, u16)> =
-            (0..100).map(|i| (i as f64, u16::from(i % 7 < 3))).collect();
+        let pairs: Vec<(f64, u16)> = (0..100).map(|i| (i as f64, u16::from(i % 7 < 3))).collect();
         let (avc, totals) = avc_from(&pairs);
         let mut bset = BucketSet::new(vec![20.0, 55.0, 80.0], 2);
         for &(v, l) in &pairs {
@@ -411,18 +451,28 @@ mod tests {
             DiscretizeStrategy::EquiDepth { buckets: 10 },
             &[],
         );
-        assert!(bounds.len() >= 9 && bounds.len() <= 11, "got {} bounds", bounds.len());
+        assert!(
+            bounds.len() >= 9 && bounds.len() <= 11,
+            "got {} bounds",
+            bounds.len()
+        );
         // Roughly every 100 values.
-        assert!((bounds[0] - 99.0).abs() <= 5.0, "first boundary {}", bounds[0]);
+        assert!(
+            (bounds[0] - 99.0).abs() <= 5.0,
+            "first boundary {}",
+            bounds[0]
+        );
     }
 
     #[test]
     fn adaptive_isolates_the_minimum_region() {
         // Clean threshold concept at 500: the impurity minimum sits there.
-        let pairs: Vec<(f64, u16)> =
-            (0..1000).map(|i| (i as f64, u16::from(i >= 500))).collect();
+        let pairs: Vec<(f64, u16)> = (0..1000).map(|i| (i as f64, u16::from(i >= 500))).collect();
         let (avc, totals) = avc_from(&pairs);
-        let strategy = DiscretizeStrategy::Adaptive { max_buckets: 16, slack: 0.10 };
+        let strategy = DiscretizeStrategy::Adaptive {
+            max_buckets: 16,
+            slack: 0.10,
+        };
         let bounds = build_boundaries(&avc, &totals, &Gini, 0.0, strategy, &[]);
         // The competitive region around 499 must have fine boundaries:
         // 499 itself (the exact minimum) must be a boundary.

@@ -118,8 +118,11 @@ impl CoarseTree {
 /// `resample_size / full_size` so the sample trees stop at the equivalent
 /// depth of the paper's in-memory switch.
 pub fn bootstrap_limits(config: &BoatConfig, full_size: u64) -> GrowthLimits {
-    let full_stop =
-        config.limits.stop_family_size.unwrap_or(0).max(config.in_memory_threshold);
+    let full_stop = config
+        .limits
+        .stop_family_size
+        .unwrap_or(0)
+        .max(config.in_memory_threshold);
     let scaled = if full_size == 0 {
         1
     } else {
@@ -169,13 +172,15 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
     let resamples: Vec<Vec<Record>> = (0..config.bootstrap_reps)
         .map(|_| boat_data::sample::bootstrap_resample(sample, config.bootstrap_sample_size, rng))
         .collect();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(resamples.len().max(1));
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(resamples.len().max(1));
     let trees: Vec<Tree> = if threads <= 1 || resamples.len() <= 1 {
         resamples.iter().map(|r| builder.fit(schema, r)).collect()
     } else {
         let mut slots: Vec<Option<Tree>> = (0..resamples.len()).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             // Work-stealing over resample indices; each worker returns its
             // (index, tree) results, merged afterwards.
             let mut handles = Vec::new();
@@ -183,7 +188,7 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
                 let next = &next;
                 let resamples = &resamples;
                 let builder = &builder;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut built: Vec<(usize, Tree)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -200,13 +205,18 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
                     slots[i] = Some(t);
                 }
             }
-        })
-        .expect("bootstrap scope");
-        slots.into_iter().map(|t| t.expect("every slot built")).collect()
+        });
+        slots
+            .into_iter()
+            .map(|t| t.expect("every slot built"))
+            .collect()
     };
     let mut coarse = CoarseTree { nodes: Vec::new() };
-    let cursors: Vec<(usize, NodeId)> =
-        trees.iter().enumerate().map(|(i, t)| (i, t.root())).collect();
+    let cursors: Vec<(usize, NodeId)> = trees
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, t.root()))
+        .collect();
     agree(&trees, cursors, None, 0, config, &mut coarse);
     coarse
 }
@@ -226,7 +236,10 @@ fn vote_of(tree: &Tree, id: NodeId) -> Vote {
         None => Vote::Leaf,
         Some(s) => match s.predicate {
             Predicate::NumLe(_) => Vote::Num { attr: s.attr },
-            Predicate::CatIn(set) => Vote::Cat { attr: s.attr, mask: set.mask() },
+            Predicate::CatIn(set) => Vote::Cat {
+                attr: s.attr,
+                mask: set.mask(),
+            },
         },
     }
 }
@@ -296,9 +309,10 @@ fn agree(
 
     let crit = match winner {
         Vote::Leaf => unreachable!("leaf handled above"),
-        Vote::Cat { attr, mask } => {
-            CoarseCriterion::Cat { attr, subset: boat_tree::CatSet::from_mask(mask) }
-        }
+        Vote::Cat { attr, mask } => CoarseCriterion::Cat {
+            attr,
+            subset: boat_tree::CatSet::from_mask(mask),
+        },
         Vote::Num { attr } => {
             let mut pairs: Vec<(usize, NodeId, f64)> = agreeing
                 .iter()
@@ -344,8 +358,8 @@ fn agree(
 
             let points: Vec<f64> = pairs.iter().map(|p| p.2).collect();
             let b = points.len();
-            let cut = ((b as f64 * config.confidence_trim).floor() as usize)
-                .min(b.saturating_sub(1) / 2);
+            let cut =
+                ((b as f64 * config.confidence_trim).floor() as usize).min(b.saturating_sub(1) / 2);
             let (lo, hi) = (points[cut], points[b - 1 - cut]);
             coarse.nodes[idx].bootstrap_points = points;
             let kept = CoarseCriterion::Num { attr, lo, hi };
@@ -407,7 +421,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numeric("x"), Attribute::categorical("c", 4)], 2).unwrap()
+        Schema::new(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 4)],
+            2,
+        )
+        .unwrap()
     }
 
     /// Strongly separable data: label = x >= 500, c irrelevant.
@@ -442,7 +460,10 @@ mod tests {
         let coarse = build_coarse_tree(&schema, &sample, &sel, &config(), 100_000, &mut rng);
         let root = &coarse.nodes[0];
         let Some(CoarseCriterion::Num { attr, lo, hi }) = &root.crit else {
-            panic!("root should agree on the numeric attribute, got {:?}", root.crit);
+            panic!(
+                "root should agree on the numeric attribute, got {:?}",
+                root.crit
+            );
         };
         assert_eq!(*attr, 0);
         // Every bootstrap split point is near the true boundary 499.

@@ -31,7 +31,10 @@ impl Default for DiscretizeStrategy {
         // 256 buckets ≈ 4 KiB per (node, attribute, 2 classes): still tiny
         // next to an AVC-set, and fine enough that flat impurity valleys
         // (e.g. the paper's Function 7) do not trip false alarms.
-        DiscretizeStrategy::Adaptive { max_buckets: 256, slack: 0.20 }
+        DiscretizeStrategy::Adaptive {
+            max_buckets: 256,
+            slack: 0.20,
+        }
     }
 }
 
@@ -99,6 +102,14 @@ pub struct BoatConfig {
     pub max_recursion: u32,
     /// Seed for sampling and bootstrapping.
     pub seed: u64,
+    /// Worker threads for the cleanup scan. `0` means "use the machine's
+    /// available parallelism"; `1` runs the serial scan in-place. The
+    /// output is bit-identical at every thread count (the shard merge is
+    /// exact), so this is purely a performance knob.
+    pub cleanup_threads: usize,
+    /// Records per chunk handed to a cleanup worker. Large enough to
+    /// amortize channel traffic, small enough to keep all workers busy.
+    pub cleanup_chunk_size: usize,
 }
 
 impl Default for BoatConfig {
@@ -116,6 +127,8 @@ impl Default for BoatConfig {
             limits: GrowthLimits::default(),
             max_recursion: 8,
             seed: 0xB0A7,
+            cleanup_threads: 0,
+            cleanup_chunk_size: 8_192,
         }
     }
 }
@@ -153,6 +166,24 @@ impl BoatConfig {
         self
     }
 
+    /// Builder-style cleanup-thread override (`0` = auto-detect).
+    pub fn with_cleanup_threads(mut self, threads: usize) -> Self {
+        self.cleanup_threads = threads;
+        self
+    }
+
+    /// The worker count the cleanup scan will actually use: the configured
+    /// `cleanup_threads`, with `0` resolved to the machine's available
+    /// parallelism (and `1` if even that is unknown).
+    pub fn effective_cleanup_threads(&self) -> usize {
+        match self.cleanup_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        }
+    }
+
     /// Validate parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.sample_size == 0 {
@@ -186,6 +217,9 @@ impl BoatConfig {
                 }
             }
         }
+        if self.cleanup_chunk_size == 0 {
+            return Err("cleanup_chunk_size must be positive".into());
+        }
         Ok(())
     }
 }
@@ -214,19 +248,35 @@ mod tests {
     #[test]
     fn validation_rejects_nonsense() {
         let cases: Vec<BoatConfig> = vec![
-            BoatConfig { sample_size: 0, ..Default::default() },
-            BoatConfig { bootstrap_reps: 1, ..Default::default() },
-            BoatConfig { confidence_trim: 0.5, ..Default::default() },
+            BoatConfig {
+                sample_size: 0,
+                ..Default::default()
+            },
+            BoatConfig {
+                bootstrap_reps: 1,
+                ..Default::default()
+            },
+            BoatConfig {
+                confidence_trim: 0.5,
+                ..Default::default()
+            },
             BoatConfig {
                 discretize: DiscretizeStrategy::EquiDepth { buckets: 0 },
                 ..Default::default()
             },
             BoatConfig {
-                discretize: DiscretizeStrategy::Adaptive { max_buckets: 8, slack: -1.0 },
+                discretize: DiscretizeStrategy::Adaptive {
+                    max_buckets: 8,
+                    slack: -1.0,
+                },
                 ..Default::default()
             },
             BoatConfig {
                 agreement: AgreementRule::Majority { quorum: 0.5 },
+                ..Default::default()
+            },
+            BoatConfig {
+                cleanup_chunk_size: 0,
                 ..Default::default()
             },
         ];
@@ -238,5 +288,14 @@ mod tests {
             ..Default::default()
         };
         assert!(full_quorum.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_cleanup_threads_resolves_auto() {
+        let auto = BoatConfig::default();
+        assert_eq!(auto.cleanup_threads, 0, "default is auto-detect");
+        assert!(auto.effective_cleanup_threads() >= 1);
+        let fixed = BoatConfig::default().with_cleanup_threads(4);
+        assert_eq!(fixed.effective_cleanup_threads(), 4);
     }
 }

@@ -74,7 +74,14 @@ impl<I: Impurity + Clone> Boat<I> {
         self.config().validate().map_err(DataError::Invalid)?;
         let (work, stats) = self.fit_work(source, self.config().max_recursion, true)?;
         let tree = work.extract_tree();
-        Ok((BoatModel { algo: self.clone(), work, tree: Some(tree) }, stats))
+        Ok((
+            BoatModel {
+                algo: self.clone(),
+                work,
+                tree: Some(tree),
+            },
+            stats,
+        ))
     }
 }
 

@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = BoatRunStats { scans_over_input: 2, failed_nodes: 1, ..Default::default() };
+        let mut a = BoatRunStats {
+            scans_over_input: 2,
+            failed_nodes: 1,
+            ..Default::default()
+        };
         let b = BoatRunStats {
             scans_over_input: 2,
             inmem_builds: 3,
@@ -108,7 +112,10 @@ mod tests {
 
     #[test]
     fn display_mentions_scans() {
-        let s = BoatRunStats { scans_over_input: 2, ..Default::default() };
+        let s = BoatRunStats {
+            scans_over_input: 2,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("scans=2"));
     }
 }

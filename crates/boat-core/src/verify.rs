@@ -38,7 +38,10 @@ pub fn corner_lower_bound(
     totals: &[u64],
 ) -> f64 {
     let k = totals.len();
-    assert!(k <= 20, "corner bound is exponential in class count; got k={k}");
+    assert!(
+        k <= 20,
+        "corner bound is exponential in class count; got k={k}"
+    );
     debug_assert_eq!(stamp_lo.len(), k);
     debug_assert_eq!(stamp_hi.len(), k);
     debug_assert!(stamp_lo.iter().zip(stamp_hi).all(|(l, h)| l <= h));
@@ -49,7 +52,11 @@ pub fn corner_lower_bound(
     let mut right = vec![0u64; k];
     for mask in 0u32..(1u32 << k) {
         for i in 0..k {
-            left[i] = if mask & (1 << i) != 0 { stamp_hi[i] } else { stamp_lo[i] };
+            left[i] = if mask & (1 << i) != 0 {
+                stamp_hi[i]
+            } else {
+                stamp_lo[i]
+            };
             right[i] = totals[i] - left[i];
         }
         let v = split_impurity(imp, &left, &right);

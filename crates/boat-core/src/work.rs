@@ -18,7 +18,7 @@ use crate::coarse::{CoarseCriterion, CoarseTree, FrontierReason};
 use crate::config::BoatConfig;
 use crate::verify::bucket_passes;
 use boat_data::spill::SpillBuffer;
-use boat_data::{AttrType, DataError, IoStats, Record, Result, Schema};
+use boat_data::{AttrType, DataError, IoStats, Record, RecordSource, Result, Schema};
 use boat_tree::split::{best_categorical_split, cmp_splits, sweep_numeric};
 use boat_tree::{AvcGroup, CatAvc, GrowthLimits, Impurity, NumAvc, SplitEval, Tree};
 use std::cmp::Ordering;
@@ -133,6 +133,104 @@ pub(crate) struct WorkTree {
     pub spill_stats: IoStats,
 }
 
+/// One node of a [`CleanupShard`]: the routing fields of the corresponding
+/// [`WorkNode`] plus zeroed clones of its mergeable statistics.
+struct ShardNode {
+    crit: Option<CoarseCriterion>,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// Whether the frontier node retains family records.
+    keep_family: bool,
+    /// The shard routed at least one tuple through this node (drives the
+    /// dirty flag on merge, mirroring serial `absorb`).
+    touched: bool,
+    class_totals: Vec<u64>,
+    cat: Vec<Option<CatAvc>>,
+    buckets: Vec<Option<BucketSet>>,
+    edge_left: Vec<u64>,
+}
+
+/// Thread-local accumulator for one worker of the parallel cleanup scan.
+///
+/// A shard carries a private copy of the coarse routing structure plus
+/// zeroed clones of every node's statistics. Routing a record updates the
+/// shard only; records the serial scan would store in a spill buffer
+/// (parked `S_n` tuples, retained frontier families) are emitted as
+/// `(node, record)` *deposits* for the caller to apply in chunk order.
+/// Two invariants make the reduction exact (see `WorkTree::merge_shard`
+/// and `WorkTree::apply_deposits`):
+///
+/// * every statistic is an integer count, so shard merges are associative
+///   and commutative — any merge order is bit-identical to one serial
+///   accumulation;
+/// * deposits preserve record order within a chunk, and chunks are applied
+///   in ascending index (= serial scan order), so spill-buffer contents
+///   and spill behaviour are byte-identical to the serial path.
+pub(crate) struct CleanupShard {
+    nodes: Vec<ShardNode>,
+}
+
+impl CleanupShard {
+    /// Route one record down the shard (the insertion half of
+    /// [`WorkTree::absorb`], against thread-local state). Records that
+    /// park at a numeric criterion or land in a retained frontier family
+    /// are appended to `deposits` as `(node index, record)`.
+    pub fn route(&mut self, r: Record, deposits: &mut Vec<(u32, Record)>) {
+        let mut idx = 0usize;
+        loop {
+            let node = &mut self.nodes[idx];
+            node.touched = true;
+            let label = r.label() as usize;
+            node.class_totals[label] += 1;
+            let Some(crit) = node.crit.clone() else {
+                if node.keep_family {
+                    deposits.push((idx as u32, r));
+                }
+                return;
+            };
+            for (a, slot) in node.cat.iter_mut().enumerate() {
+                if let Some(avc) = slot {
+                    avc.add(r.cat(a), r.label());
+                }
+            }
+            for (a, slot) in node.buckets.iter_mut().enumerate() {
+                if let Some(b) = slot {
+                    b.add(r.num(a), r.label());
+                }
+            }
+            match crit {
+                CoarseCriterion::Num { attr, lo, hi } => {
+                    let v = r.num(attr);
+                    if v < lo {
+                        node.edge_left[label] += 1;
+                        idx = node.left.expect("internal");
+                    } else if v <= hi {
+                        deposits.push((idx as u32, r));
+                        return;
+                    } else {
+                        idx = node.right.expect("internal");
+                    }
+                }
+                CoarseCriterion::Cat { attr, subset } => {
+                    idx = if subset.contains(r.cat(attr)) {
+                        node.left.expect("internal")
+                    } else {
+                        node.right.expect("internal")
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The spill-bound output of routing one input chunk through a shard.
+pub(crate) struct RoutedChunk {
+    /// Chunk index in scan order (restores the serial application order).
+    pub index: usize,
+    /// `(node index, record)` pairs in within-chunk scan order.
+    pub deposits: Vec<(u32, Record)>,
+}
+
 impl WorkTree {
     /// Prepare a working tree from the coarse tree and the in-memory
     /// sample: route the sample down the coarse structure (numeric criteria
@@ -192,8 +290,10 @@ impl WorkTree {
             .iter()
             .enumerate()
             .map(|(i, cn)| {
-                let my_sample: Vec<&Record> =
-                    node_samples[i].iter().map(|&ri| &sample[ri as usize]).collect();
+                let my_sample: Vec<&Record> = node_samples[i]
+                    .iter()
+                    .map(|&ri| &sample[ri as usize])
+                    .collect();
                 let est_family = (my_sample.len() as f64 * scale).round() as u64;
                 // Widen numeric confidence intervals: (1) cover the sample
                 // family's own best candidate on the splitting attribute
@@ -220,7 +320,11 @@ impl WorkTree {
                             hi,
                             config.interval_pad_values.max(1),
                         );
-                        CoarseCriterion::Num { attr, lo: lo1, hi: hi1 }
+                        CoarseCriterion::Num {
+                            attr,
+                            lo: lo1,
+                            hi: hi1,
+                        }
                     }
                     cat => cat,
                 });
@@ -228,10 +332,7 @@ impl WorkTree {
                     // Internal: estimate the node's minimum impurity from
                     // the sample, then build a discretization per numeric
                     // attribute.
-                    let group = AvcGroup::from_records(
-                        &schema,
-                        my_sample.iter().copied(),
-                    );
+                    let group = AvcGroup::from_records(&schema, my_sample.iter().copied());
                     let est_min = boat_tree::best_split(&schema, &group, imp)
                         .map(|e| e.impurity)
                         .unwrap_or(0.0);
@@ -246,9 +347,7 @@ impl WorkTree {
                             AttrType::Numeric => {
                                 cat.push(None);
                                 let must_include: Vec<f64> = match &crit {
-                                    Some(CoarseCriterion::Num { attr, lo, hi })
-                                        if *attr == a =>
-                                    {
+                                    Some(CoarseCriterion::Num { attr, lo, hi }) if *attr == a => {
                                         vec![*lo, *hi]
                                     }
                                     _ => vec![],
@@ -328,7 +427,11 @@ impl WorkTree {
                 }
             })
             .collect();
-        WorkTree { schema, nodes, spill_stats }
+        WorkTree {
+            schema,
+            nodes,
+            spill_stats,
+        }
     }
 
     /// Stream one tuple down the tree, updating statistics (the cleanup
@@ -356,8 +459,7 @@ impl WorkTree {
                         if delete {
                             if !family.remove_one(r)? {
                                 return Err(DataError::Invalid(
-                                    "deletion of a record missing from a frontier family"
-                                        .into(),
+                                    "deletion of a record missing from a frontier family".into(),
                                 ));
                             }
                         } else {
@@ -426,15 +528,198 @@ impl WorkTree {
         }
     }
 
+    /// A fresh thread-local shard for the parallel cleanup scan: the node
+    /// routing structure plus zeroed clones of every mergeable statistic.
+    pub fn new_shard(&self) -> CleanupShard {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| ShardNode {
+                crit: n.crit.clone(),
+                left: n.left,
+                right: n.right,
+                keep_family: n.state.family.is_some(),
+                touched: false,
+                class_totals: vec![0; n.state.class_totals.len()],
+                cat: n
+                    .state
+                    .cat
+                    .iter()
+                    .map(|s| s.as_ref().map(CatAvc::zeroed_like))
+                    .collect(),
+                buckets: n
+                    .state
+                    .buckets
+                    .iter()
+                    .map(|s| s.as_ref().map(BucketSet::zeroed_like))
+                    .collect(),
+                edge_left: vec![0; n.state.edge_left.len()],
+            })
+            .collect();
+        CleanupShard { nodes }
+    }
+
+    /// Fold one shard's statistics into the tree.
+    ///
+    /// Every statistic is an integer count, so this is exactly associative
+    /// and commutative: merging any number of shards in any order yields
+    /// bit-identical state to a single serial accumulation. Nodes the shard
+    /// visited are marked dirty, mirroring [`WorkTree::absorb`].
+    pub fn merge_shard(&mut self, shard: &CleanupShard) {
+        debug_assert_eq!(self.nodes.len(), shard.nodes.len(), "shard shape mismatch");
+        for (node, s) in self.nodes.iter_mut().zip(&shard.nodes) {
+            if !s.touched {
+                continue;
+            }
+            node.state.dirty = true;
+            for (a, b) in node.state.class_totals.iter_mut().zip(&s.class_totals) {
+                *a += b;
+            }
+            for (a, b) in node.state.edge_left.iter_mut().zip(&s.edge_left) {
+                *a += b;
+            }
+            for (slot, sslot) in node.state.cat.iter_mut().zip(&s.cat) {
+                if let (Some(avc), Some(savc)) = (slot.as_mut(), sslot.as_ref()) {
+                    avc.merge_from(savc);
+                }
+            }
+            for (slot, sslot) in node.state.buckets.iter_mut().zip(&s.buckets) {
+                if let (Some(b), Some(sb)) = (slot.as_mut(), sslot.as_ref()) {
+                    b.merge_from(sb);
+                }
+            }
+        }
+    }
+
+    /// Apply one chunk's spill-bound deposits (parked `S_n` tuples and
+    /// retained frontier-family records) to the shared buffers.
+    ///
+    /// Deposits preserve scan order within a chunk; the caller applies
+    /// chunks in ascending chunk index — i.e. serial scan order — so every
+    /// spill buffer receives its records in exactly the sequence the serial
+    /// scan would have pushed them (bit-identical buffer and spill state).
+    pub fn apply_deposits(&mut self, deposits: Vec<(u32, Record)>) -> Result<()> {
+        for (idx, r) in deposits {
+            let node = &mut self.nodes[idx as usize];
+            match &node.crit {
+                Some(CoarseCriterion::Num { .. }) => {
+                    node.state
+                        .parked
+                        .as_mut()
+                        .expect("numeric node parks")
+                        .push(r)?;
+                }
+                None => {
+                    node.state
+                        .family
+                        .as_mut()
+                        .expect("deposit to a family-less frontier")
+                        .push(r)?;
+                }
+                Some(_) => unreachable!("categorical nodes never receive deposits"),
+            }
+        }
+        Ok(())
+    }
+
+    /// The parallel cleanup scan (insertions only).
+    ///
+    /// The main thread drives the sequential chunked scan (I/O stays one
+    /// sequential pass, exactly as the paper requires) and fans
+    /// [`boat_data::RecordChunk`]s out over a bounded channel to `threads`
+    /// scoped workers. Each worker routes its chunks down a private
+    /// [`CleanupShard`] and emits per-chunk deposits. Afterwards the main
+    /// thread reduces: shard statistics merge in any order (integer sums),
+    /// and deposits apply in ascending chunk index. The result is
+    /// bit-identical to calling [`WorkTree::absorb`] on every record in
+    /// scan order — verification sees exactly the serial state.
+    pub fn parallel_cleanup(
+        &mut self,
+        source: &dyn RecordSource,
+        threads: usize,
+        chunk_size: usize,
+    ) -> Result<()> {
+        if threads <= 1 {
+            for r in source.scan()? {
+                self.absorb(&r?, false)?;
+            }
+            return Ok(());
+        }
+        let mut shards: Vec<CleanupShard> = (0..threads).map(|_| self.new_shard()).collect();
+        let mut routed: Vec<RoutedChunk> = Vec::new();
+        let mut scan_err: Option<DataError> = None;
+        {
+            let (chunk_tx, chunk_rx) =
+                std::sync::mpsc::sync_channel::<boat_data::RecordChunk>(2 * threads);
+            let (out_tx, out_rx) = std::sync::mpsc::channel::<RoutedChunk>();
+            let chunk_rx = std::sync::Mutex::new(chunk_rx);
+            std::thread::scope(|scope| {
+                for shard in shards.iter_mut() {
+                    let rx = &chunk_rx;
+                    let tx = out_tx.clone();
+                    scope.spawn(move || loop {
+                        let next = {
+                            let guard = rx.lock().expect("chunk channel lock");
+                            guard.recv()
+                        };
+                        let Ok(chunk) = next else { break };
+                        let mut deposits = Vec::new();
+                        let index = chunk.index;
+                        for r in chunk.records {
+                            shard.route(r, &mut deposits);
+                        }
+                        if tx.send(RoutedChunk { index, deposits }).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(out_tx);
+                // Produce chunks on this thread: the scan itself is a
+                // single sequential pass over the source.
+                match source.scan_chunks(chunk_size) {
+                    Ok(chunks) => {
+                        for chunk in chunks {
+                            match chunk {
+                                Ok(c) => {
+                                    if chunk_tx.send(c).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    scan_err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => scan_err = Some(e),
+                }
+                drop(chunk_tx); // workers drain the channel and exit
+                for r in out_rx {
+                    routed.push(r);
+                }
+            });
+        }
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        // Reduce. Shard order is fixed for good measure, though any order
+        // produces identical counts; chunk order is the serial scan order.
+        for shard in &shards {
+            self.merge_shard(shard);
+        }
+        routed.sort_unstable_by_key(|c| c.index);
+        for chunk in routed {
+            self.apply_deposits(chunk.deposits)?;
+        }
+        Ok(())
+    }
+
     /// The verification / finalization pass: walk the tree top-down,
     /// re-derive every exact split, verify the coarse criteria, resolve
     /// every node, and emit completion [`Job`]s for frontier and failed
     /// nodes. Idempotent with respect to stored state.
-    pub fn finalize(
-        &mut self,
-        imp: &dyn Impurity,
-        limits: GrowthLimits,
-    ) -> Result<Vec<Job>> {
+    pub fn finalize(&mut self, imp: &dyn Impurity, limits: GrowthLimits) -> Result<Vec<Job>> {
         for node in &mut self.nodes {
             node.resolution = Resolution::Pending;
         }
@@ -467,14 +752,17 @@ impl WorkTree {
         let Some(crit) = self.nodes[idx].crit.clone() else {
             let fp = fingerprint(&self.schema, &carried);
             self.nodes[idx].resolution = Resolution::Frontier { counts: combined };
-            jobs.push(Job { idx, carried, carried_fp: fp });
+            jobs.push(Job {
+                idx,
+                carried,
+                carried_fp: fp,
+            });
             return Ok(());
         };
 
         // ---- build full-family views (stored + carried) ----
         let mut full_cat: Vec<Option<CatAvc>> = self.nodes[idx].state.cat.clone();
-        let mut full_buckets: Vec<Option<BucketSet>> =
-            self.nodes[idx].state.buckets.clone();
+        let mut full_buckets: Vec<Option<BucketSet>> = self.nodes[idx].state.buckets.clone();
         for r in &carried {
             for (a, slot) in full_cat.iter_mut().enumerate() {
                 if let Some(avc) = slot {
@@ -504,8 +792,7 @@ impl WorkTree {
                 }
             }
             CoarseCriterion::Num { attr, lo, hi } => {
-                let mut full_parked: Vec<Record> = self
-                    .nodes[idx]
+                let mut full_parked: Vec<Record> = self.nodes[idx]
                     .state
                     .parked
                     .as_mut()
@@ -580,9 +867,7 @@ impl WorkTree {
                     // boundary candidate* of any boundary inside the
                     // interval (the sweep already evaluated it).
                     let interval = match &crit {
-                        CoarseCriterion::Num { attr, lo, hi } if *attr == a => {
-                            Some((*lo, *hi))
-                        }
+                        CoarseCriterion::Num { attr, lo, hi } if *attr == a => Some((*lo, *hi)),
                         _ => None,
                     };
                     let n_total: u64 = combined.iter().sum();
@@ -617,13 +902,9 @@ impl WorkTree {
                         if let Some(stamp) = exact_upper {
                             let left_n: u64 = stamp.iter().sum();
                             if !upper_in_interval && left_n > 0 && left_n < n_total {
-                                let right: Vec<u64> = combined
-                                    .iter()
-                                    .zip(&stamp)
-                                    .map(|(t, s)| t - s)
-                                    .collect();
-                                let impurity =
-                                    boat_tree::split_impurity(imp, &stamp, &right);
+                                let right: Vec<u64> =
+                                    combined.iter().zip(&stamp).map(|(t, s)| t - s).collect();
+                                let impurity = boat_tree::split_impurity(imp, &stamp, &right);
                                 let cand = SplitEval {
                                     split: boat_tree::Split {
                                         attr: a,
@@ -656,12 +937,13 @@ impl WorkTree {
                         // `lo` or entirely above `hi`, so the direction is
                         // determined by the bucket, not the candidate).
                         let tie_wins = if a == chosen.split.attr {
-                            upper <= match &crit {
-                                CoarseCriterion::Num { lo, .. } => *lo,
-                                CoarseCriterion::Cat { .. } => unreachable!(
-                                    "numeric chosen attr under a categorical criterion"
-                                ),
-                            }
+                            upper
+                                <= match &crit {
+                                    CoarseCriterion::Num { lo, .. } => *lo,
+                                    CoarseCriterion::Cat { .. } => unreachable!(
+                                        "numeric chosen attr under a categorical criterion"
+                                    ),
+                                }
                         } else {
                             a < chosen.split.attr
                         };
@@ -723,7 +1005,11 @@ impl WorkTree {
     ) -> Result<()> {
         let fp = fingerprint(&self.schema, &carried);
         self.nodes[idx].resolution = Resolution::Failed { counts: combined };
-        jobs.push(Job { idx, carried, carried_fp: fp });
+        jobs.push(Job {
+            idx,
+            carried,
+            carried_fp: fp,
+        });
         Ok(())
     }
 
@@ -842,7 +1128,11 @@ impl WorkTree {
             n.depth += depth_offset;
             n.left = n.left.map(remap);
             n.right = n.right.map(remap);
-            n.parent = if j == 0 { parent_of_at } else { Some(remap(n.parent.expect("non-root"))) };
+            n.parent = if j == 0 {
+                parent_of_at
+            } else {
+                Some(remap(n.parent.expect("non-root")))
+            };
             if j == 0 {
                 self.nodes[at] = n;
             } else {
@@ -895,7 +1185,11 @@ pub(crate) fn build_exact_work(
     limits: GrowthLimits,
     spill_stats: IoStats,
 ) -> Result<WorkTree> {
-    let mut work = WorkTree { schema, nodes: Vec::new(), spill_stats };
+    let mut work = WorkTree {
+        schema,
+        nodes: Vec::new(),
+        spill_stats,
+    };
     build_exact_node(&mut work, None, 0, records, imp, config, limits)?;
     Ok(work)
 }
@@ -928,8 +1222,11 @@ fn build_exact_node(
 
     let Some(eval) = eval else {
         // Frontier leaf: retain the family so future growth never rescans.
-        let mut family =
-            SpillBuffer::new(schema.clone(), config.spill_budget, work.spill_stats.clone());
+        let mut family = SpillBuffer::new(
+            schema.clone(),
+            config.spill_budget,
+            work.spill_stats.clone(),
+        );
         family.extend(records)?;
         work.nodes.push(WorkNode {
             crit: None,
@@ -977,9 +1274,10 @@ fn build_exact_node(
             );
             CoarseCriterion::Num { attr: a, lo, hi }
         }
-        boat_tree::Predicate::CatIn(subset) => {
-            CoarseCriterion::Cat { attr: eval.split.attr, subset }
-        }
+        boat_tree::Predicate::CatIn(subset) => CoarseCriterion::Cat {
+            attr: eval.split.attr,
+            subset,
+        },
     };
 
     // Exact per-attribute statistics from the family.
@@ -1024,8 +1322,11 @@ fn build_exact_node(
 
     // Partition by the exact criterion with parking.
     let mut edge_left = vec![0u64; k];
-    let mut parked =
-        SpillBuffer::new(schema.clone(), config.spill_budget, work.spill_stats.clone());
+    let mut parked = SpillBuffer::new(
+        schema.clone(),
+        config.spill_budget,
+        work.spill_stats.clone(),
+    );
     let (mut left_recs, mut right_recs) = (Vec::new(), Vec::new());
     match &crit {
         CoarseCriterion::Num { attr, lo, hi } => {
@@ -1181,7 +1482,10 @@ fn widen_interval(
         .map(|(i, _)| i)
         .expect("non-empty evals");
     let mut lo_idx = evals.partition_point(|e| e.0 < lo).min(best_idx);
-    let mut hi_idx = evals.partition_point(|e| e.0 <= hi).saturating_sub(1).max(best_idx);
+    let mut hi_idx = evals
+        .partition_point(|e| e.0 <= hi)
+        .saturating_sub(1)
+        .max(best_idx);
 
     // Shelf extension, mass-capped per side.
     let mut added: u64 = 0;
@@ -1219,20 +1523,20 @@ mod tests {
 
     /// Threshold concept at 500 over 0..1000.
     fn threshold_records(n: usize) -> Vec<Record> {
-        (0..n).map(|i| {
-            let x = (i % 1000) as f64;
-            rec(x, u16::from(x > 500.0))
-        }).collect()
+        (0..n)
+            .map(|i| {
+                let x = (i % 1000) as f64;
+                rec(x, u16::from(x > 500.0))
+            })
+            .collect()
     }
 
     fn prepared(records: &[Record], cfg: &BoatConfig) -> WorkTree {
         let ds = MemoryDataset::new(schema(), records.to_vec());
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let sample =
-            boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
+        let sample = boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
         let selector = ImpuritySelector::new(Gini);
-        let coarse =
-            build_coarse_tree(&schema(), &sample, &selector, cfg, ds.len(), &mut rng);
+        let coarse = build_coarse_tree(&schema(), &sample, &selector, cfg, ds.len(), &mut rng);
         WorkTree::prepare(
             &coarse,
             schema(),
@@ -1299,6 +1603,91 @@ mod tests {
         assert_eq!(work.nodes[0].state.class_totals, counts_before);
     }
 
+    /// Assert complete per-node state equality between two work trees.
+    fn assert_same_state(a: &mut WorkTree, b: &mut WorkTree) {
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for i in 0..a.nodes.len() {
+            let (sa, sb) = (&a.nodes[i].state, &b.nodes[i].state);
+            assert_eq!(sa.class_totals, sb.class_totals, "class_totals at node {i}");
+            assert_eq!(sa.edge_left, sb.edge_left, "edge_left at node {i}");
+            assert_eq!(sa.cat, sb.cat, "cat AVCs at node {i}");
+            assert_eq!(sa.buckets, sb.buckets, "buckets at node {i}");
+            assert_eq!(sa.dirty, sb.dirty, "dirty at node {i}");
+            let (sa, sb) = (&mut a.nodes[i].state, &mut b.nodes[i].state);
+            match (sa.parked.as_mut(), sb.parked.as_mut()) {
+                (None, None) => {}
+                (Some(pa), Some(pb)) => {
+                    assert_eq!(
+                        pa.to_vec().unwrap(),
+                        pb.to_vec().unwrap(),
+                        "parked records at node {i}"
+                    );
+                }
+                _ => panic!("parked presence differs at node {i}"),
+            }
+            match (sa.family.as_mut(), sb.family.as_mut()) {
+                (None, None) => {}
+                (Some(fa), Some(fb)) => {
+                    assert_eq!(
+                        fa.to_vec().unwrap(),
+                        fb.to_vec().unwrap(),
+                        "family records at node {i}"
+                    );
+                }
+                _ => panic!("family presence differs at node {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cleanup_state_matches_serial_exactly() {
+        // Rich multi-attribute data (numeric + categorical criteria, parked
+        // buffers, frontier families) — the parallel scan must leave the
+        // work tree in *identical* state to the serial scan.
+        let gen = boat_datagen::GeneratorConfig::new(boat_datagen::LabelFunction::F6).with_seed(77);
+        let records = gen.generate_vec(4_000);
+        let ds = MemoryDataset::new(gen.schema(), records.clone());
+        let cfg = BoatConfig {
+            sample_size: 800,
+            bootstrap_reps: 8,
+            bootstrap_sample_size: 400,
+            in_memory_threshold: 100,
+            spill_budget: 16,
+            cleanup_chunk_size: 123, // odd size → ragged final chunk
+            seed: 7,
+            ..BoatConfig::default()
+        };
+        let prepare = || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let sample =
+                boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
+            let selector = ImpuritySelector::new(Gini);
+            let coarse =
+                build_coarse_tree(&gen.schema(), &sample, &selector, &cfg, ds.len(), &mut rng);
+            WorkTree::prepare(
+                &coarse,
+                gen.schema(),
+                &sample,
+                &Gini,
+                &cfg,
+                ds.len(),
+                false,
+                boat_data::IoStats::new(),
+            )
+        };
+        let mut serial = prepare();
+        for r in &records {
+            serial.absorb(r, false).unwrap();
+        }
+        for threads in [2usize, 4, 8] {
+            let mut parallel = prepare();
+            parallel
+                .parallel_cleanup(&ds, threads, cfg.cleanup_chunk_size)
+                .unwrap();
+            assert_same_state(&mut serial, &mut parallel);
+        }
+    }
+
     #[test]
     fn deleting_a_class_never_seen_errors() {
         // All records are class 0; deleting a class-1 record must fail at
@@ -1354,8 +1743,7 @@ mod tests {
         for job in jobs {
             let mut family = work.collect_subtree(job.idx).unwrap().unwrap();
             family.extend(job.carried.iter().cloned());
-            let sub =
-                boat_tree::TdTreeBuilder::new(&selector, work_limits).fit(&schema(), &family);
+            let sub = boat_tree::TdTreeBuilder::new(&selector, work_limits).fit(&schema(), &family);
             work.nodes[job.idx].grown = Some(sub);
             work.nodes[job.idx].grown_carried_fp = Some(job.carried_fp);
         }
@@ -1417,7 +1805,10 @@ mod tests {
         assert!(lo <= 9.0, "lo={lo}");
         assert!(hi >= 11.0, "hi={hi}");
         // Steepness keeps it from swallowing the whole axis.
-        assert!(lo >= 5.0 && hi <= 15.0, "[{lo},{hi}] too wide for a steep curve");
+        assert!(
+            lo >= 5.0 && hi <= 15.0,
+            "[{lo},{hi}] too wide for a steep curve"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn all_records_identical_but_labels_differ() {
 fn minimum_bootstrap_repetitions() {
     let mut cfg = tiny_config(4);
     cfg.bootstrap_reps = 2;
-    let source = GeneratorConfig::new(LabelFunction::F1).with_seed(4).source(3_000);
+    let source = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(4)
+        .source(3_000);
     let fit = Boat::new(cfg.clone()).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, cfg.limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -71,8 +73,13 @@ fn minimum_bootstrap_repetitions() {
 #[test]
 fn max_depth_one() {
     let mut cfg = tiny_config(5);
-    cfg.limits = GrowthLimits { max_depth: Some(1), ..GrowthLimits::default() };
-    let source = GeneratorConfig::new(LabelFunction::F6).with_seed(5).source(4_000);
+    cfg.limits = GrowthLimits {
+        max_depth: Some(1),
+        ..GrowthLimits::default()
+    };
+    let source = GeneratorConfig::new(LabelFunction::F6)
+        .with_seed(5)
+        .source(4_000);
     let fit = Boat::new(cfg.clone()).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, cfg.limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -85,7 +92,9 @@ fn extreme_confidence_trim() {
     // bootstrap median; exactness must survive the extra failures.
     let mut cfg = tiny_config(6);
     cfg.confidence_trim = 0.49;
-    let source = GeneratorConfig::new(LabelFunction::F1).with_seed(6).source(4_000);
+    let source = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(6)
+        .source(4_000);
     let fit = Boat::new(cfg.clone()).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, cfg.limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -95,7 +104,9 @@ fn extreme_confidence_trim() {
 fn zero_recursion_budget() {
     let mut cfg = tiny_config(7);
     cfg.max_recursion = 0; // every oversized completion goes in-memory
-    let source = GeneratorConfig::new(LabelFunction::F7).with_seed(7).source(5_000);
+    let source = GeneratorConfig::new(LabelFunction::F7)
+        .with_seed(7)
+        .source(5_000);
     let fit = Boat::new(cfg.clone()).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, cfg.limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -107,7 +118,9 @@ fn sample_larger_than_dataset() {
     let mut cfg = tiny_config(8);
     cfg.sample_size = 100_000; // the whole dataset becomes the sample
     cfg.in_memory_threshold = 10; // …but the fast path must not trigger
-    let source = GeneratorConfig::new(LabelFunction::F2).with_seed(8).source(3_000);
+    let source = GeneratorConfig::new(LabelFunction::F2)
+        .with_seed(8)
+        .source(3_000);
     let fit = Boat::new(cfg.clone()).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, cfg.limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -121,10 +134,13 @@ fn model_on_tiny_base_then_large_inserts() {
     let schema = gen.schema();
     let all = gen.generate_vec(3_100);
     let algo = Boat::new(tiny_config(9));
-    let (mut model, _) =
-        algo.fit_model(&MemoryDataset::new(schema.clone(), all[..100].to_vec())).unwrap();
+    let (mut model, _) = algo
+        .fit_model(&MemoryDataset::new(schema.clone(), all[..100].to_vec()))
+        .unwrap();
     for chunk in all[100..].chunks(1_000) {
-        model.insert(&MemoryDataset::new(schema.clone(), chunk.to_vec())).unwrap();
+        model
+            .insert(&MemoryDataset::new(schema.clone(), chunk.to_vec()))
+            .unwrap();
     }
     let reference = reference_tree(
         &MemoryDataset::new(schema, all),
@@ -209,8 +225,7 @@ fn mid_scan_io_error_is_propagated_not_panicked() {
 #[test]
 fn model_update_io_error_is_propagated() {
     let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(12);
-    let base =
-        MemoryDataset::new(gen.schema(), gen.generate_vec(1_000));
+    let base = MemoryDataset::new(gen.schema(), gen.generate_vec(1_000));
     let algo = Boat::new(tiny_config(12));
     let (mut model, _) = algo.fit_model(&base).unwrap();
     // A failing chunk: same schema as the generator's 9-attribute layout is
@@ -232,7 +247,9 @@ fn model_update_io_error_is_propagated() {
                 if i < 5 {
                     Ok(template.clone())
                 } else {
-                    Err(boat_data::DataError::Io(std::io::Error::other("chunk truncated")))
+                    Err(boat_data::DataError::Io(std::io::Error::other(
+                        "chunk truncated",
+                    )))
                 }
             })))
         }

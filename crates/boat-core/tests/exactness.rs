@@ -24,10 +24,10 @@ fn small_config(seed: u64) -> BoatConfig {
 fn check_exact(cfg: &GeneratorConfig, n: u64, boat_cfg: BoatConfig) {
     let source = cfg.source(n);
     let fit = Boat::new(boat_cfg.clone()).fit(&source).expect("boat fit");
-    let reference =
-        reference_tree(&source, Gini, boat_cfg.limits).expect("reference fit");
+    let reference = reference_tree(&source, Gini, boat_cfg.limits).expect("reference fit");
     assert_eq!(
-        fit.tree, reference,
+        fit.tree,
+        reference,
         "BOAT tree differs from the reference tree\nBOAT:\n{}\nreference:\n{}\nstats: {}",
         fit.tree.render(source.schema()),
         reference.render(source.schema()),
@@ -78,7 +78,9 @@ fn exact_on_every_label_function() {
 fn exact_with_noise() {
     for noise in [0.02, 0.06, 0.10] {
         check_exact(
-            &GeneratorConfig::new(LabelFunction::F1).with_seed(5).with_noise(noise),
+            &GeneratorConfig::new(LabelFunction::F1)
+                .with_seed(5)
+                .with_noise(noise),
             6_000,
             small_config(300),
         );
@@ -88,7 +90,9 @@ fn exact_with_noise() {
 #[test]
 fn exact_with_extra_attributes() {
     check_exact(
-        &GeneratorConfig::new(LabelFunction::F6).with_seed(6).with_extra_attrs(4),
+        &GeneratorConfig::new(LabelFunction::F6)
+            .with_seed(6)
+            .with_extra_attrs(4),
         5_000,
         small_config(400),
     );
@@ -96,8 +100,12 @@ fn exact_with_extra_attributes() {
 
 #[test]
 fn exact_with_entropy() {
-    let source = GeneratorConfig::new(LabelFunction::F2).with_seed(7).source(6_000);
-    let fit = Boat::with_impurity(small_config(500), Entropy).fit(&source).unwrap();
+    let source = GeneratorConfig::new(LabelFunction::F2)
+        .with_seed(7)
+        .source(6_000);
+    let fit = Boat::with_impurity(small_config(500), Entropy)
+        .fit(&source)
+        .unwrap();
     let reference = reference_tree(&source, Entropy, GrowthLimits::default()).unwrap();
     assert_eq!(fit.tree, reference);
 }
@@ -105,10 +113,15 @@ fn exact_with_entropy() {
 #[test]
 fn exact_with_stop_threshold() {
     // Paper-mode: stop growth at families under a size threshold.
-    let limits = GrowthLimits { stop_family_size: Some(500), ..GrowthLimits::default() };
+    let limits = GrowthLimits {
+        stop_family_size: Some(500),
+        ..GrowthLimits::default()
+    };
     let mut cfg = small_config(600);
     cfg.limits = limits;
-    let source = GeneratorConfig::new(LabelFunction::F1).with_seed(8).source(10_000);
+    let source = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(8)
+        .source(10_000);
     let fit = Boat::new(cfg).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -116,10 +129,15 @@ fn exact_with_stop_threshold() {
 
 #[test]
 fn exact_with_max_depth() {
-    let limits = GrowthLimits { max_depth: Some(3), ..GrowthLimits::default() };
+    let limits = GrowthLimits {
+        max_depth: Some(3),
+        ..GrowthLimits::default()
+    };
     let mut cfg = small_config(700);
     cfg.limits = limits;
-    let source = GeneratorConfig::new(LabelFunction::F6).with_seed(9).source(6_000);
+    let source = GeneratorConfig::new(LabelFunction::F6)
+        .with_seed(9)
+        .source(6_000);
     let fit = Boat::new(cfg).fit(&source).unwrap();
     let reference = reference_tree(&source, Gini, limits).unwrap();
     assert_eq!(fit.tree, reference);
@@ -148,14 +166,22 @@ fn exact_with_degenerate_interval_and_tiny_sample() {
     cfg.bootstrap_reps = 4;
     cfg.bootstrap_sample_size = 30;
     cfg.in_memory_threshold = 100;
-    check_exact(&GeneratorConfig::new(LabelFunction::F2).with_seed(10), 4_000, cfg);
+    check_exact(
+        &GeneratorConfig::new(LabelFunction::F2).with_seed(10),
+        4_000,
+        cfg,
+    );
 }
 
 #[test]
 fn exact_with_equidepth_discretization() {
     let mut cfg = small_config(1000);
     cfg.discretize = DiscretizeStrategy::EquiDepth { buckets: 8 };
-    check_exact(&GeneratorConfig::new(LabelFunction::F7).with_seed(11), 5_000, cfg);
+    check_exact(
+        &GeneratorConfig::new(LabelFunction::F7).with_seed(11),
+        5_000,
+        cfg,
+    );
 }
 
 #[test]
@@ -163,7 +189,11 @@ fn exact_with_zero_spill_budget() {
     // Everything parked goes to disk immediately; results identical.
     let mut cfg = small_config(1100);
     cfg.spill_budget = 0;
-    check_exact(&GeneratorConfig::new(LabelFunction::F1).with_seed(12), 5_000, cfg);
+    check_exact(
+        &GeneratorConfig::new(LabelFunction::F1).with_seed(12),
+        5_000,
+        cfg,
+    );
 }
 
 #[test]
@@ -171,8 +201,7 @@ fn typical_case_uses_two_scans() {
     // Well-conditioned data (a single crisp threshold concept): every
     // bootstrap tree agrees, every criterion verifies, and BOAT needs
     // exactly the sampling scan plus the cleanup scan.
-    let schema =
-        boat_data::Schema::shared(vec![boat_data::Attribute::numeric("x")], 2).unwrap();
+    let schema = boat_data::Schema::shared(vec![boat_data::Attribute::numeric("x")], 2).unwrap();
     let records: Vec<boat_data::Record> = (0..10_000)
         .map(|i| {
             let x = (i % 1_000) as f64;
@@ -180,7 +209,10 @@ fn typical_case_uses_two_scans() {
         })
         .collect();
     let source = MemoryDataset::new(schema, records);
-    let limits = GrowthLimits { stop_family_size: Some(1_500), ..GrowthLimits::default() };
+    let limits = GrowthLimits {
+        stop_family_size: Some(1_500),
+        ..GrowthLimits::default()
+    };
     let mut cfg = small_config(1200);
     cfg.limits = limits;
     cfg.in_memory_threshold = 1_500;
@@ -201,8 +233,13 @@ fn paper_mode_f1_needs_few_scans_and_stays_exact() {
     // F1 at paper-mode settings: the occasional structural disagreement may
     // cost a recursive partition pass, but scan counts stay far below the
     // one-scan-per-level baseline and the tree stays exact.
-    let source = GeneratorConfig::new(LabelFunction::F1).with_seed(13).source(10_000);
-    let limits = GrowthLimits { stop_family_size: Some(1_500), ..GrowthLimits::default() };
+    let source = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(13)
+        .source(10_000);
+    let limits = GrowthLimits {
+        stop_family_size: Some(1_500),
+        ..GrowthLimits::default()
+    };
     let mut cfg = small_config(1200);
     cfg.limits = limits;
     cfg.in_memory_threshold = 1_500;
@@ -218,7 +255,9 @@ fn paper_mode_f1_needs_few_scans_and_stays_exact() {
 
 #[test]
 fn small_input_takes_the_in_memory_fast_path() {
-    let source = GeneratorConfig::new(LabelFunction::F3).with_seed(14).source(300);
+    let source = GeneratorConfig::new(LabelFunction::F3)
+        .with_seed(14)
+        .source(300);
     let fit = Boat::new(small_config(1300)).fit(&source).unwrap();
     assert_eq!(fit.stats.scans_over_input, 1);
     let reference = reference_tree(&source, Gini, GrowthLimits::default()).unwrap();
@@ -227,11 +266,7 @@ fn small_input_takes_the_in_memory_fast_path() {
 
 #[test]
 fn exact_on_pure_dataset() {
-    let schema = boat_data::Schema::shared(
-        vec![boat_data::Attribute::numeric("x")],
-        2,
-    )
-    .unwrap();
+    let schema = boat_data::Schema::shared(vec![boat_data::Attribute::numeric("x")], 2).unwrap();
     let records: Vec<boat_data::Record> = (0..2_000)
         .map(|i| boat_data::Record::new(vec![boat_data::Field::Num(i as f64)], 0))
         .collect();
@@ -247,7 +282,9 @@ fn exact_on_pure_dataset() {
 
 #[test]
 fn stats_are_plausible() {
-    let source = GeneratorConfig::new(LabelFunction::F1).with_seed(15).source(8_000);
+    let source = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(15)
+        .source(8_000);
     let fit = Boat::new(small_config(1500)).fit(&source).unwrap();
     assert!(fit.stats.scans_over_input >= 2);
     assert!(fit.stats.sample_records == 1_500);
@@ -306,7 +343,10 @@ fn exact_on_four_class_data() {
         .filter(|&&id| fit.tree.node(id).is_leaf())
         .map(|&id| fit.tree.node(id).majority_label())
         .collect();
-    assert!(labels.len() >= 3, "tree should distinguish several classes: {labels:?}");
+    assert!(
+        labels.len() >= 3,
+        "tree should distinguish several classes: {labels:?}"
+    );
 }
 
 #[test]
@@ -314,12 +354,20 @@ fn exact_with_unanimous_agreement_rule() {
     // The paper's original agreement rule, end to end.
     let mut cfg = small_config(1700);
     cfg.agreement = boat_core::config::AgreementRule::Unanimous;
-    check_exact(&GeneratorConfig::new(LabelFunction::F1).with_seed(16), 6_000, cfg);
+    check_exact(
+        &GeneratorConfig::new(LabelFunction::F1).with_seed(16),
+        6_000,
+        cfg,
+    );
 }
 
 #[test]
 fn exact_with_confidence_trimming() {
     let mut cfg = small_config(1800);
     cfg.confidence_trim = 0.1;
-    check_exact(&GeneratorConfig::new(LabelFunction::F6).with_seed(17), 6_000, cfg);
+    check_exact(
+        &GeneratorConfig::new(LabelFunction::F6).with_seed(17),
+        6_000,
+        cfg,
+    );
 }

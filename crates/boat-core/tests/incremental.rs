@@ -80,17 +80,24 @@ fn interleaved_inserts_and_deletes_match_rebuild() {
     let (mut model, _) = algo.fit_model(&base).unwrap();
 
     // +[4000,7000), -[1000,2000), +[7000,10000), -[5000,6000)
-    model.insert(&mem(&schema, all[4_000..7_000].to_vec())).unwrap();
-    model.delete(&mem(&schema, all[1_000..2_000].to_vec())).unwrap();
-    model.insert(&mem(&schema, all[7_000..10_000].to_vec())).unwrap();
-    model.delete(&mem(&schema, all[5_000..6_000].to_vec())).unwrap();
+    model
+        .insert(&mem(&schema, all[4_000..7_000].to_vec()))
+        .unwrap();
+    model
+        .delete(&mem(&schema, all[1_000..2_000].to_vec()))
+        .unwrap();
+    model
+        .insert(&mem(&schema, all[7_000..10_000].to_vec()))
+        .unwrap();
+    model
+        .delete(&mem(&schema, all[5_000..6_000].to_vec()))
+        .unwrap();
 
     let mut net: Vec<Record> = Vec::new();
     net.extend_from_slice(&all[..1_000]);
     net.extend_from_slice(&all[2_000..5_000]);
     net.extend_from_slice(&all[6_000..10_000]);
-    let reference =
-        reference_tree(&mem(&schema, net), Gini, GrowthLimits::default()).unwrap();
+    let reference = reference_tree(&mem(&schema, net), Gini, GrowthLimits::default()).unwrap();
     assert_eq!(model.tree().unwrap(), &reference);
 }
 
@@ -114,7 +121,11 @@ fn same_distribution_updates_do_not_rescan_base() {
         scans_after_build,
         "incremental insert + maintenance must not rescan the base dataset"
     );
-    assert_eq!(chunk.stats().snapshot().scans, 1, "exactly one scan over the chunk");
+    assert_eq!(
+        chunk.stats().snapshot().scans,
+        1,
+        "exactly one scan over the chunk"
+    );
 }
 
 #[test]
@@ -135,8 +146,7 @@ fn drift_chunk_still_yields_exact_tree() {
     let report = model.maintain().unwrap();
     let mut net = base_records;
     net.extend(drift_records);
-    let reference =
-        reference_tree(&mem(&schema, net), Gini, GrowthLimits::default()).unwrap();
+    let reference = reference_tree(&mem(&schema, net), Gini, GrowthLimits::default()).unwrap();
     assert_eq!(model.tree().unwrap(), &reference);
     let _ = report; // drift may or may not surface as Failed at this scale
 }
@@ -154,7 +164,11 @@ fn insert_then_delete_roundtrips_to_original_tree() {
     let chunk = mem(&schema, all[5_000..].to_vec());
     model.insert(&chunk).unwrap();
     model.delete(&chunk).unwrap();
-    assert_eq!(model.tree().unwrap(), &original, "insert followed by delete must round-trip");
+    assert_eq!(
+        model.tree().unwrap(),
+        &original,
+        "insert followed by delete must round-trip"
+    );
 }
 
 #[test]
@@ -165,9 +179,14 @@ fn deleting_a_missing_record_errors() {
     let algo = Boat::new(config(2700));
     let (mut model, _) = algo.fit_model(&base).unwrap();
 
-    let foreign = GeneratorConfig::new(LabelFunction::F1).with_seed(999).generate_vec(1);
+    let foreign = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(999)
+        .generate_vec(1);
     let result = model.delete(&mem(&schema, foreign));
-    assert!(result.is_err(), "deleting a record that was never inserted must fail");
+    assert!(
+        result.is_err(),
+        "deleting a record that was never inserted must fail"
+    );
 }
 
 #[test]
@@ -191,17 +210,23 @@ fn many_small_chunks_match_one_big_chunk() {
     let all = gen.generate_vec(9_000);
     let algo = Boat::new(config(2900));
 
-    let (mut small_chunks, _) =
-        algo.fit_model(&mem(&schema, all[..3_000].to_vec())).unwrap();
+    let (mut small_chunks, _) = algo
+        .fit_model(&mem(&schema, all[..3_000].to_vec()))
+        .unwrap();
     for start in (3_000..9_000).step_by(1_000) {
-        small_chunks.insert(&mem(&schema, all[start..start + 1_000].to_vec())).unwrap();
+        small_chunks
+            .insert(&mem(&schema, all[start..start + 1_000].to_vec()))
+            .unwrap();
     }
 
-    let (mut one_chunk, _) = algo.fit_model(&mem(&schema, all[..3_000].to_vec())).unwrap();
-    one_chunk.insert(&mem(&schema, all[3_000..].to_vec())).unwrap();
+    let (mut one_chunk, _) = algo
+        .fit_model(&mem(&schema, all[..3_000].to_vec()))
+        .unwrap();
+    one_chunk
+        .insert(&mem(&schema, all[3_000..].to_vec()))
+        .unwrap();
 
     assert_eq!(small_chunks.tree().unwrap(), one_chunk.tree().unwrap());
-    let reference =
-        reference_tree(&mem(&schema, all), Gini, GrowthLimits::default()).unwrap();
+    let reference = reference_tree(&mem(&schema, all), Gini, GrowthLimits::default()).unwrap();
     assert_eq!(small_chunks.tree().unwrap(), &reference);
 }

@@ -1,0 +1,218 @@
+//! Property tests for the shard-merge algebra behind the parallel cleanup
+//! scan.
+//!
+//! The parallel scan's exactness rests on one algebraic fact: every per-node
+//! statistic ([`BucketSet`], [`CatAvc`], plain `u64` class counters) forms a
+//! commutative monoid under `merge_from`, with `zeroed_like` as identity,
+//! and a partitioned accumulation merged in *any* order equals one
+//! sequential accumulation bit for bit. These properties pin that down over
+//! randomized operation streams — including values that collide with bucket
+//! boundaries, where `BucketSet` keeps separate exact counts.
+
+use boat_core::buckets::BucketSet;
+use boat_tree::CatAvc;
+use proptest::prelude::*;
+
+const K: usize = 3; // classes
+const CARD: u32 = 8; // categorical cardinality
+
+/// One recorded tuple as seen by a numeric accumulator: (value, label).
+/// Values live on a small grid shared with the boundary strategy so that
+/// exact boundary hits (the `at_boundary` side channel) are common.
+fn arb_num_ops() -> impl Strategy<Value = Vec<(f64, u16)>> {
+    prop::collection::vec(
+        ((0i32..40).prop_map(|v| v as f64 * 0.5), 0u16..K as u16),
+        0..200,
+    )
+}
+
+fn arb_boundaries() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0i32..40).prop_map(|v| v as f64 * 0.5), 0..10)
+}
+
+fn arb_cat_ops() -> impl Strategy<Value = Vec<(u32, u16)>> {
+    prop::collection::vec((0u32..CARD, 0u16..K as u16), 0..200)
+}
+
+/// Chunked operation streams: the partition a chunked parallel scan induces.
+fn arb_num_chunks() -> impl Strategy<Value = Vec<Vec<(f64, u16)>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            ((0i32..40).prop_map(|v| v as f64 * 0.5), 0u16..K as u16),
+            0..60,
+        ),
+        0..6,
+    )
+}
+
+fn bucket_accumulate(proto: &BucketSet, ops: &[(f64, u16)]) -> BucketSet {
+    let mut b = proto.zeroed_like();
+    for &(v, l) in ops {
+        b.add(v, l);
+    }
+    b
+}
+
+fn cat_accumulate(ops: &[(u32, u16)]) -> CatAvc {
+    let mut a = CatAvc::new(CARD, K);
+    for &(c, l) in ops {
+        a.add(c, l);
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_merge_is_commutative(
+        bounds in arb_boundaries(),
+        xs in arb_num_ops(),
+        ys in arb_num_ops(),
+    ) {
+        let proto = BucketSet::new(bounds, K);
+        let a = bucket_accumulate(&proto, &xs);
+        let b = bucket_accumulate(&proto, &ys);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn bucket_merge_is_associative(
+        bounds in arb_boundaries(),
+        xs in arb_num_ops(),
+        ys in arb_num_ops(),
+        zs in arb_num_ops(),
+    ) {
+        let proto = BucketSet::new(bounds, K);
+        let (a, b, c) = (
+            bucket_accumulate(&proto, &xs),
+            bucket_accumulate(&proto, &ys),
+            bucket_accumulate(&proto, &zs),
+        );
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn bucket_zeroed_is_identity(bounds in arb_boundaries(), xs in arb_num_ops()) {
+        let proto = BucketSet::new(bounds, K);
+        let a = bucket_accumulate(&proto, &xs);
+        let mut left = proto.zeroed_like();
+        left.merge_from(&a);
+        prop_assert_eq!(&left, &a);
+        let mut right = a.clone();
+        right.merge_from(&proto.zeroed_like());
+        prop_assert_eq!(&right, &a);
+    }
+
+    #[test]
+    fn bucket_chunked_merge_equals_single_pass(
+        bounds in arb_boundaries(),
+        chunks in arb_num_chunks(),
+    ) {
+        let proto = BucketSet::new(bounds, K);
+        // One sequential pass over the concatenated stream …
+        let all: Vec<(f64, u16)> = chunks.iter().flatten().copied().collect();
+        let serial = bucket_accumulate(&proto, &all);
+        // … equals per-chunk shards merged in order …
+        let shards: Vec<BucketSet> =
+            chunks.iter().map(|c| bucket_accumulate(&proto, c)).collect();
+        let mut forward = proto.zeroed_like();
+        for s in &shards {
+            forward.merge_from(s);
+        }
+        prop_assert_eq!(&forward, &serial);
+        // … and merged in reverse order.
+        let mut backward = proto.zeroed_like();
+        for s in shards.iter().rev() {
+            backward.merge_from(s);
+        }
+        prop_assert_eq!(&backward, &serial);
+    }
+
+    #[test]
+    fn cat_merge_is_commutative(xs in arb_cat_ops(), ys in arb_cat_ops()) {
+        let a = cat_accumulate(&xs);
+        let b = cat_accumulate(&ys);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn cat_merge_is_associative(
+        xs in arb_cat_ops(),
+        ys in arb_cat_ops(),
+        zs in arb_cat_ops(),
+    ) {
+        let (a, b, c) = (cat_accumulate(&xs), cat_accumulate(&ys), cat_accumulate(&zs));
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn cat_chunked_merge_equals_single_pass(
+        chunks in prop::collection::vec(arb_cat_ops(), 0..6),
+    ) {
+        let all: Vec<(u32, u16)> = chunks.iter().flatten().copied().collect();
+        let serial = cat_accumulate(&all);
+        let shards: Vec<CatAvc> = chunks.iter().map(|c| cat_accumulate(c)).collect();
+        let mut forward = cat_accumulate(&[]);
+        for s in &shards {
+            forward.merge_from(s);
+        }
+        prop_assert_eq!(&forward, &serial);
+        let mut backward = cat_accumulate(&[]);
+        for s in shards.iter().rev() {
+            backward.merge_from(s);
+        }
+        prop_assert_eq!(&backward, &serial);
+    }
+
+    #[test]
+    fn bucket_merge_agrees_with_interleaved_adds(
+        bounds in arb_boundaries(),
+        xs in arb_num_ops(),
+        ys in arb_num_ops(),
+    ) {
+        // Two shards merged equals the *interleaved* serial stream — counts
+        // do not care how the scan order interleaved the two partitions.
+        let proto = BucketSet::new(bounds, K);
+        let mut merged = bucket_accumulate(&proto, &xs);
+        merged.merge_from(&bucket_accumulate(&proto, &ys));
+        let mut interleaved = proto.zeroed_like();
+        let (mut i, mut j) = (0, 0);
+        while i < xs.len() || j < ys.len() {
+            // Deterministic round-robin interleaving.
+            if i < xs.len() {
+                interleaved.add(xs[i].0, xs[i].1);
+                i += 1;
+            }
+            if j < ys.len() {
+                interleaved.add(ys[j].0, ys[j].1);
+                j += 1;
+            }
+        }
+        prop_assert_eq!(merged, interleaved);
+    }
+}

@@ -1,0 +1,211 @@
+//! Exactness oracle for the parallel cleanup scan.
+//!
+//! The parallel scan must be *invisible*: at every thread count BOAT must
+//! produce the same tree as the serial scan — which in turn must equal the
+//! greedy reference tree — and the deterministic run statistics (scan
+//! counts, parked/spilled tuples, verification outcomes, input I/O) must be
+//! identical, because verification is supposed to see bit-identical state.
+//! This suite sweeps a grid of generator functions × noise levels ×
+//! `cleanup_threads ∈ {1, 2, 4, 8}` against both oracles.
+
+use boat_core::{reference_tree, Boat, BoatConfig, BoatRunStats};
+use boat_data::dataset::RecordSource;
+use boat_data::IoStats;
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_tree::{Gini, Tree};
+
+/// Thread counts required by the acceptance criteria.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn grid_config(seed: u64) -> BoatConfig {
+    BoatConfig {
+        sample_size: 1_500,
+        bootstrap_reps: 12,
+        bootstrap_sample_size: 600,
+        in_memory_threshold: 400,
+        spill_budget: 64,
+        // Small chunks so that even the grid's small inputs split into
+        // dozens of chunks per worker — otherwise chunking is vacuous.
+        cleanup_chunk_size: 256,
+        seed,
+        ..BoatConfig::default()
+    }
+}
+
+/// The deterministic subset of [`BoatRunStats`] (everything but wall times
+/// and spill-file I/O bytes, which may legitimately vary with buffering).
+#[derive(Debug, PartialEq)]
+struct DeterministicStats {
+    scans_over_input: u64,
+    sample_records: u64,
+    coarse_nodes: u64,
+    verified_nodes: u64,
+    failed_nodes: u64,
+    parked_tuples: u64,
+    spilled_tuples: u64,
+    inmem_builds: u64,
+    recursive_builds: u64,
+    input_records_read: u64,
+    input_bytes_read: u64,
+}
+
+impl DeterministicStats {
+    fn of(stats: &BoatRunStats) -> Self {
+        DeterministicStats {
+            scans_over_input: stats.scans_over_input,
+            sample_records: stats.sample_records,
+            coarse_nodes: stats.coarse_nodes,
+            verified_nodes: stats.verified_nodes,
+            failed_nodes: stats.failed_nodes,
+            parked_tuples: stats.parked_tuples,
+            spilled_tuples: stats.spilled_tuples,
+            inmem_builds: stats.inmem_builds,
+            recursive_builds: stats.recursive_builds,
+            input_records_read: stats.io.records_read,
+            input_bytes_read: stats.io.bytes_read,
+        }
+    }
+}
+
+/// Fit BOAT at every thread count, assert every tree equals both the serial
+/// tree and the greedy reference, and that deterministic stats agree.
+fn check_grid_point(gen: &GeneratorConfig, n: u64, base: BoatConfig) {
+    let source = gen.source(n);
+    let reference = reference_tree(&source, Gini, base.limits).expect("reference fit");
+
+    let mut serial: Option<(Tree, DeterministicStats)> = None;
+    for threads in THREADS {
+        // A fresh source per run so `stats.io` counts this run only.
+        let source = gen.source(n);
+        let cfg = base.clone().with_cleanup_threads(threads);
+        let fit = Boat::new(cfg).fit(&source).expect("boat fit");
+        assert_eq!(
+            fit.tree,
+            reference,
+            "threads={threads}: BOAT tree differs from the reference\nBOAT:\n{}\nreference:\n{}\nstats: {}",
+            fit.tree.render(source.schema()),
+            reference.render(source.schema()),
+            fit.stats,
+        );
+        let det = DeterministicStats::of(&fit.stats);
+        match &serial {
+            None => serial = Some((fit.tree, det)),
+            Some((tree1, det1)) => {
+                assert_eq!(
+                    &fit.tree, tree1,
+                    "threads={threads}: tree differs from the serial (1-thread) tree"
+                );
+                assert_eq!(
+                    &det, det1,
+                    "threads={threads}: run statistics differ from the serial run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_exact_on_f1_grid() {
+    for (i, &noise) in [0.0, 0.05].iter().enumerate() {
+        check_grid_point(
+            &GeneratorConfig::new(LabelFunction::F1)
+                .with_seed(21)
+                .with_noise(noise),
+            5_000,
+            grid_config(2_100 + i as u64),
+        );
+    }
+}
+
+#[test]
+fn parallel_exact_on_f6_grid() {
+    for (i, &noise) in [0.0, 0.05].iter().enumerate() {
+        check_grid_point(
+            &GeneratorConfig::new(LabelFunction::F6)
+                .with_seed(22)
+                .with_noise(noise),
+            5_000,
+            grid_config(2_200 + i as u64),
+        );
+    }
+}
+
+#[test]
+fn parallel_exact_on_f7_grid() {
+    for (i, &noise) in [0.0, 0.05].iter().enumerate() {
+        check_grid_point(
+            &GeneratorConfig::new(LabelFunction::F7)
+                .with_seed(23)
+                .with_noise(noise),
+            5_000,
+            grid_config(2_300 + i as u64),
+        );
+    }
+}
+
+#[test]
+fn parallel_exact_with_categorical_splits_and_extra_attrs() {
+    // F3 splits on the categorical `elevel`; extra attributes widen the
+    // per-node statistics the shards must merge.
+    check_grid_point(
+        &GeneratorConfig::new(LabelFunction::F3)
+            .with_seed(24)
+            .with_extra_attrs(3),
+        4_000,
+        grid_config(2_400),
+    );
+}
+
+#[test]
+fn parallel_exact_with_zero_spill_budget() {
+    // Every deposit goes straight to a spill file: the chunk-ordered
+    // application must reproduce the serial spill stream exactly.
+    let mut cfg = grid_config(2_500);
+    cfg.spill_budget = 0;
+    check_grid_point(
+        &GeneratorConfig::new(LabelFunction::F1).with_seed(25),
+        5_000,
+        cfg,
+    );
+}
+
+#[test]
+fn parallel_exact_on_disk_dataset() {
+    // The same oracle through the on-disk chunked scan path.
+    let dir = std::env::temp_dir().join("boat-parallel-exactness");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("f6.boat");
+    let gen = GeneratorConfig::new(LabelFunction::F6).with_seed(26);
+    let ds = gen.materialize(&path, 6_000).unwrap();
+    let reference = reference_tree(&ds, Gini, grid_config(0).limits).unwrap();
+
+    let mut first: Option<Tree> = None;
+    for threads in THREADS {
+        let ds = boat_data::FileDataset::open(&path, IoStats::new()).unwrap();
+        let cfg = grid_config(2_600).with_cleanup_threads(threads);
+        let fit = Boat::new(cfg).fit(&ds).unwrap();
+        assert_eq!(
+            fit.tree, reference,
+            "threads={threads} differs on the disk path"
+        );
+        match &first {
+            None => first = Some(fit.tree),
+            Some(t) => assert_eq!(&fit.tree, t),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn threads_beyond_chunks_degenerate_gracefully() {
+    // More workers than chunks (and than records): spare workers stay idle
+    // and the result is still exact.
+    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(27);
+    let source = gen.source(2_000);
+    let mut cfg = grid_config(2_700);
+    cfg.cleanup_chunk_size = 100_000; // single chunk
+    cfg.cleanup_threads = 8;
+    let fit = Boat::new(cfg.clone()).fit(&source).unwrap();
+    let reference = reference_tree(&source, Gini, cfg.limits).unwrap();
+    assert_eq!(fit.tree, reference);
+}

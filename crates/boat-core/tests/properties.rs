@@ -26,7 +26,10 @@ fn schema() -> Arc<Schema> {
 fn arb_records(max: usize) -> impl Strategy<Value = Vec<Record>> {
     prop::collection::vec(
         (0i64..30, 0u32..4, 0i64..10, 0u16..2).prop_map(|(x, c, y, l)| {
-            Record::new(vec![Field::Num(x as f64), Field::Cat(c), Field::Num(y as f64)], l)
+            Record::new(
+                vec![Field::Num(x as f64), Field::Cat(c), Field::Num(y as f64)],
+                l,
+            )
         }),
         0..=max,
     )

@@ -36,7 +36,11 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { has_header: true, delimiter: ',', label_column: None }
+        CsvOptions {
+            has_header: true,
+            delimiter: ',',
+            label_column: None,
+        }
     }
 }
 
@@ -138,10 +142,16 @@ struct RowParser {
 impl RowParser {
     fn new(schema: Arc<Schema>, options: CsvOptions) -> Self {
         let dicts = CsvDictionaries {
-            attributes: (0..schema.n_attributes()).map(|_| CategoryDictionary::default()).collect(),
+            attributes: (0..schema.n_attributes())
+                .map(|_| CategoryDictionary::default())
+                .collect(),
             label: CategoryDictionary::default(),
         };
-        RowParser { schema, options, dicts }
+        RowParser {
+            schema,
+            options,
+            dicts,
+        }
     }
 
     fn parse(&mut self, line_no: usize, line: &str) -> Result<Record> {
@@ -302,7 +312,10 @@ mod tests {
     #[test]
     fn numeric_category_codes_pass_through() {
         let path = write_tmp("codes.csv", "30,2,1000,1\n31,0,2000,0\n");
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let (ds, dicts) = read_csv(&path, schema(), opts).unwrap();
         assert_eq!(ds.records()[0].cat(1), 2);
         assert_eq!(ds.records()[0].label(), 1);
@@ -337,7 +350,10 @@ mod tests {
     #[test]
     fn wrong_column_count_is_an_error_with_line_number() {
         let path = write_tmp("short.csv", "30,2,1000,1\n31,0\n");
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let err = read_csv(&path, schema(), opts).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
     }
@@ -345,7 +361,10 @@ mod tests {
     #[test]
     fn bad_number_is_an_error() {
         let path = write_tmp("badnum.csv", "abc,2,1000,1\n");
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         assert!(read_csv(&path, schema(), opts).is_err());
     }
 
@@ -355,7 +374,10 @@ mod tests {
             "overflow.csv",
             "1,a,1,0\n1,b,1,0\n1,c,1,0\n1,d,1,0\n1,e,1,0\n",
         );
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let err = read_csv(&path, schema(), opts).unwrap_err();
         assert!(err.to_string().contains("city"), "{err}");
     }
@@ -363,7 +385,10 @@ mod tests {
     #[test]
     fn unterminated_quote_is_an_error() {
         let path = write_tmp("unterm.csv", "1,\"oops,1,0\n");
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         assert!(read_csv(&path, schema(), opts).is_err());
     }
 
@@ -373,7 +398,9 @@ mod tests {
             "streamed.csv",
             "age,city,income,label\n34,berlin,52000,yes\n41,tokyo,61000,no\n",
         );
-        let out = std::env::temp_dir().join("boat-csv-tests").join("streamed.boat");
+        let out = std::env::temp_dir()
+            .join("boat-csv-tests")
+            .join("streamed.boat");
         let (ds, dicts) =
             import_csv(&csv, &out, schema(), CsvOptions::default(), IoStats::new()).unwrap();
         assert_eq!(ds.len(), 2);
@@ -386,7 +413,10 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let path = write_tmp("blank.csv", "30,2,1000,1\n\n31,0,2000,0\n\n");
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let (ds, _) = read_csv(&path, schema(), opts).unwrap();
         assert_eq!(ds.len(), 2);
     }
@@ -394,8 +424,11 @@ mod tests {
     #[test]
     fn semicolon_delimiter() {
         let path = write_tmp("semi.csv", "30;2;1000;1\n");
-        let opts =
-            CsvOptions { has_header: false, delimiter: ';', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
         let (ds, _) = read_csv(&path, schema(), opts).unwrap();
         assert_eq!(ds.records()[0].num(2), 1000.0);
     }

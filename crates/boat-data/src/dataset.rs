@@ -7,7 +7,7 @@
 //! more (the synthetic generator and the base-plus-delta [`crate::log`]).
 
 use crate::codec;
-use crate::iostats::IoStats;
+use crate::iostats::{IoSnapshot, IoStats};
 use crate::record::Record;
 use crate::schema::{AttrType, Attribute, Schema};
 use crate::{DataError, Result};
@@ -50,6 +50,123 @@ pub trait RecordSource {
         }
         Ok(out)
     }
+
+    /// Begin a fresh scan delivered as fixed-size [`RecordChunk`]s (the
+    /// last chunk may be short). Chunks carry their scan-order `index` so
+    /// consumers that process them out of order — e.g. a parallel cleanup
+    /// scan — can still apply order-sensitive state deterministically.
+    ///
+    /// The default implementation slices [`RecordSource::scan`]; sources
+    /// with a natural chunk structure (or tests that want to permute
+    /// delivery order) may override it. Counts as one scan.
+    fn scan_chunks(&self, chunk_size: usize) -> Result<Box<dyn ChunkScan + '_>> {
+        Ok(Box::new(Chunks::new(
+            self.scan()?,
+            self.stats().clone(),
+            chunk_size,
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked scans
+// ---------------------------------------------------------------------------
+
+/// A contiguous run of records from a chunked scan, tagged with its position
+/// so out-of-order consumers can restore scan order.
+#[derive(Debug, Clone)]
+pub struct RecordChunk {
+    /// 0-based position of this chunk in scan order.
+    pub index: usize,
+    /// Scan-order index of the first record in this chunk.
+    pub first_record: u64,
+    /// The records, in scan order.
+    pub records: Vec<Record>,
+    /// I/O performed while producing this chunk (a snapshot delta over the
+    /// source's counters; exact when the producing thread is the only one
+    /// driving this source, which is how the cleanup scan uses it).
+    pub io: IoSnapshot,
+}
+
+impl RecordChunk {
+    /// Number of records in the chunk.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the chunk holds no records (never produced by [`Chunks`]).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A streaming scan over chunks. The blanket impl makes any
+/// `Iterator<Item = Result<RecordChunk>>` a chunk scan.
+pub trait ChunkScan: Iterator<Item = Result<RecordChunk>> {}
+impl<T: Iterator<Item = Result<RecordChunk>>> ChunkScan for T {}
+
+/// Adapter slicing any [`RecordScan`] into fixed-size [`RecordChunk`]s;
+/// backs the default [`RecordSource::scan_chunks`].
+pub struct Chunks<'a> {
+    inner: Box<dyn RecordScan + 'a>,
+    stats: IoStats,
+    chunk_size: usize,
+    index: usize,
+    first_record: u64,
+    done: bool,
+}
+
+impl<'a> Chunks<'a> {
+    /// Wrap `scan`, reporting per-chunk I/O deltas against `stats`.
+    /// `chunk_size` is clamped to at least 1.
+    pub fn new(scan: Box<dyn RecordScan + 'a>, stats: IoStats, chunk_size: usize) -> Self {
+        Chunks {
+            inner: scan,
+            stats,
+            chunk_size: chunk_size.max(1),
+            index: 0,
+            first_record: 0,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for Chunks<'_> {
+    type Item = Result<RecordChunk>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let before = self.stats.snapshot();
+        let mut records = Vec::with_capacity(self.chunk_size);
+        while records.len() < self.chunk_size {
+            match self.inner.next() {
+                None => {
+                    self.done = true;
+                    break;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(r)) => records.push(r),
+            }
+        }
+        if records.is_empty() {
+            return None;
+        }
+        let io = self.stats.snapshot() - before;
+        let chunk = RecordChunk {
+            index: self.index,
+            first_record: self.first_record,
+            records,
+            io,
+        };
+        self.index += 1;
+        self.first_record += chunk.records.len() as u64;
+        Some(Ok(chunk))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -68,13 +185,21 @@ pub struct MemoryDataset {
 impl MemoryDataset {
     /// Wrap records (assumed schema-conformant) in a dataset.
     pub fn new(schema: Arc<Schema>, records: Vec<Record>) -> Self {
-        MemoryDataset { schema, records, stats: IoStats::new() }
+        MemoryDataset {
+            schema,
+            records,
+            stats: IoStats::new(),
+        }
     }
 
     /// Like [`MemoryDataset::new`] but reporting into an existing counter
     /// handle.
     pub fn with_stats(schema: Arc<Schema>, records: Vec<Record>, stats: IoStats) -> Self {
-        MemoryDataset { schema, records, stats }
+        MemoryDataset {
+            schema,
+            records,
+            stats,
+        }
     }
 
     /// Validate every record against the schema, then wrap.
@@ -160,7 +285,9 @@ fn read_schema(r: &mut impl Read) -> Result<Schema> {
     let n_classes = u16::from_le_bytes(read_exact_buf::<2>(r)?);
     let n_attrs = u32::from_le_bytes(read_exact_buf::<4>(r)?);
     if n_attrs > 1 << 20 {
-        return Err(DataError::Corrupt(format!("implausible attribute count {n_attrs}")));
+        return Err(DataError::Corrupt(format!(
+            "implausible attribute count {n_attrs}"
+        )));
     }
     let mut attrs = Vec::with_capacity(n_attrs as usize);
     for _ in 0..n_attrs {
@@ -214,7 +341,13 @@ impl FileDataset {
                 path.display()
             )));
         }
-        Ok(FileDataset { path, schema, n_records, data_offset, stats })
+        Ok(FileDataset {
+            path,
+            schema,
+            n_records,
+            data_offset,
+            stats,
+        })
     }
 
     /// Materialize any source into a new dataset file at `path`.
@@ -351,7 +484,10 @@ impl FileDatasetWriter {
     /// Patch the record count into the header and open the finished dataset.
     pub fn finish(mut self) -> Result<FileDataset> {
         self.writer.flush()?;
-        let mut file = self.writer.into_inner().map_err(|e| DataError::Io(e.into_error()))?;
+        let mut file = self
+            .writer
+            .into_inner()
+            .map_err(|e| DataError::Io(e.into_error()))?;
         file.seek(SeekFrom::Start(self.count_offset))?;
         file.write_all(&self.n_records.to_le_bytes())?;
         file.sync_data()?;
@@ -494,9 +630,95 @@ mod tests {
     }
 
     #[test]
+    fn chunked_scan_covers_source_in_order() {
+        let ds = MemoryDataset::new(schema(), records(10));
+        let chunks: Vec<_> = ds
+            .scan_chunks(3)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(
+            chunks.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
+        assert_eq!(
+            chunks.iter().map(|c| c.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            chunks.iter().map(|c| c.first_record).collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
+        let flat: Vec<Record> = chunks.into_iter().flat_map(|c| c.records).collect();
+        assert_eq!(flat, records(10));
+        // One scan counted, same as a plain scan.
+        assert_eq!(ds.stats().snapshot().scans, 1);
+    }
+
+    #[test]
+    fn chunked_scan_reports_per_chunk_io() {
+        let ds = MemoryDataset::new(schema(), records(7));
+        let width = ds.schema().record_width() as u64;
+        let chunks: Vec<_> = ds
+            .scan_chunks(4)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].io.records_read, 4);
+        assert_eq!(chunks[0].io.bytes_read, 4 * width);
+        assert_eq!(chunks[1].io.records_read, 3);
+        assert_eq!(chunks[1].io.bytes_read, 3 * width);
+    }
+
+    #[test]
+    fn chunked_scan_on_file_dataset_matches_memory() {
+        let dir = std::env::temp_dir().join("boat-data-test-chunks");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.boat");
+        let mut w = FileDatasetWriter::create(&path, schema(), IoStats::new()).unwrap();
+        for r in records(25) {
+            w.append(&r).unwrap();
+        }
+        let ds = w.finish().unwrap();
+        let flat: Vec<Record> = ds
+            .scan_chunks(8)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap()
+            .into_iter()
+            .flat_map(|c| c.records)
+            .collect();
+        assert_eq!(flat, records(25));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chunked_scan_of_empty_source_yields_no_chunks() {
+        let ds = MemoryDataset::new(schema(), vec![]);
+        assert_eq!(ds.scan_chunks(4).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn chunk_size_zero_is_clamped() {
+        let ds = MemoryDataset::new(schema(), records(3));
+        let chunks: Vec<_> = ds
+            .scan_chunks(0)
+            .unwrap()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
     fn schema_header_roundtrips_exotic_names() {
         let schema = Schema::shared(
-            vec![Attribute::numeric("日本語 name"), Attribute::categorical("c-2", 64)],
+            vec![
+                Attribute::numeric("日本語 name"),
+                Attribute::categorical("c-2", 64),
+            ],
             7,
         )
         .unwrap();

@@ -103,7 +103,10 @@ impl fmt::Display for IoSnapshot {
         write!(
             f,
             "scans={} read={}rec/{}B written={}rec/{}B",
-            self.scans, self.records_read, self.bytes_read, self.records_written,
+            self.scans,
+            self.records_read,
+            self.bytes_read,
+            self.records_written,
             self.bytes_written
         )
     }

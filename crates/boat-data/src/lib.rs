@@ -34,7 +34,10 @@ pub mod sample;
 pub mod schema;
 pub mod spill;
 
-pub use dataset::{FileDataset, FileDatasetWriter, MemoryDataset, RecordScan, RecordSource};
+pub use dataset::{
+    ChunkScan, Chunks, FileDataset, FileDatasetWriter, MemoryDataset, RecordChunk, RecordScan,
+    RecordSource,
+};
 pub use error::{DataError, Result};
 pub use iostats::{IoSnapshot, IoStats};
 pub use record::{Field, Record};

@@ -37,7 +37,13 @@ impl DatasetLog {
     /// Start a log from a base dataset.
     pub fn new(base: Box<dyn RecordSource>, stats: IoStats) -> Self {
         let schema = base.schema().clone();
-        DatasetLog { schema, sources: vec![base], deletes: HashMap::new(), n_deletes: 0, stats }
+        DatasetLog {
+            schema,
+            sources: vec![base],
+            deletes: HashMap::new(),
+            n_deletes: 0,
+            stats,
+        }
     }
 
     /// Append an insertion chunk. Its schema must match the base schema.
@@ -81,8 +87,7 @@ impl DatasetLog {
         path: impl AsRef<std::path::Path>,
         stats: IoStats,
     ) -> Result<crate::FileDataset> {
-        let mut writer =
-            crate::FileDatasetWriter::create(path, self.schema.clone(), stats)?;
+        let mut writer = crate::FileDatasetWriter::create(path, self.schema.clone(), stats)?;
         for r in self.scan()? {
             writer.append(&r?)?;
         }
@@ -195,12 +200,19 @@ mod tests {
     }
 
     fn mem(xs: &[f64]) -> Box<MemoryDataset> {
-        Box::new(MemoryDataset::new(schema(), xs.iter().map(|&x| rec(x)).collect()))
+        Box::new(MemoryDataset::new(
+            schema(),
+            xs.iter().map(|&x| rec(x)).collect(),
+        ))
     }
 
     fn xs_of(log: &DatasetLog) -> Vec<i64> {
-        let mut v: Vec<i64> =
-            log.collect_records().unwrap().iter().map(|r| r.num(0) as i64).collect();
+        let mut v: Vec<i64> = log
+            .collect_records()
+            .unwrap()
+            .iter()
+            .map(|r| r.num(0) as i64)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -251,8 +263,8 @@ mod tests {
 
     #[test]
     fn schema_mismatch_rejected() {
-        let other = Schema::shared(vec![Attribute::numeric("x"), Attribute::numeric("y")], 2)
-            .unwrap();
+        let other =
+            Schema::shared(vec![Attribute::numeric("x"), Attribute::numeric("y")], 2).unwrap();
         let chunk = Box::new(MemoryDataset::new(
             other,
             vec![Record::new(vec![Field::Num(0.0), Field::Num(0.0)], 0)],
@@ -267,7 +279,11 @@ mod tests {
         let mut log = DatasetLog::new(mem(&[1.0, 2.0]), IoStats::new());
         log.push_deletions(&*mem(&[1.0])).unwrap();
         assert_eq!(xs_of(&log), vec![2]);
-        assert_eq!(xs_of(&log), vec![2], "second scan sees the same logical contents");
+        assert_eq!(
+            xs_of(&log),
+            vec![2],
+            "second scan sees the same logical contents"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct Record {
 impl Record {
     /// Create a record from fields and a class label.
     pub fn new(fields: impl Into<Box<[Field]>>, label: u16) -> Self {
-        Record { fields: fields.into(), label }
+        Record {
+            fields: fields.into(),
+            label,
+        }
     }
 
     /// All predictor fields, in schema order.
@@ -149,7 +152,11 @@ mod tests {
     use crate::schema::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numeric("x"), Attribute::categorical("c", 3)], 2).unwrap()
+        Schema::new(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 3)],
+            2,
+        )
+        .unwrap()
     }
 
     fn rec(x: f64, c: u32, label: u16) -> Record {

@@ -46,8 +46,13 @@ pub fn bootstrap_resample<R: Rng + ?Sized>(
     size: usize,
     rng: &mut R,
 ) -> Vec<Record> {
-    assert!(size == 0 || !sample.is_empty(), "cannot resample from an empty sample");
-    (0..size).map(|_| sample[rng.random_range(0..sample.len())].clone()).collect()
+    assert!(
+        size == 0 || !sample.is_empty(),
+        "cannot resample from an empty sample"
+    );
+    (0..size)
+        .map(|_| sample[rng.random_range(0..sample.len())].clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -58,12 +63,12 @@ mod tests {
     use crate::schema::{Attribute, Schema};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    
 
     fn dataset(n: usize) -> MemoryDataset {
         let schema = Schema::shared(vec![Attribute::numeric("x")], 2).unwrap();
-        let records =
-            (0..n).map(|i| Record::new(vec![Field::Num(i as f64)], (i % 2) as u16)).collect();
+        let records = (0..n)
+            .map(|i| Record::new(vec![Field::Num(i as f64)], (i % 2) as u16))
+            .collect();
         MemoryDataset::new(schema, records)
     }
 
@@ -76,7 +81,11 @@ mod tests {
         let mut vals: Vec<i64> = sample.iter().map(|r| r.num(0) as i64).collect();
         vals.sort_unstable();
         vals.dedup();
-        assert_eq!(vals.len(), 100, "reservoir sample without replacement must be distinct");
+        assert_eq!(
+            vals.len(),
+            100,
+            "reservoir sample without replacement must be distinct"
+        );
         assert!(vals.iter().all(|&v| (0..1000).contains(&v)));
     }
 
@@ -117,7 +126,10 @@ mod tests {
         }
         for &c in &counts {
             let frac = c as f64 / 4000.0;
-            assert!((frac - 0.1).abs() < 0.025, "frequency {frac} too far from uniform");
+            assert!(
+                (frac - 0.1).abs() < 0.025,
+                "frequency {frac} too far from uniform"
+            );
         }
     }
 
@@ -133,7 +145,10 @@ mod tests {
         vals.sort_unstable();
         vals.dedup();
         assert!(vals.len() <= 5);
-        assert!(vals.len() >= 2, "seeded resample should touch several records");
+        assert!(
+            vals.len() >= 2,
+            "seeded resample should touch several records"
+        );
     }
 
     #[test]

@@ -5,12 +5,11 @@
 //! *categorical* (unordered finite domain, splits of the form `X ∈ Y`) — and
 //! one distinguished *class label* attribute with domain `{0, …, k-1}`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// The type of a predictor attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// A numeric (ordered) attribute; values are `f64`, splits are `X <= x`.
     Numeric,
@@ -44,7 +43,7 @@ impl AttrType {
 }
 
 /// One named predictor attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     name: String,
     ty: AttrType,
@@ -53,12 +52,18 @@ pub struct Attribute {
 impl Attribute {
     /// Create a numeric attribute.
     pub fn numeric(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), ty: AttrType::Numeric }
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Numeric,
+        }
     }
 
     /// Create a categorical attribute with the given number of categories.
     pub fn categorical(name: impl Into<String>, cardinality: u32) -> Self {
-        Attribute { name: name.into(), ty: AttrType::Categorical { cardinality } }
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Categorical { cardinality },
+        }
     }
 
     /// The attribute's name.
@@ -74,7 +79,7 @@ impl Attribute {
 
 /// A full dataset schema: the ordered predictor attributes plus the number
 /// of class labels.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attributes: Vec<Attribute>,
     n_classes: u16,
@@ -85,10 +90,14 @@ impl Schema {
     /// classes, or a categorical attribute has cardinality outside `2..=64`.
     pub fn new(attributes: Vec<Attribute>, n_classes: u16) -> crate::Result<Self> {
         if attributes.is_empty() {
-            return Err(crate::DataError::Schema("schema needs at least one attribute".into()));
+            return Err(crate::DataError::Schema(
+                "schema needs at least one attribute".into(),
+            ));
         }
         if n_classes < 2 {
-            return Err(crate::DataError::Schema("schema needs at least two classes".into()));
+            return Err(crate::DataError::Schema(
+                "schema needs at least two classes".into(),
+            ));
         }
         for (i, a) in attributes.iter().enumerate() {
             if let AttrType::Categorical { cardinality } = a.ty {
@@ -100,7 +109,10 @@ impl Schema {
                 }
             }
         }
-        Ok(Schema { attributes, n_classes })
+        Ok(Schema {
+            attributes,
+            n_classes,
+        })
     }
 
     /// Build a schema wrapped in an [`Arc`], the form most APIs consume.
@@ -130,12 +142,20 @@ impl Schema {
 
     /// Indices of the numeric attributes.
     pub fn numeric_attrs(&self) -> impl Iterator<Item = usize> + '_ {
-        self.attributes.iter().enumerate().filter(|(_, a)| a.ty.is_numeric()).map(|(i, _)| i)
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.ty.is_numeric())
+            .map(|(i, _)| i)
     }
 
     /// Indices of the categorical attributes.
     pub fn categorical_attrs(&self) -> impl Iterator<Item = usize> + '_ {
-        self.attributes.iter().enumerate().filter(|(_, a)| a.ty.is_categorical()).map(|(i, _)| i)
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.ty.is_categorical())
+            .map(|(i, _)| i)
     }
 
     /// Width in bytes of one encoded record (see [`crate::codec`]): 8 bytes

@@ -35,7 +35,11 @@ impl SpillFile {
     fn create() -> Result<Self> {
         let path = fresh_temp_path();
         let writer = BufWriter::with_capacity(1 << 16, File::create(&path)?);
-        Ok(SpillFile { path, writer: Some(writer), n_records: 0 })
+        Ok(SpillFile {
+            path,
+            writer: Some(writer),
+            n_records: 0,
+        })
     }
 
     fn flush(&mut self) -> Result<()> {
@@ -67,7 +71,13 @@ impl SpillBuffer {
     /// Create a buffer holding at most `mem_budget` records in memory.
     /// A budget of 0 spills every record.
     pub fn new(schema: Arc<Schema>, mem_budget: usize, stats: IoStats) -> Self {
-        SpillBuffer { schema, mem_budget, in_mem: Vec::new(), spill: None, stats }
+        SpillBuffer {
+            schema,
+            mem_budget,
+            in_mem: Vec::new(),
+            spill: None,
+            stats,
+        }
     }
 
     /// Total records held (in memory + spilled).
@@ -100,7 +110,10 @@ impl SpillBuffer {
             self.spill = Some(SpillFile::create()?);
         }
         let spill = self.spill.as_mut().expect("just created");
-        let writer = spill.writer.as_mut().expect("writer open while buffer is live");
+        let writer = spill
+            .writer
+            .as_mut()
+            .expect("writer open while buffer is live");
         let mut buf = Vec::with_capacity(self.schema.record_width());
         codec::encode_into(&self.schema, &record, &mut buf)?;
         writer.write_all(&buf)?;
@@ -123,7 +136,10 @@ impl SpillBuffer {
         let spilled: Option<(BufReader<File>, u64)> = match self.spill.as_mut() {
             Some(s) => {
                 s.flush()?;
-                Some((BufReader::with_capacity(1 << 16, File::open(&s.path)?), s.n_records))
+                Some((
+                    BufReader::with_capacity(1 << 16, File::open(&s.path)?),
+                    s.n_records,
+                ))
             }
             None => None,
         };
@@ -131,7 +147,12 @@ impl SpillBuffer {
         let stats = self.stats.clone();
         let width = schema.record_width();
         let mem_iter = self.in_mem.iter().map(|r| Ok(r.clone()));
-        let spill_iter = SpillIter { reader: spilled, schema, buf: vec![0u8; width], stats };
+        let spill_iter = SpillIter {
+            reader: spilled,
+            schema,
+            buf: vec![0u8; width],
+            stats,
+        };
         Ok(mem_iter.chain(spill_iter))
     }
 
@@ -308,7 +329,12 @@ mod tests {
         assert!(b.remove_one(&rec(1.0)).unwrap());
         assert!(b.remove_one(&rec(4.0)).unwrap());
         assert!(!b.remove_one(&rec(42.0)).unwrap());
-        let mut xs: Vec<i64> = b.to_vec().unwrap().iter().map(|r| r.num(0) as i64).collect();
+        let mut xs: Vec<i64> = b
+            .to_vec()
+            .unwrap()
+            .iter()
+            .map(|r| r.num(0) as i64)
+            .collect();
         xs.sort_unstable();
         assert_eq!(xs, vec![0, 2, 3, 5]);
     }

@@ -34,7 +34,10 @@ pub const N_VALUES: u32 = 81;
 ///
 /// The single predictor attribute is numeric with integer values 0…80.
 pub fn two_minima_dataset(per_value: usize, tilt: usize) -> MemoryDataset {
-    assert!(per_value >= 2 && per_value.is_multiple_of(2), "per_value must be even and >= 2");
+    assert!(
+        per_value >= 2 && per_value.is_multiple_of(2),
+        "per_value must be even and >= 2"
+    );
     let schema = Schema::shared(vec![Attribute::numeric("x")], 2)
         .expect("instability schema is statically valid");
     let mut records = Vec::with_capacity(per_value * N_VALUES as usize + tilt);
@@ -93,8 +96,14 @@ mod tests {
         let at_20 = gini_at(recs, 19.0);
         let at_60 = gini_at(recs, 59.0);
         let mid = gini_at(recs, 40.0);
-        assert!((at_20 - at_60).abs() < 0.01, "minima should nearly tie: {at_20} vs {at_60}");
-        assert!(mid > at_20 + 0.02, "the middle must be clearly worse: {mid} vs {at_20}");
+        assert!(
+            (at_20 - at_60).abs() < 0.01,
+            "minima should nearly tie: {at_20} vs {at_60}"
+        );
+        assert!(
+            mid > at_20 + 0.02,
+            "the middle must be clearly worse: {mid} vs {at_20}"
+        );
         // And both minima beat every other candidate by being local minima
         // of the sweep.
         let at_10 = gini_at(recs, 10.0);
@@ -109,7 +118,10 @@ mod tests {
         let at_20 = gini_at(recs, 19.0);
         let at_60 = gini_at(recs, 59.0);
         assert!(at_20 < at_60, "positive tilt must favour the low split");
-        assert!(at_60 - at_20 < 0.01, "…but only slightly, to stay inside bootstrap noise");
+        assert!(
+            at_60 - at_20 < 0.01,
+            "…but only slightly, to stay inside bootstrap noise"
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@
 pub mod instability;
 
 use boat_data::dataset::{RecordScan, RecordSource};
-use boat_data::{Attribute, Field, FileDataset, FileDatasetWriter, IoStats, Record, Result, Schema};
+use boat_data::{
+    Attribute, Field, FileDataset, FileDatasetWriter, IoStats, Record, Result, Schema,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -98,8 +100,7 @@ impl LabelFunction {
             }
             F2 => {
                 (t.age < 40.0 && (50_000.0..=100_000.0).contains(&t.salary))
-                    || ((40.0..60.0).contains(&t.age)
-                        && (75_000.0..=125_000.0).contains(&t.salary))
+                    || ((40.0..60.0).contains(&t.age) && (75_000.0..=125_000.0).contains(&t.salary))
                     || (t.age >= 60.0 && (25_000.0..=75_000.0).contains(&t.salary))
             }
             F3 => {
@@ -199,10 +200,22 @@ impl BaseTuple {
         let zipcode = rng.random_range(0..9u32);
         // hvalue depends on zipcode: k in 1..=9.
         let k = (zipcode + 1) as f64;
-        let hvalue = rng.random_range(0.5 * k * 100_000.0..1.5 * k * 100_000.0).floor();
+        let hvalue = rng
+            .random_range(0.5 * k * 100_000.0..1.5 * k * 100_000.0)
+            .floor();
         let hyears = rng.random_range(1u32..=30) as f64;
         let loan = rng.random_range(0.0f64..500_000.0).floor();
-        BaseTuple { salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan }
+        BaseTuple {
+            salary,
+            commission,
+            age,
+            elevel,
+            car,
+            zipcode,
+            hvalue,
+            hyears,
+            loan,
+        }
     }
 }
 
@@ -219,7 +232,12 @@ impl GeneratorConfig {
     /// A generator for the given labelling function, with no noise and no
     /// extra attributes.
     pub fn new(function: LabelFunction) -> Self {
-        GeneratorConfig { function, seed: 0xB0A7, noise: 0.0, extra_attrs: 0 }
+        GeneratorConfig {
+            function,
+            seed: 0xB0A7,
+            noise: 0.0,
+            extra_attrs: 0,
+        }
     }
 
     /// Set the pseudo-random seed (scans are deterministic in the seed).
@@ -270,7 +288,12 @@ impl GeneratorConfig {
 
     /// A streaming, resettable source of `n` synthetic records.
     pub fn source(&self, n: u64) -> SyntheticSource {
-        SyntheticSource { config: self.clone(), schema: self.schema(), n, stats: IoStats::new() }
+        SyntheticSource {
+            config: self.clone(),
+            schema: self.schema(),
+            n,
+            stats: IoStats::new(),
+        }
     }
 
     /// Generate `n` records into memory.
@@ -301,7 +324,11 @@ impl GeneratorConfig {
 
     fn generate_one(&self, rng: &mut StdRng) -> Record {
         let base = BaseTuple::generate(rng);
-        let mut label: u16 = if self.function.is_group_a(&base) { 0 } else { 1 };
+        let mut label: u16 = if self.function.is_group_a(&base) {
+            0
+        } else {
+            1
+        };
         // Label noise consumes one rng draw per tuple regardless of p, so
         // the attribute stream is identical across noise levels (as in the
         // paper, where noise perturbs labels of the same underlying data).
@@ -380,14 +407,18 @@ mod tests {
 
     #[test]
     fn extra_attrs_extend_schema() {
-        let s = GeneratorConfig::new(LabelFunction::F1).with_extra_attrs(4).schema();
+        let s = GeneratorConfig::new(LabelFunction::F1)
+            .with_extra_attrs(4)
+            .schema();
         assert_eq!(s.n_attributes(), 13);
         assert_eq!(s.attr_index("extra3"), Some(12));
     }
 
     #[test]
     fn records_validate_against_schema() {
-        let cfg = GeneratorConfig::new(LabelFunction::F7).with_seed(9).with_extra_attrs(2);
+        let cfg = GeneratorConfig::new(LabelFunction::F7)
+            .with_seed(9)
+            .with_extra_attrs(2);
         let schema = cfg.schema();
         for r in cfg.generate_vec(500) {
             r.validate(&schema).unwrap();
@@ -470,10 +501,8 @@ mod tests {
         let cfg = GeneratorConfig::new(LabelFunction::F10).with_seed(15);
         for r in cfg.generate_vec(1000) {
             let equity = 0.1 * r.num(6) * (r.num(7) - 20.0).max(0.0);
-            let disposable = 0.67 * (r.num(0) + r.num(1))
-                - 5_000.0 * r.cat(3) as f64
-                + 0.2 * equity
-                - 10_000.0;
+            let disposable =
+                0.67 * (r.num(0) + r.num(1)) - 5_000.0 * r.cat(3) as f64 + 0.2 * equity - 10_000.0;
             assert_eq!(r.label() == 0, disposable > 0.0);
         }
     }
@@ -485,7 +514,10 @@ mod tests {
             let cfg = GeneratorConfig::new(f).with_seed(6);
             let labels: Vec<u16> = cfg.generate_vec(3000).iter().map(|r| r.label()).collect();
             let a = labels.iter().filter(|&&l| l == 0).count();
-            assert!(a > 0 && a < labels.len(), "function F{n} is degenerate: {a} group-A");
+            assert!(
+                a > 0 && a < labels.len(),
+                "function F{n} is degenerate: {a} group-A"
+            );
         }
     }
 
@@ -504,9 +536,16 @@ mod tests {
         let b = noisy.generate_vec(20_000);
         // Same seed + same draw structure => identical attributes.
         assert_eq!(a[0].num(0), b[0].num(0));
-        let flipped = a.iter().zip(&b).filter(|(x, y)| x.label() != y.label()).count();
+        let flipped = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.label() != y.label())
+            .count();
         let frac = flipped as f64 / 20_000.0;
-        assert!((frac - 0.10).abs() < 0.01, "flip fraction {frac} far from 10%");
+        assert!(
+            (frac - 0.10).abs() < 0.01,
+            "flip fraction {frac} far from 10%"
+        );
     }
 
     #[test]
@@ -536,7 +575,10 @@ mod tests {
     #[test]
     fn source_matches_generate_vec() {
         let cfg = GeneratorConfig::new(LabelFunction::F2).with_seed(11);
-        assert_eq!(cfg.source(50).collect_records().unwrap(), cfg.generate_vec(50));
+        assert_eq!(
+            cfg.source(50).collect_records().unwrap(),
+            cfg.generate_vec(50)
+        );
     }
 
     #[test]
@@ -553,8 +595,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = GeneratorConfig::new(LabelFunction::F1).with_seed(1).generate_vec(10);
-        let b = GeneratorConfig::new(LabelFunction::F1).with_seed(2).generate_vec(10);
+        let a = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(1)
+            .generate_vec(10);
+        let b = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(2)
+            .generate_vec(10);
         assert_ne!(a, b);
     }
 }

@@ -30,8 +30,8 @@ use boat_data::dataset::RecordSource;
 use boat_data::{AttrType, IoSnapshot, Record, Result};
 use boat_tree::grow::SplitSelector;
 use boat_tree::{
-    AvcGroup, CatAvc, Gini, GrowthLimits, Impurity, ImpuritySelector, NodeId, NumAvc,
-    SplitEval, TdTreeBuilder, Tree,
+    AvcGroup, CatAvc, Gini, GrowthLimits, Impurity, ImpuritySelector, NodeId, NumAvc, SplitEval,
+    TdTreeBuilder, Tree,
 };
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -137,14 +137,22 @@ pub struct RainForest<I: Impurity + Clone = Gini> {
 impl RainForest<Gini> {
     /// RF with the Gini index.
     pub fn new(variant: RfVariant, config: RfConfig) -> Self {
-        RainForest { variant, config, impurity: Gini }
+        RainForest {
+            variant,
+            config,
+            impurity: Gini,
+        }
     }
 }
 
 impl<I: Impurity + Clone> RainForest<I> {
     /// RF with an arbitrary concave impurity.
     pub fn with_impurity(variant: RfVariant, config: RfConfig, impurity: I) -> Self {
-        RainForest { variant, config, impurity }
+        RainForest {
+            variant,
+            config,
+            impurity,
+        }
     }
 
     /// The configuration in use.
@@ -163,8 +171,7 @@ impl<I: Impurity + Clone> RainForest<I> {
     /// RF-Write driver: depth-first over explicit partition files.
     fn fit_write(&self, source: &dyn RecordSource) -> Result<RfFit> {
         use boat_data::{FileDataset, FileDatasetWriter};
-        static PART_COUNTER: std::sync::atomic::AtomicU64 =
-            std::sync::atomic::AtomicU64::new(0);
+        static PART_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
         let t0 = Instant::now();
         let mut stats = RfRunStats::default();
@@ -194,17 +201,15 @@ impl<I: Impurity + Clone> RainForest<I> {
         }
 
         let temp_stats = boat_data::IoStats::new();
-        let fresh_part = |schema: &std::sync::Arc<boat_data::Schema>|
-            -> Result<FileDatasetWriter> {
+        let fresh_part = |schema: &std::sync::Arc<boat_data::Schema>| -> Result<FileDatasetWriter> {
             let id = PART_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let path = std::env::temp_dir()
-                .join(format!("rf-write-{}-{id}.boat", std::process::id()));
+            let path =
+                std::env::temp_dir().join(format!("rf-write-{}-{id}.boat", std::process::id()));
             FileDatasetWriter::create(path, schema.clone(), temp_stats.clone())
         };
 
         let root = tree.root();
-        let mut queue: Vec<(Partition, NodeId, u32)> =
-            vec![(Partition::Input(source), root, 0)];
+        let mut queue: Vec<(Partition, NodeId, u32)> = vec![(Partition::Input(source), root, 0)];
         while let Some((partition, node_id, depth)) = queue.pop() {
             let counts = tree.node(node_id).class_counts.clone();
             let n: u64 = counts.iter().sum();
@@ -224,7 +229,11 @@ impl<I: Impurity + Clone> RainForest<I> {
                     stats.scans_over_input += 1;
                 }
                 let sub_limits = GrowthLimits {
-                    max_depth: self.config.limits.max_depth.map(|d| d.saturating_sub(depth)),
+                    max_depth: self
+                        .config
+                        .limits
+                        .max_depth
+                        .map(|d| d.saturating_sub(depth)),
                     ..self.config.limits
                 };
                 let sub = TdTreeBuilder::new(&selector, sub_limits).fit(&schema, &records);
@@ -323,7 +332,10 @@ impl<I: Impurity + Clone> RainForest<I> {
         while !frontier.is_empty() {
             // Drop nodes the stopping rules freeze.
             frontier.retain(|f| {
-                !self.config.limits.must_stop(&tree.node(f.id).class_counts, f.depth)
+                !self
+                    .config
+                    .limits
+                    .must_stop(&tree.node(f.id).class_counts, f.depth)
             });
             if frontier.is_empty() {
                 break;
@@ -331,7 +343,10 @@ impl<I: Impurity + Clone> RainForest<I> {
 
             // In-memory switch: once every remaining frontier family fits,
             // collect them all in one scan and finish in memory.
-            if frontier.iter().all(|f| f.n <= self.config.in_memory_threshold) {
+            if frontier
+                .iter()
+                .all(|f| f.n <= self.config.in_memory_threshold)
+            {
                 let mut families: HashMap<NodeId, Vec<Record>> =
                     frontier.iter().map(|f| (f.id, Vec::new())).collect();
                 for r in source.scan()? {
@@ -352,8 +367,7 @@ impl<I: Impurity + Clone> RainForest<I> {
                             .map(|d| d.saturating_sub(f.depth)),
                         ..self.config.limits
                     };
-                    let sub =
-                        TdTreeBuilder::new(&selector, sub_limits).fit(&schema, &records);
+                    let sub = TdTreeBuilder::new(&selector, sub_limits).fit(&schema, &records);
                     tree.replace_subtree(f.id, &sub);
                     stats.inmem_builds += 1;
                 }
@@ -364,9 +378,7 @@ impl<I: Impurity + Clone> RainForest<I> {
             stats.levels += 1;
             let evals = match self.variant {
                 RfVariant::Hybrid => self.level_hybrid(source, &tree, &frontier, &mut stats)?,
-                RfVariant::Vertical => {
-                    self.level_vertical(source, &tree, &frontier, &mut stats)?
-                }
+                RfVariant::Vertical => self.level_vertical(source, &tree, &frontier, &mut stats)?,
                 RfVariant::Write => unreachable!("RF-Write uses its own driver"),
             };
 
@@ -455,8 +467,9 @@ impl<I: Impurity + Clone> RainForest<I> {
             stats.scans_over_input += 1;
 
             for (_, (bi, group)) in groups {
-                let actual: Vec<usize> =
-                    (0..group.n_attrs()).map(|a| group.attr(a).n_entries()).collect();
+                let actual: Vec<usize> = (0..group.n_attrs())
+                    .map(|a| group.attr(a).n_entries())
+                    .collect();
                 out[bi] = selector.select(schema, &group).map(|e| (e, actual));
             }
             i = j;
@@ -480,10 +493,14 @@ impl<I: Impurity + Clone> RainForest<I> {
         // Best candidate per frontier node, folded attribute by attribute
         // with the same deterministic order as `best_split`.
         let mut best: Vec<Option<SplitEval>> = (0..frontier.len()).map(|_| None).collect();
-        let mut actual_entries: Vec<Vec<usize>> =
-            (0..frontier.len()).map(|_| vec![0usize; schema.n_attributes()]).collect();
-        let node_pos: HashMap<NodeId, usize> =
-            frontier.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
+        let mut actual_entries: Vec<Vec<usize>> = (0..frontier.len())
+            .map(|_| vec![0usize; schema.n_attributes()])
+            .collect();
+        let node_pos: HashMap<NodeId, usize> = frontier
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.id, i))
+            .collect();
 
         fn fold(best: &mut [Option<SplitEval>], pos: usize, cand: Option<SplitEval>) {
             if let Some(c) = cand {
@@ -506,8 +523,7 @@ impl<I: Impurity + Clone> RainForest<I> {
                     cat_attrs
                         .iter()
                         .map(|&a| {
-                            let AttrType::Categorical { cardinality } =
-                                schema.attribute(a).ty()
+                            let AttrType::Categorical { cardinality } = schema.attribute(a).ty()
                             else {
                                 unreachable!("cat_attrs holds categorical attributes")
                             };
@@ -609,16 +625,24 @@ mod tests {
 
     #[test]
     fn hybrid_matches_reference_on_f1() {
-        let source = GeneratorConfig::new(LabelFunction::F1).with_seed(31).source(5_000);
-        let fit = RainForest::new(RfVariant::Hybrid, config(300)).fit(&source).unwrap();
+        let source = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(31)
+            .source(5_000);
+        let fit = RainForest::new(RfVariant::Hybrid, config(300))
+            .fit(&source)
+            .unwrap();
         assert_eq!(fit.tree, reference(&source, GrowthLimits::default()));
         assert!(fit.stats.levels >= 1);
     }
 
     #[test]
     fn vertical_matches_reference_on_f1() {
-        let source = GeneratorConfig::new(LabelFunction::F1).with_seed(31).source(5_000);
-        let fit = RainForest::new(RfVariant::Vertical, config(300)).fit(&source).unwrap();
+        let source = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(31)
+            .source(5_000);
+        let fit = RainForest::new(RfVariant::Vertical, config(300))
+            .fit(&source)
+            .unwrap();
         assert_eq!(fit.tree, reference(&source, GrowthLimits::default()));
     }
 
@@ -626,8 +650,12 @@ mod tests {
     fn variants_agree_on_all_paper_functions() {
         for f in [LabelFunction::F1, LabelFunction::F6, LabelFunction::F7] {
             let source = GeneratorConfig::new(f).with_seed(32).source(4_000);
-            let h = RainForest::new(RfVariant::Hybrid, config(200)).fit(&source).unwrap();
-            let v = RainForest::new(RfVariant::Vertical, config(200)).fit(&source).unwrap();
+            let h = RainForest::new(RfVariant::Hybrid, config(200))
+                .fit(&source)
+                .unwrap();
+            let v = RainForest::new(RfVariant::Vertical, config(200))
+                .fit(&source)
+                .unwrap();
             let r = reference(&source, GrowthLimits::default());
             assert_eq!(h.tree, r, "{f:?} hybrid");
             assert_eq!(v.tree, r, "{f:?} vertical");
@@ -636,9 +664,15 @@ mod tests {
 
     #[test]
     fn vertical_scans_more_than_hybrid() {
-        let source = GeneratorConfig::new(LabelFunction::F6).with_seed(33).source(5_000);
-        let h = RainForest::new(RfVariant::Hybrid, config(100)).fit(&source).unwrap();
-        let v = RainForest::new(RfVariant::Vertical, config(100)).fit(&source).unwrap();
+        let source = GeneratorConfig::new(LabelFunction::F6)
+            .with_seed(33)
+            .source(5_000);
+        let h = RainForest::new(RfVariant::Hybrid, config(100))
+            .fit(&source)
+            .unwrap();
+        let v = RainForest::new(RfVariant::Vertical, config(100))
+            .fit(&source)
+            .unwrap();
         assert!(
             v.stats.scans_over_input > h.stats.scans_over_input,
             "vertical {} vs hybrid {}",
@@ -649,13 +683,19 @@ mod tests {
 
     #[test]
     fn tight_budget_forces_more_batches_same_tree() {
-        let source = GeneratorConfig::new(LabelFunction::F2).with_seed(34).source(4_000);
+        let source = GeneratorConfig::new(LabelFunction::F2)
+            .with_seed(34)
+            .source(4_000);
         let mut small = config(200);
         small.avc_budget_entries = 8_000; // roughly one node's numeric AVC
         let mut large = config(200);
         large.avc_budget_entries = 10_000_000;
-        let s = RainForest::new(RfVariant::Hybrid, small).fit(&source).unwrap();
-        let l = RainForest::new(RfVariant::Hybrid, large).fit(&source).unwrap();
+        let s = RainForest::new(RfVariant::Hybrid, small)
+            .fit(&source)
+            .unwrap();
+        let l = RainForest::new(RfVariant::Hybrid, large)
+            .fit(&source)
+            .unwrap();
         assert_eq!(s.tree, l.tree);
         assert!(s.stats.batches > l.stats.batches);
         assert!(s.stats.scans_over_input > l.stats.scans_over_input);
@@ -663,24 +703,38 @@ mod tests {
 
     #[test]
     fn one_scan_per_level_when_budget_ample() {
-        let source = GeneratorConfig::new(LabelFunction::F1).with_seed(35).source(5_000);
+        let source = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(35)
+            .source(5_000);
         let mut cfg = config(200);
         cfg.avc_budget_entries = 100_000_000;
-        let fit = RainForest::new(RfVariant::Hybrid, cfg).fit(&source).unwrap();
+        let fit = RainForest::new(RfVariant::Hybrid, cfg)
+            .fit(&source)
+            .unwrap();
         // scans = 1 (root counts) + one per level + one if the in-memory
         // switch fired.
         let switch = u64::from(fit.stats.inmem_builds > 0);
         assert_eq!(fit.stats.scans_over_input, 1 + fit.stats.levels + switch);
-        assert_eq!(fit.stats.batches, fit.stats.levels, "ample budget = one batch per level");
+        assert_eq!(
+            fit.stats.batches, fit.stats.levels,
+            "ample budget = one batch per level"
+        );
     }
 
     #[test]
     fn paper_mode_stop_threshold_respected() {
-        let limits = GrowthLimits { stop_family_size: Some(800), ..GrowthLimits::default() };
-        let source = GeneratorConfig::new(LabelFunction::F7).with_seed(36).source(6_000);
+        let limits = GrowthLimits {
+            stop_family_size: Some(800),
+            ..GrowthLimits::default()
+        };
+        let source = GeneratorConfig::new(LabelFunction::F7)
+            .with_seed(36)
+            .source(6_000);
         let mut cfg = config(400);
         cfg.limits = limits;
-        let fit = RainForest::new(RfVariant::Hybrid, cfg).fit(&source).unwrap();
+        let fit = RainForest::new(RfVariant::Hybrid, cfg)
+            .fit(&source)
+            .unwrap();
         assert_eq!(fit.tree, reference(&source, limits));
         // Internal nodes must all exceed the stop threshold.
         for id in fit.tree.preorder_ids() {
@@ -695,23 +749,39 @@ mod tests {
     fn pure_data_is_one_root_scan() {
         let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(37);
         let schema = gen.schema();
-        let records: Vec<Record> =
-            gen.generate_vec(1_000).into_iter().map(|r| r.with_label(0)).collect();
+        let records: Vec<Record> = gen
+            .generate_vec(1_000)
+            .into_iter()
+            .map(|r| r.with_label(0))
+            .collect();
         let source = boat_data::MemoryDataset::new(schema, records);
-        let fit = RainForest::new(RfVariant::Hybrid, config(100)).fit(&source).unwrap();
+        let fit = RainForest::new(RfVariant::Hybrid, config(100))
+            .fit(&source)
+            .unwrap();
         assert_eq!(fit.tree.n_nodes(), 1);
         assert_eq!(fit.stats.scans_over_input, 1);
     }
 
     #[test]
     fn write_variant_matches_reference() {
-        let source = GeneratorConfig::new(LabelFunction::F1).with_seed(41).source(5_000);
-        let fit = RainForest::new(RfVariant::Write, config(300)).fit(&source).unwrap();
+        let source = GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(41)
+            .source(5_000);
+        let fit = RainForest::new(RfVariant::Write, config(300))
+            .fit(&source)
+            .unwrap();
         assert_eq!(fit.tree, reference(&source, GrowthLimits::default()));
         // RF-Write reads the input only for the root's AVC + partition
         // passes; deeper levels hit temporary files.
-        assert!(fit.stats.scans_over_input <= 3, "scans: {}", fit.stats.scans_over_input);
-        assert!(fit.stats.temp_io.records_written > 0, "must write partitions");
+        assert!(
+            fit.stats.scans_over_input <= 3,
+            "scans: {}",
+            fit.stats.scans_over_input
+        );
+        assert!(
+            fit.stats.temp_io.records_written > 0,
+            "must write partitions"
+        );
     }
 
     #[test]
@@ -726,8 +796,12 @@ mod tests {
                     .starts_with("rf-write-")
             })
             .count();
-        let source = GeneratorConfig::new(LabelFunction::F6).with_seed(42).source(4_000);
-        RainForest::new(RfVariant::Write, config(200)).fit(&source).unwrap();
+        let source = GeneratorConfig::new(LabelFunction::F6)
+            .with_seed(42)
+            .source(4_000);
+        RainForest::new(RfVariant::Write, config(200))
+            .fit(&source)
+            .unwrap();
         let after = std::fs::read_dir(std::env::temp_dir())
             .unwrap()
             .filter(|e| {
@@ -743,10 +817,18 @@ mod tests {
 
     #[test]
     fn all_three_variants_agree() {
-        let source = GeneratorConfig::new(LabelFunction::F7).with_seed(43).source(4_000);
-        let w = RainForest::new(RfVariant::Write, config(200)).fit(&source).unwrap();
-        let h = RainForest::new(RfVariant::Hybrid, config(200)).fit(&source).unwrap();
-        let v = RainForest::new(RfVariant::Vertical, config(200)).fit(&source).unwrap();
+        let source = GeneratorConfig::new(LabelFunction::F7)
+            .with_seed(43)
+            .source(4_000);
+        let w = RainForest::new(RfVariant::Write, config(200))
+            .fit(&source)
+            .unwrap();
+        let h = RainForest::new(RfVariant::Hybrid, config(200))
+            .fit(&source)
+            .unwrap();
+        let v = RainForest::new(RfVariant::Vertical, config(200))
+            .fit(&source)
+            .unwrap();
         assert_eq!(w.tree, h.tree);
         assert_eq!(w.tree, v.tree);
     }
@@ -754,14 +836,16 @@ mod tests {
     #[test]
     fn with_entropy_matches_entropy_reference() {
         use boat_tree::Entropy;
-        let source = GeneratorConfig::new(LabelFunction::F3).with_seed(38).source(3_000);
+        let source = GeneratorConfig::new(LabelFunction::F3)
+            .with_seed(38)
+            .source(3_000);
         let fit = RainForest::with_impurity(RfVariant::Hybrid, config(150), Entropy)
             .fit(&source)
             .unwrap();
         let records = source.collect_records().unwrap();
         let selector = ImpuritySelector::new(Entropy);
-        let reference = TdTreeBuilder::new(&selector, GrowthLimits::default())
-            .fit(source.schema(), &records);
+        let reference =
+            TdTreeBuilder::new(&selector, GrowthLimits::default()).fit(source.schema(), &records);
         assert_eq!(fit.tree, reference);
     }
 }

@@ -43,7 +43,11 @@ pub struct CatAvc {
 impl CatAvc {
     /// An empty AVC-set for an attribute with `cardinality` categories.
     pub fn new(cardinality: u32, n_classes: usize) -> Self {
-        CatAvc { cardinality, n_classes, counts: vec![0; cardinality as usize * n_classes] }
+        CatAvc {
+            cardinality,
+            n_classes,
+            counts: vec![0; cardinality as usize * n_classes],
+        }
     }
 
     /// Count one tuple with category `cat` and class `label`.
@@ -89,6 +93,26 @@ impl CatAvc {
     pub fn n_entries(&self) -> usize {
         self.counts.len()
     }
+
+    /// An empty AVC-set with the same shape (cardinality, class count) as
+    /// `self`. Shard accumulators in the parallel cleanup scan start from
+    /// this and are later combined with [`CatAvc::merge_from`].
+    pub fn zeroed_like(&self) -> Self {
+        CatAvc::new(self.cardinality, self.n_classes)
+    }
+
+    /// Add every cell of `other` into `self`.
+    ///
+    /// Counts are `u64` sums, so merging is exactly associative and
+    /// commutative: any merge order over a set of shards produces
+    /// bit-identical counts to a single sequential accumulation.
+    pub fn merge_from(&mut self, other: &CatAvc) {
+        debug_assert_eq!(self.cardinality, other.cardinality, "CatAvc shape mismatch");
+        debug_assert_eq!(self.n_classes, other.n_classes, "CatAvc shape mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
 }
 
 /// AVC-set of a numeric attribute: per-(distinct value, class) counts, value
@@ -102,19 +126,26 @@ pub struct NumAvc {
 impl NumAvc {
     /// An empty numeric AVC-set.
     pub fn new(n_classes: usize) -> Self {
-        NumAvc { n_classes, map: BTreeMap::new() }
+        NumAvc {
+            n_classes,
+            map: BTreeMap::new(),
+        }
     }
 
     /// Count one tuple with value `v` and class `label`.
     pub fn add(&mut self, v: f64, label: u16) {
-        self.map.entry(OrdF64(v)).or_insert_with(|| vec![0; self.n_classes])
-            [label as usize] += 1;
+        self.map
+            .entry(OrdF64(v))
+            .or_insert_with(|| vec![0; self.n_classes])[label as usize] += 1;
     }
 
     /// Remove one previously-counted tuple; drops the entry when its counts
     /// reach zero (so `n_entries` reflects live distinct values).
     pub fn sub(&mut self, v: f64, label: u16) {
-        let entry = self.map.get_mut(&OrdF64(v)).expect("NumAvc::sub of unseen value");
+        let entry = self
+            .map
+            .get_mut(&OrdF64(v))
+            .expect("NumAvc::sub of unseen value");
         debug_assert!(entry[label as usize] > 0, "NumAvc::sub below zero");
         entry[label as usize] -= 1;
         if entry.iter().all(|&c| c == 0) {
@@ -184,7 +215,10 @@ impl AvcGroup {
                 }
             })
             .collect();
-        AvcGroup { attrs, class_totals: vec![0; schema.n_classes()] }
+        AvcGroup {
+            attrs,
+            class_totals: vec![0; schema.n_classes()],
+        }
     }
 
     /// Build from a set of records.
@@ -255,7 +289,11 @@ mod tests {
     use boat_data::{Attribute, Field};
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numeric("x"), Attribute::categorical("c", 3)], 2).unwrap()
+        Schema::new(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 3)],
+            2,
+        )
+        .unwrap()
     }
 
     fn rec(x: f64, c: u32, label: u16) -> Record {
@@ -265,18 +303,26 @@ mod tests {
     #[test]
     fn group_counts_records() {
         let s = schema();
-        let rs = vec![rec(1.0, 0, 0), rec(1.0, 1, 1), rec(2.0, 0, 1), rec(3.0, 2, 0)];
+        let rs = vec![
+            rec(1.0, 0, 0),
+            rec(1.0, 1, 1),
+            rec(2.0, 0, 1),
+            rec(3.0, 2, 0),
+        ];
         let g = AvcGroup::from_records(&s, &rs);
         assert_eq!(g.class_totals(), &[2, 2]);
         assert_eq!(g.n_records(), 4);
-        let AttrAvc::Num(num) = g.attr(0) else { panic!("attr 0 numeric") };
-        let entries: Vec<(f64, Vec<u64>)> =
-            num.iter().map(|(v, c)| (v, c.to_vec())).collect();
+        let AttrAvc::Num(num) = g.attr(0) else {
+            panic!("attr 0 numeric")
+        };
+        let entries: Vec<(f64, Vec<u64>)> = num.iter().map(|(v, c)| (v, c.to_vec())).collect();
         assert_eq!(
             entries,
             vec![(1.0, vec![1, 1]), (2.0, vec![0, 1]), (3.0, vec![1, 0])]
         );
-        let AttrAvc::Cat(cat) = g.attr(1) else { panic!("attr 1 categorical") };
+        let AttrAvc::Cat(cat) = g.attr(1) else {
+            panic!("attr 1 categorical")
+        };
         assert_eq!(cat.counts_for(0), &[1, 1]);
         assert_eq!(cat.counts_for(1), &[0, 1]);
         assert_eq!(cat.counts_for(2), &[1, 0]);

@@ -4,11 +4,10 @@
 //! attribute's categories (paper §2.1). Schemas cap categorical cardinality
 //! at 64, so a subset is a 64-bit mask.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of category codes (each `< 64`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CatSet(u64);
 
 impl CatSet {
@@ -163,7 +162,11 @@ mod tests {
         for mask in 0..16u64 {
             // Spread the 4-bit mask over the universe members.
             let s = CatSet::from_iter(
-                universe.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, c)| c),
+                universe
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, c)| c),
             );
             let canon = s.canonicalize(universe);
             assert_eq!(canon.canonicalize(universe), canon);

@@ -114,7 +114,11 @@ pub struct GrowthLimits {
 
 impl Default for GrowthLimits {
     fn default() -> Self {
-        GrowthLimits { min_split: 2, max_depth: None, stop_family_size: None }
+        GrowthLimits {
+            min_split: 2,
+            max_depth: None,
+            stop_family_size: None,
+        }
     }
 }
 
@@ -196,10 +200,12 @@ impl<'a, S: SplitSelector + ?Sized> TdTreeBuilder<'a, S> {
             }
         }
         debug_assert_eq!(left_idx.len() as u64, eval.left_counts.iter().sum::<u64>());
-        debug_assert_eq!(right_idx.len() as u64, eval.right_counts.iter().sum::<u64>());
+        debug_assert_eq!(
+            right_idx.len() as u64,
+            eval.right_counts.iter().sum::<u64>()
+        );
         drop(indices);
-        let (left, right) =
-            tree.split_node(node, eval.split, eval.left_counts, eval.right_counts);
+        let (left, right) = tree.split_node(node, eval.split, eval.left_counts, eval.right_counts);
         self.grow(tree, left, schema, records, left_idx, depth + 1);
         self.grow(tree, right, schema, records, right_idx, depth + 1);
     }
@@ -228,8 +234,9 @@ mod tests {
     #[test]
     fn single_threshold_concept_yields_one_split() {
         let schema = num_schema();
-        let records: Vec<Record> =
-            (0..100).map(|i| rec1(i as f64, u16::from(i >= 40))).collect();
+        let records: Vec<Record> = (0..100)
+            .map(|i| rec1(i as f64, u16::from(i >= 40)))
+            .collect();
         let sel = selector();
         let tree = TdTreeBuilder::new(&sel, GrowthLimits::default()).fit(&schema, &records);
         assert_eq!(tree.n_nodes(), 3);
@@ -270,7 +277,10 @@ mod tests {
         let schema = num_schema();
         let records: Vec<Record> = (0..64).map(|i| rec1(i as f64, (i % 2) as u16)).collect();
         let sel = selector();
-        let limits = GrowthLimits { max_depth: Some(2), ..GrowthLimits::default() };
+        let limits = GrowthLimits {
+            max_depth: Some(2),
+            ..GrowthLimits::default()
+        };
         let tree = TdTreeBuilder::new(&sel, limits).fit(&schema, &records);
         assert!(tree.max_depth() <= 2);
     }
@@ -278,12 +288,20 @@ mod tests {
     #[test]
     fn stop_family_size_freezes_small_nodes() {
         let schema = num_schema();
-        let records: Vec<Record> =
-            (0..100).map(|i| rec1(i as f64, u16::from(i >= 40))).collect();
+        let records: Vec<Record> = (0..100)
+            .map(|i| rec1(i as f64, u16::from(i >= 40)))
+            .collect();
         let sel = selector();
-        let limits = GrowthLimits { stop_family_size: Some(200), ..GrowthLimits::default() };
+        let limits = GrowthLimits {
+            stop_family_size: Some(200),
+            ..GrowthLimits::default()
+        };
         let tree = TdTreeBuilder::new(&sel, limits).fit(&schema, &records);
-        assert_eq!(tree.n_nodes(), 1, "whole family under the threshold stays a leaf");
+        assert_eq!(
+            tree.n_nodes(),
+            1,
+            "whole family under the threshold stays a leaf"
+        );
     }
 
     #[test]
@@ -295,7 +313,10 @@ mod tests {
         let sel = selector();
         let t2 = TdTreeBuilder::new(&sel, GrowthLimits::default()).fit(&schema, &records);
         assert_eq!(t2.n_nodes(), 3);
-        let limits = GrowthLimits { min_split: 3, ..GrowthLimits::default() };
+        let limits = GrowthLimits {
+            min_split: 3,
+            ..GrowthLimits::default()
+        };
         let t3 = TdTreeBuilder::new(&sel, limits).fit(&schema, &records);
         assert_eq!(t3.n_nodes(), 1);
     }
@@ -318,7 +339,9 @@ mod tests {
         let tree = TdTreeBuilder::new(&sel, GrowthLimits::default()).fit(&schema, &records);
         let split = tree.node(tree.root()).split().unwrap();
         assert_eq!(split.attr, 1);
-        let Predicate::CatIn(set) = split.predicate else { panic!("categorical split") };
+        let Predicate::CatIn(set) = split.predicate else {
+            panic!("categorical split")
+        };
         // {1} vs {0,2}: canonical is {1} (mask 0b010 < 0b101).
         assert_eq!(set, CatSet::from_iter([1]));
         assert_eq!(tree.n_nodes(), 3);
@@ -356,8 +379,9 @@ mod tests {
         // The tree must not depend on input order (AVC counts are
         // order-insensitive and the tie order is total).
         let schema = num_schema();
-        let mut records: Vec<Record> =
-            (0..60).map(|i| rec1((i % 13) as f64, u16::from(i % 13 >= 6))).collect();
+        let mut records: Vec<Record> = (0..60)
+            .map(|i| rec1((i % 13) as f64, u16::from(i % 13 >= 6)))
+            .collect();
         let sel = selector();
         let t1 = TdTreeBuilder::new(&sel, GrowthLimits::default()).fit(&schema, &records);
         records.reverse();

@@ -160,7 +160,12 @@ impl Tree {
     /// A single-leaf tree with the given family class counts.
     pub fn leaf(class_counts: Vec<u64>) -> Tree {
         Tree {
-            nodes: vec![Node { kind: NodeKind::Leaf, class_counts, depth: 0, parent: None }],
+            nodes: vec![Node {
+                kind: NodeKind::Leaf,
+                class_counts,
+                depth: 0,
+                parent: None,
+            }],
             root: NodeId(0),
         }
     }
@@ -305,12 +310,19 @@ impl Tree {
 
     /// Number of reachable leaves.
     pub fn n_leaves(&self) -> usize {
-        self.preorder_ids().iter().filter(|&&id| self.node(id).is_leaf()).count()
+        self.preorder_ids()
+            .iter()
+            .filter(|&&id| self.node(id).is_leaf())
+            .count()
     }
 
     /// Maximum depth over reachable nodes (root-only tree = 0).
     pub fn max_depth(&self) -> u32 {
-        self.preorder_ids().iter().map(|&id| self.node(id).depth).max().unwrap_or(0)
+        self.preorder_ids()
+            .iter()
+            .map(|&id| self.node(id).depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The child of internal node `id` that `record` routes to.
@@ -389,8 +401,16 @@ impl PartialEq for Tree {
             match (&na.kind, &nb.kind) {
                 (NodeKind::Leaf, NodeKind::Leaf) => true,
                 (
-                    NodeKind::Internal { split: sa, left: la, right: ra },
-                    NodeKind::Internal { split: sb, left: lb, right: rb },
+                    NodeKind::Internal {
+                        split: sa,
+                        left: la,
+                        right: ra,
+                    },
+                    NodeKind::Internal {
+                        split: sb,
+                        left: lb,
+                        right: rb,
+                    },
                 ) => {
                     let split_eq = sa.attr == sb.attr
                         && match (&sa.predicate, &sb.predicate) {
@@ -415,7 +435,11 @@ mod tests {
     use boat_data::{Attribute, Field};
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numeric("x"), Attribute::categorical("c", 4)], 2).unwrap()
+        Schema::new(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 4)],
+            2,
+        )
+        .unwrap()
     }
 
     fn rec(x: f64, c: u32) -> Record {
@@ -427,13 +451,19 @@ mod tests {
         let mut t = Tree::leaf(vec![6, 4]);
         let (l, _r) = t.split_node(
             t.root(),
-            Split { attr: 0, predicate: Predicate::NumLe(5.0) },
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(5.0),
+            },
             vec![4, 2],
             vec![2, 2],
         );
         t.split_node(
             l,
-            Split { attr: 1, predicate: Predicate::CatIn(CatSet::from_iter([1, 3])) },
+            Split {
+                attr: 1,
+                predicate: Predicate::CatIn(CatSet::from_iter([1, 3])),
+            },
             vec![4, 0],
             vec![0, 2],
         );
@@ -511,7 +541,10 @@ mod tests {
         let mut b = Tree::leaf(vec![6, 4]);
         b.split_node(
             b.root(),
-            Split { attr: 0, predicate: Predicate::NumLe(6.0) },
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(6.0),
+            },
             vec![4, 2],
             vec![2, 2],
         );
@@ -539,7 +572,10 @@ mod tests {
         let mut sub2 = Tree::leaf(vec![4, 2]);
         sub2.split_node(
             sub2.root(),
-            Split { attr: 0, predicate: Predicate::NumLe(1.0) },
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(1.0),
+            },
             vec![1, 1],
             vec![3, 1],
         );

@@ -71,7 +71,9 @@ impl Tree {
         }
         let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
         if version != VERSION {
-            return Err(DataError::Corrupt(format!("unsupported tree version {version}")));
+            return Err(DataError::Corrupt(format!(
+                "unsupported tree version {version}"
+            )));
         }
         let k = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
         if k == 0 || k > 1 << 12 {
@@ -129,8 +131,15 @@ fn read_node(r: &mut Reader<'_>, k: usize) -> Result<Tree> {
             let right_counts = right.node(right.root()).class_counts.clone();
             let mut tree = Tree::leaf(counts);
             let root = tree.root();
-            let (l, rt) =
-                tree.split_node(root, Split { attr, predicate: pred }, left_counts, right_counts);
+            let (l, rt) = tree.split_node(
+                root,
+                Split {
+                    attr,
+                    predicate: pred,
+                },
+                left_counts,
+                right_counts,
+            );
             tree.replace_subtree(l, &left);
             tree.replace_subtree(rt, &right);
             tree.compact();

@@ -94,7 +94,9 @@ pub struct MdlConfig {
 
 impl Default for MdlConfig {
     fn default() -> Self {
-        MdlConfig { split_cost_bits: 8.0 }
+        MdlConfig {
+            split_cost_bits: 8.0,
+        }
     }
 }
 
@@ -201,7 +203,10 @@ mod tests {
         let full = TdTreeBuilder::new(&sel, GrowthLimits::default()).fit(&s, &train);
         let pruned = prune_reduced_error(&full, &holdout);
 
-        assert!(pruned.n_nodes() < full.n_nodes(), "noise-fitted tree must shrink");
+        assert!(
+            pruned.n_nodes() < full.n_nodes(),
+            "noise-fitted tree must shrink"
+        );
         assert!(
             accuracy(&pruned, &fresh) >= accuracy(&full, &fresh) - 1e-9,
             "pruning must not hurt fresh-data accuracy here"

@@ -53,7 +53,11 @@ struct Moments {
 
 impl Moments {
     fn new(k: usize) -> Self {
-        Moments { n: vec![0.0; k], sum: vec![0.0; k], sumsq: vec![0.0; k] }
+        Moments {
+            n: vec![0.0; k],
+            sum: vec![0.0; k],
+            sumsq: vec![0.0; k],
+        }
     }
 
     /// Absorb a whole AVC-set.
@@ -103,8 +107,7 @@ impl Moments {
 /// Chi-square p-value of a category × class contingency table.
 fn chi2_p(counts: &[Vec<u64>]) -> Option<f64> {
     let k = counts.first()?.len();
-    let rows: Vec<&Vec<u64>> =
-        counts.iter().filter(|r| r.iter().any(|&c| c > 0)).collect();
+    let rows: Vec<&Vec<u64>> = counts.iter().filter(|r| r.iter().any(|&c| c > 0)).collect();
     if rows.len() < 2 {
         return None;
     }
@@ -210,7 +213,10 @@ impl SplitSelector for QuestSelector {
                     return None;
                 }
                 Some(SplitEval {
-                    split: Split { attr, predicate: Predicate::NumLe(point) },
+                    split: Split {
+                        attr,
+                        predicate: Predicate::NumLe(point),
+                    },
                     impurity: f64::NAN, // not an impurity-based score
                     left_counts: left,
                     right_counts: right,
@@ -250,10 +256,12 @@ impl SplitSelector for QuestSelector {
                         *l += x;
                     }
                 }
-                let right: Vec<u64> =
-                    totals.iter().zip(&left).map(|(t, l)| t - l).collect();
+                let right: Vec<u64> = totals.iter().zip(&left).map(|(t, l)| t - l).collect();
                 Some(SplitEval {
-                    split: Split { attr, predicate: Predicate::CatIn(canonical) },
+                    split: Split {
+                        attr,
+                        predicate: Predicate::CatIn(canonical),
+                    },
                     impurity: f64::NAN,
                     left_counts: left,
                     right_counts: right,
@@ -291,10 +299,18 @@ mod tests {
             .map(|i| {
                 let label = (i % 2) as u16;
                 // "signal" separates classes by mean; "noise" does not.
-                let signal = if label == 0 { (i % 50) as f64 } else { 100.0 + (i % 50) as f64 };
+                let signal = if label == 0 {
+                    (i % 50) as f64
+                } else {
+                    100.0 + (i % 50) as f64
+                };
                 let noise = (i % 7) as f64;
                 Record::new(
-                    vec![Field::Num(signal), Field::Num(noise), Field::Cat((i % 4) as u32)],
+                    vec![
+                        Field::Num(signal),
+                        Field::Num(noise),
+                        Field::Cat((i % 4) as u32),
+                    ],
                     label,
                 )
             })
@@ -307,7 +323,10 @@ mod tests {
         let rs = records(400);
         let group = AvcGroup::from_records(&s, &rs);
         let eval = QuestSelector::new().select(&s, &group).unwrap();
-        assert_eq!(eval.split.attr, 0, "ANOVA must pick the separating attribute");
+        assert_eq!(
+            eval.split.attr, 0,
+            "ANOVA must pick the separating attribute"
+        );
         // Perfect separation: the split divides classes cleanly.
         assert_eq!(eval.left_counts[1], 0);
         assert_eq!(eval.right_counts[0], 0);
@@ -319,8 +338,13 @@ mod tests {
         let rs = records(400);
         let group = AvcGroup::from_records(&s, &rs);
         let eval = QuestSelector::new().select(&s, &group).unwrap();
-        let Predicate::NumLe(x) = eval.split.predicate else { panic!("numeric") };
-        assert!(rs.iter().any(|r| r.num(0) == x), "split point {x} must be observed");
+        let Predicate::NumLe(x) = eval.split.predicate else {
+            panic!("numeric")
+        };
+        assert!(
+            rs.iter().any(|r| r.num(0) == x),
+            "split point {x} must be observed"
+        );
     }
 
     #[test]
@@ -339,7 +363,10 @@ mod tests {
     #[test]
     fn categorical_association_wins_when_it_is_the_signal() {
         let s = Schema::new(
-            vec![Attribute::numeric("noise"), Attribute::categorical("cat", 3)],
+            vec![
+                Attribute::numeric("noise"),
+                Attribute::categorical("cat", 3),
+            ],
             2,
         )
         .unwrap();
@@ -353,7 +380,9 @@ mod tests {
         let group = AvcGroup::from_records(&s, &rs);
         let eval = QuestSelector::new().select(&s, &group).unwrap();
         assert_eq!(eval.split.attr, 1);
-        let Predicate::CatIn(subset) = eval.split.predicate else { panic!("categorical") };
+        let Predicate::CatIn(subset) = eval.split.predicate else {
+            panic!("categorical")
+        };
         // {2} vs {0,1}: canonical mask for {2} is 0b100 = 4 > 0b011 = 3,
         // so the canonical side is {0,1}.
         assert_eq!(subset, CatSet::from_iter([0, 1]));

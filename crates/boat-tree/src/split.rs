@@ -47,7 +47,12 @@ pub fn cmp_splits(a: &SplitEval, b: &SplitEval) -> Ordering {
     a.impurity
         .total_cmp(&b.impurity)
         .then_with(|| a.split.attr.cmp(&b.split.attr))
-        .then_with(|| a.split.predicate.tie_rank().cmp(&b.split.predicate.tie_rank()))
+        .then_with(|| {
+            a.split
+                .predicate
+                .tie_rank()
+                .cmp(&b.split.predicate.tie_rank())
+        })
 }
 
 /// Sweep candidate numeric splits `X ≤ v` on attribute `attr`.
@@ -85,12 +90,18 @@ pub fn sweep_numeric<'a>(
         let right: Vec<u64> = totals.iter().zip(left).map(|(t, l)| t - l).collect();
         let impurity = split_impurity(imp, left, &right);
         let cand = SplitEval {
-            split: Split { attr, predicate: Predicate::NumLe(value) },
+            split: Split {
+                attr,
+                predicate: Predicate::NumLe(value),
+            },
             impurity,
             left_counts: left.to_vec(),
             right_counts: right,
         };
-        if best.as_ref().is_none_or(|b| cmp_splits(&cand, b) == Ordering::Less) {
+        if best
+            .as_ref()
+            .is_none_or(|b| cmp_splits(&cand, b) == Ordering::Less)
+        {
             best = Some(cand);
         }
     };
@@ -129,7 +140,9 @@ pub fn best_numeric_split_from_pairs(
     let mut values: Vec<f64> = Vec::new();
     let mut counts: Vec<u64> = Vec::new(); // flat, k per value
     for &(v, label) in pairs.iter() {
-        let new_run = values.last().is_none_or(|&last| last.to_bits() != v.to_bits());
+        let new_run = values
+            .last()
+            .is_none_or(|&last| last.to_bits() != v.to_bits());
         if new_run {
             values.push(v);
             counts.extend(std::iter::repeat_n(0, k));
@@ -139,7 +152,10 @@ pub fn best_numeric_split_from_pairs(
     }
     sweep_numeric(
         attr,
-        values.iter().enumerate().map(|(i, &v)| (v, &counts[i * k..(i + 1) * k])),
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, &counts[i * k..(i + 1) * k])),
         None,
         None,
         totals,
@@ -181,11 +197,7 @@ fn order_by_class_fraction(avc: &CatAvc, observed: &[u32], class_idx: usize) -> 
 /// The returned subset is canonicalized within the *observed* category
 /// universe (see [`CatSet::canonicalize`]); `left_counts` always corresponds
 /// to the canonical subset.
-pub fn best_categorical_split(
-    attr: usize,
-    avc: &CatAvc,
-    imp: &dyn Impurity,
-) -> Option<SplitEval> {
+pub fn best_categorical_split(attr: usize, avc: &CatAvc, imp: &dyn Impurity) -> Option<SplitEval> {
     let universe = avc.observed();
     let observed: Vec<u32> = universe.iter().collect();
     if observed.len() < 2 {
@@ -253,12 +265,18 @@ pub fn best_categorical_split(
         }
         let impurity = split_impurity(imp, &left, &right);
         let cand = SplitEval {
-            split: Split { attr, predicate: Predicate::CatIn(canonical) },
+            split: Split {
+                attr,
+                predicate: Predicate::CatIn(canonical),
+            },
             impurity,
             left_counts: left,
             right_counts: right,
         };
-        if best.as_ref().is_none_or(|b| cmp_splits(&cand, b) == Ordering::Less) {
+        if best
+            .as_ref()
+            .is_none_or(|b| cmp_splits(&cand, b) == Ordering::Less)
+        {
             best = Some(cand);
         }
     }
@@ -277,7 +295,10 @@ pub fn best_split(schema: &Schema, group: &AvcGroup, imp: &dyn Impurity) -> Opti
             AttrAvc::Cat(avc) => best_categorical_split(attr, avc, imp),
         };
         if let Some(c) = cand {
-            if best.as_ref().is_none_or(|b| cmp_splits(&c, b) == Ordering::Less) {
+            if best
+                .as_ref()
+                .is_none_or(|b| cmp_splits(&c, b) == Ordering::Less)
+            {
                 best = Some(c);
             }
         }
@@ -319,8 +340,7 @@ mod tests {
 
     #[test]
     fn numeric_perfect_separation() {
-        let (avc, totals) =
-            build_num_avc(&[(1.0, 0), (2.0, 0), (3.0, 0), (10.0, 1), (11.0, 1)]);
+        let (avc, totals) = build_num_avc(&[(1.0, 0), (2.0, 0), (3.0, 0), (10.0, 1), (11.0, 1)]);
         let e = best_numeric_split(0, &avc, &totals, &Gini).unwrap();
         assert_eq!(e.split.predicate, Predicate::NumLe(3.0));
         assert_eq!(e.impurity, 0.0);
@@ -345,8 +365,7 @@ mod tests {
     fn numeric_tie_breaks_to_smaller_value() {
         // Symmetric data: splits at 1.0 and 3.0 score identically;
         // the sweep must keep 1.0.
-        let (avc, totals) =
-            build_num_avc(&[(1.0, 0), (2.0, 0), (2.0, 1), (3.0, 1)]);
+        let (avc, totals) = build_num_avc(&[(1.0, 0), (2.0, 0), (2.0, 1), (3.0, 1)]);
         let at1 = {
             let left = [1u64, 0];
             let right = [1u64, 2];
@@ -371,9 +390,15 @@ mod tests {
 
         let (tail_avc, _) = build_num_avc(&all[2..]);
         let base_counts = [2u64, 0];
-        let from_base =
-            sweep_numeric(0, tail_avc.iter(), Some(&base_counts), Some(2.0), &totals, &Gini)
-                .unwrap();
+        let from_base = sweep_numeric(
+            0,
+            tail_avc.iter(),
+            Some(&base_counts),
+            Some(2.0),
+            &totals,
+            &Gini,
+        )
+        .unwrap();
         assert_eq!(full.split, from_base.split);
         assert_eq!(full.impurity.to_bits(), from_base.impurity.to_bits());
         assert_eq!(full.left_counts, from_base.left_counts);
@@ -389,9 +414,15 @@ mod tests {
 
         let (tail_avc, _) = build_num_avc(&all[2..]);
         let base_counts = [2u64, 0];
-        let from_base =
-            sweep_numeric(0, tail_avc.iter(), Some(&base_counts), Some(2.0), &totals, &Gini)
-                .unwrap();
+        let from_base = sweep_numeric(
+            0,
+            tail_avc.iter(),
+            Some(&base_counts),
+            Some(2.0),
+            &totals,
+            &Gini,
+        )
+        .unwrap();
         assert_eq!(from_base.split.predicate, Predicate::NumLe(2.0));
         assert_eq!(from_base.impurity, 0.0);
     }
@@ -411,7 +442,9 @@ mod tests {
         let avc = build_cat_avc(4, 2, &[(0, 0, 5), (1, 1, 5), (2, 0, 5), (3, 1, 5)]);
         let e = best_categorical_split(0, &avc, &Gini).unwrap();
         assert_eq!(e.impurity, 0.0);
-        let Predicate::CatIn(set) = e.split.predicate else { panic!("categorical") };
+        let Predicate::CatIn(set) = e.split.predicate else {
+            panic!("categorical")
+        };
         // {0,2} vs {1,3}: canonical is the smaller mask {0,2} (0b0101).
         assert_eq!(set, CatSet::from_iter([0, 2]));
         assert_eq!(e.left_counts, vec![10, 0]);
@@ -430,8 +463,18 @@ mod tests {
         let avc = build_cat_avc(
             5,
             2,
-            &[(0, 0, 9), (0, 1, 1), (1, 0, 4), (1, 1, 6), (2, 0, 5), (2, 1, 5),
-              (3, 0, 1), (3, 1, 9), (4, 0, 7), (4, 1, 3)],
+            &[
+                (0, 0, 9),
+                (0, 1, 1),
+                (1, 0, 4),
+                (1, 1, 6),
+                (2, 0, 5),
+                (2, 1, 5),
+                (3, 0, 1),
+                (3, 1, 9),
+                (4, 0, 7),
+                (4, 1, 3),
+            ],
         );
         let fast = best_categorical_split(0, &avc, &Gini).unwrap();
         // Brute force over all subsets containing category 0.
@@ -469,8 +512,14 @@ mod tests {
         // 1 -> class 1, 2 -> class 2. Any 1-vs-2 subset isolates a class.
         let avc = build_cat_avc(3, 3, &[(0, 0, 4), (1, 1, 4), (2, 2, 4)]);
         let e = best_categorical_split(0, &avc, &Gini).unwrap();
-        let Predicate::CatIn(set) = e.split.predicate else { panic!() };
-        assert_eq!(set.len(), 1, "isolating one category is optimal-and-canonical");
+        let Predicate::CatIn(set) = e.split.predicate else {
+            panic!()
+        };
+        assert_eq!(
+            set.len(),
+            1,
+            "isolating one category is optimal-and-canonical"
+        );
         // Tie across the three singletons breaks to the smallest mask {0}.
         assert_eq!(set, CatSet::from_iter([0]));
     }
@@ -478,7 +527,10 @@ mod tests {
     #[test]
     fn best_split_prefers_lower_impurity_attribute() {
         let schema = Schema::new(
-            vec![Attribute::numeric("noisy"), Attribute::categorical("clean", 2)],
+            vec![
+                Attribute::numeric("noisy"),
+                Attribute::categorical("clean", 2),
+            ],
             2,
         )
         .unwrap();
@@ -516,14 +568,15 @@ mod tests {
 
     #[test]
     fn entropy_and_gini_can_disagree_but_both_work() {
-        let (avc, totals) = build_num_avc(&[
-            (1.0, 0), (1.0, 0), (2.0, 1), (3.0, 0), (4.0, 1), (4.0, 1),
-        ]);
+        let (avc, totals) =
+            build_num_avc(&[(1.0, 0), (1.0, 0), (2.0, 1), (3.0, 0), (4.0, 1), (4.0, 1)]);
         let g = best_numeric_split(0, &avc, &totals, &Gini).unwrap();
         let h = best_numeric_split(0, &avc, &totals, &Entropy).unwrap();
         // Sanity: both choose a valid interior split.
         for e in [g, h] {
-            let Predicate::NumLe(x) = e.split.predicate else { panic!() };
+            let Predicate::NumLe(x) = e.split.predicate else {
+                panic!()
+            };
             assert!((1.0..4.0).contains(&x));
         }
     }

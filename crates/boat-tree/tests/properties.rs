@@ -4,9 +4,7 @@
 //! consistency.
 
 use boat_data::{Attribute, Field, Record, Schema};
-use boat_tree::split::{
-    best_categorical_split, best_numeric_split, best_numeric_split_from_pairs,
-};
+use boat_tree::split::{best_categorical_split, best_numeric_split, best_numeric_split_from_pairs};
 use boat_tree::{
     split_impurity, CatAvc, Entropy, Gini, GrowthLimits, Impurity, ImpuritySelector, NumAvc,
     TdTreeBuilder,

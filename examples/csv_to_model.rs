@@ -25,8 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 0. Fabricate the "export from the warehouse": a CSV with string
     //        categories, from the Agrawal generator (F2: age × salary).
-    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(8).with_noise(0.05);
-    let zips = ["north", "south", "east", "west", "midtown", "docks", "hills", "old town", "port"];
+    let gen = GeneratorConfig::new(LabelFunction::F2)
+        .with_seed(8)
+        .with_noise(0.05);
+    let zips = [
+        "north", "south", "east", "west", "midtown", "docks", "hills", "old town", "port",
+    ];
     let mut csv = String::from("salary,age,zipcode,label\n");
     for r in gen.generate_vec(40_000) {
         writeln!(
@@ -40,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let csv_path = dir.join("applications.csv");
     std::fs::write(&csv_path, &csv)?;
-    println!("wrote {} ({} KiB of CSV)", csv_path.display(), csv.len() / 1024);
+    println!(
+        "wrote {} ({} KiB of CSV)",
+        csv_path.display(),
+        csv.len() / 1024
+    );
 
     // --- 1. Import against a declared schema.
     let schema = Schema::shared(
@@ -52,22 +60,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         2,
     )?;
     let data_path = dir.join("applications.boat");
-    let (data, dicts) =
-        import_csv(&csv_path, &data_path, schema.clone(), CsvOptions::default(), IoStats::new())?;
+    let (data, dicts) = import_csv(
+        &csv_path,
+        &data_path,
+        schema.clone(),
+        CsvOptions::default(),
+        IoStats::new(),
+    )?;
     println!(
         "imported {} records; zipcode dictionary: {:?} …; labels: {:?}",
         data.len(),
-        (0..3).filter_map(|c| dicts.attributes[2].name(c)).collect::<Vec<_>>(),
-        (0..2).filter_map(|c| dicts.label.name(c)).collect::<Vec<_>>(),
+        (0..3)
+            .filter_map(|c| dicts.attributes[2].name(c))
+            .collect::<Vec<_>>(),
+        (0..2)
+            .filter_map(|c| dicts.label.name(c))
+            .collect::<Vec<_>>(),
     );
 
     // --- 2. Exact tree via BOAT.
     let fit = Boat::new(BoatConfig::scaled_for(data.len()).with_seed(9)).fit(&data)?;
-    println!("\nBOAT: {} nodes in {} scans", fit.tree.n_nodes(), fit.stats.scans_over_input);
+    println!(
+        "\nBOAT: {} nodes in {} scans",
+        fit.tree.n_nodes(),
+        fit.stats.scans_over_input
+    );
 
     // --- 3. MDL pruning.
     let pruned = prune_mdl(&fit.tree, MdlConfig::default());
-    println!("MDL pruning: {} -> {} nodes", fit.tree.n_nodes(), pruned.n_nodes());
+    println!(
+        "MDL pruning: {} -> {} nodes",
+        fit.tree.n_nodes(),
+        pruned.n_nodes()
+    );
 
     // --- 4. Serialize + reload + serve.
     let model_path = dir.join("model.boattree");
@@ -75,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let served = Tree::from_bytes(&std::fs::read(&model_path)?)?;
     assert_eq!(served, pruned);
 
-    let fresh = GeneratorConfig::new(LabelFunction::F2).with_seed(88).generate_vec(10_000);
+    let fresh = GeneratorConfig::new(LabelFunction::F2)
+        .with_seed(88)
+        .generate_vec(10_000);
     // The CSV interned labels in first-seen order, so generator labels
     // (0 = "approve") must be translated through the dictionary.
     let approve = dicts.label.code("approve").expect("seen during import") as u16;

@@ -18,19 +18,29 @@ use boat_repro::tree::{
 };
 
 fn main() {
-    let train_gen = GeneratorConfig::new(LabelFunction::F3).with_seed(31).with_noise(0.05);
+    let train_gen = GeneratorConfig::new(LabelFunction::F3)
+        .with_seed(31)
+        .with_noise(0.05);
     let schema = train_gen.schema();
     let train = train_gen.generate_vec(30_000);
-    let holdout = GeneratorConfig::new(LabelFunction::F3).with_seed(32).generate_vec(10_000);
+    let holdout = GeneratorConfig::new(LabelFunction::F3)
+        .with_seed(32)
+        .generate_vec(10_000);
 
-    let limits = GrowthLimits { stop_family_size: Some(1_000), ..GrowthLimits::default() };
+    let limits = GrowthLimits {
+        stop_family_size: Some(1_000),
+        ..GrowthLimits::default()
+    };
 
     let gini = ImpuritySelector::new(Gini);
     let quest = QuestSelector::new();
     let runs: [(&str, &dyn SplitSelector); 2] = [("CART (Gini)", &gini), ("QUEST-style", &quest)];
 
     println!("F3 (age × education level), 30k train / 10k holdout, stop at 1000\n");
-    println!("{:<14} {:>6} {:>7} {:>9} {:>10}", "selector", "nodes", "depth", "train acc", "holdout");
+    println!(
+        "{:<14} {:>6} {:>7} {:>9} {:>10}",
+        "selector", "nodes", "depth", "train acc", "holdout"
+    );
     for (name, selector) in runs {
         let tree = TdTreeBuilder::new(selector, limits).fit(&schema, &train);
         let acc = |data: &[boat_repro::data::Record], t: &Tree| {

@@ -114,5 +114,8 @@ fn verify(
         &reference,
         "maintained tree must equal a full rebuild"
     );
-    println!("  tree identical to full rebuild on {} transactions ✓", history.len());
+    println!(
+        "  tree identical to full rebuild on {} transactions ✓",
+        history.len()
+    );
 }

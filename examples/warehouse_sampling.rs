@@ -22,11 +22,19 @@ use boat_repro::tree::GrowthLimits;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150_000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
 
     // The "star-join view": recomputed on every scan, never materialized.
-    let view = GeneratorConfig::new(LabelFunction::F7).with_seed(3).source(n);
-    println!("training view: {} tuples (never materialized)\n", view.len());
+    let view = GeneratorConfig::new(LabelFunction::F7)
+        .with_seed(3)
+        .source(n);
+    println!(
+        "training view: {} tuples (never materialized)\n",
+        view.len()
+    );
 
     let limits = GrowthLimits {
         stop_family_size: Some((n / 8).max(1_000)),
@@ -42,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let boat_scans = view.stats().snapshot().scans;
 
     // RainForest over the same view (fresh source for clean accounting).
-    let view_rf = GeneratorConfig::new(LabelFunction::F7).with_seed(3).source(n);
+    let view_rf = GeneratorConfig::new(LabelFunction::F7)
+        .with_seed(3)
+        .source(n);
     let rf_config = RfConfig {
         avc_budget_entries: 3_000_000,
         in_memory_threshold: (n / 8).max(1_000),
@@ -53,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rf_time = t.elapsed();
     let rf_scans = view_rf.stats().snapshot().scans;
 
-    assert_eq!(boat_fit.tree, rf_fit.tree, "both algorithms build the exact same tree");
+    assert_eq!(
+        boat_fit.tree, rf_fit.tree,
+        "both algorithms build the exact same tree"
+    );
 
     println!("algorithm   | scans of the view | recomputed tuples | wall time");
     println!("------------+-------------------+-------------------+----------");
@@ -61,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "BOAT        | {boat_scans:>17} | {:>17} | {boat_time:?}",
         boat_scans * n
     );
-    println!("RF-Hybrid   | {rf_scans:>17} | {:>17} | {rf_time:?}", rf_scans * n);
+    println!(
+        "RF-Hybrid   | {rf_scans:>17} | {:>17} | {rf_time:?}",
+        rf_scans * n
+    );
     println!(
         "\nidentical trees ({} nodes); BOAT re-evaluated the query {}x, RainForest {}x",
         boat_fit.tree.n_nodes(),

@@ -19,13 +19,19 @@ fn tmpfile(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn all_algorithms_agree_on_disk_data() {
-    for (f, seed) in [(LabelFunction::F1, 51u64), (LabelFunction::F6, 52), (LabelFunction::F7, 53)]
-    {
+    for (f, seed) in [
+        (LabelFunction::F1, 51u64),
+        (LabelFunction::F6, 52),
+        (LabelFunction::F7, 53),
+    ] {
         let path = tmpfile(&format!("agree-{seed}.boat"));
         let gen = GeneratorConfig::new(f).with_seed(seed).with_noise(0.02);
         let data = gen.materialize(&path, 6_000).unwrap();
 
-        let limits = GrowthLimits { stop_family_size: Some(400), ..GrowthLimits::default() };
+        let limits = GrowthLimits {
+            stop_family_size: Some(400),
+            ..GrowthLimits::default()
+        };
         let reference = reference_tree(&data, Gini, limits).unwrap();
 
         let mut bc = BoatConfig::scaled_for(6_000).with_seed(seed);
@@ -38,9 +44,13 @@ fn all_algorithms_agree_on_disk_data() {
             in_memory_threshold: 400,
             limits,
         };
-        let hybrid = RainForest::new(RfVariant::Hybrid, rfc.clone()).fit(&data).unwrap();
+        let hybrid = RainForest::new(RfVariant::Hybrid, rfc.clone())
+            .fit(&data)
+            .unwrap();
         assert_eq!(hybrid.tree, reference, "{f:?}: RF-Hybrid vs reference");
-        let vertical = RainForest::new(RfVariant::Vertical, rfc).fit(&data).unwrap();
+        let vertical = RainForest::new(RfVariant::Vertical, rfc)
+            .fit(&data)
+            .unwrap();
         assert_eq!(vertical.tree, reference, "{f:?}: RF-Vertical vs reference");
 
         std::fs::remove_file(&path).ok();
@@ -55,9 +65,14 @@ fn boat_reads_less_than_level_synchronous_rainforest() {
     let path = tmpfile("scans.boat");
     let gen = GeneratorConfig::new(LabelFunction::F7).with_seed(60);
     let stats = IoStats::new();
-    let data = gen.materialize_with_stats(&path, 12_000, stats.clone()).unwrap();
+    let data = gen
+        .materialize_with_stats(&path, 12_000, stats.clone())
+        .unwrap();
 
-    let limits = GrowthLimits { stop_family_size: Some(1_000), ..GrowthLimits::default() };
+    let limits = GrowthLimits {
+        stop_family_size: Some(1_000),
+        ..GrowthLimits::default()
+    };
     let mut bc = BoatConfig::scaled_for(12_000).with_seed(61);
     bc.sample_size = 3_000;
     bc.bootstrap_sample_size = 1_500;
@@ -65,8 +80,8 @@ fn boat_reads_less_than_level_synchronous_rainforest() {
     bc.in_memory_threshold = 1_000;
     let before = stats.snapshot();
     let fit = Boat::new(bc).fit(&data).unwrap();
-    let boat_read = stats.snapshot().records_read - before.records_read
-        + fit.stats.spill_io.records_read;
+    let boat_read =
+        stats.snapshot().records_read - before.records_read + fit.stats.spill_io.records_read;
 
     let rf_stats = IoStats::new();
     let data_rf = FileDataset::open(&path, rf_stats.clone()).unwrap();
@@ -75,7 +90,9 @@ fn boat_reads_less_than_level_synchronous_rainforest() {
         in_memory_threshold: 1_000,
         limits,
     };
-    let rf = RainForest::new(RfVariant::Hybrid, rfc).fit(&data_rf).unwrap();
+    let rf = RainForest::new(RfVariant::Hybrid, rfc)
+        .fit(&data_rf)
+        .unwrap();
     let rf_read = rf_stats.snapshot().records_read;
 
     assert_eq!(fit.tree, rf.tree);
@@ -141,7 +158,9 @@ fn non_materialized_source_trains_identically_to_materialized() {
 fn predictions_match_labels_on_clean_separable_data() {
     let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(90);
     let data = MemoryDataset::new(gen.schema(), gen.generate_vec(8_000));
-    let fit = Boat::new(BoatConfig::scaled_for(8_000).with_seed(91)).fit(&data).unwrap();
+    let fit = Boat::new(BoatConfig::scaled_for(8_000).with_seed(91))
+        .fit(&data)
+        .unwrap();
     // F1 is noise-free and axis-aligned: the exact greedy tree classifies
     // training data perfectly.
     for r in data.records() {

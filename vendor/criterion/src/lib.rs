@@ -1,0 +1,232 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by this
+//! workspace's benches (no network access to fetch the real crate).
+//!
+//! Implements [`Criterion`], [`BenchmarkGroup`], [`Bencher`] with `iter` /
+//! `iter_batched`, [`BatchSize`], and both forms of `criterion_group!` plus
+//! `criterion_main!`. Measurement is a deliberately simple
+//! mean-over-samples wall-clock timer printed to stdout — enough to compare
+//! configurations locally; it makes no statistical claims.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup between measured runs. The shim times
+/// each routine invocation individually regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Re-export for parity with `criterion::black_box` users.
+pub use std::hint::black_box;
+
+/// Benchmark driver. Collects samples and prints a one-line summary per
+/// benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark (builder form, as
+    /// used in `config = Criterion::default().sample_size(20)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&id, &b.samples);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for benchmarks registered after this call.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.samples);
+        self
+    }
+
+    /// Finish the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over `sample_size` samples (after one warmup call).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warmup
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{id:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  (n={})",
+        samples.len()
+    );
+}
+
+/// Define a benchmark group in either the positional or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("shim/unit", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_run_batched_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3); // warmup + 2
+        assert_eq!(runs, 3);
+    }
+}
