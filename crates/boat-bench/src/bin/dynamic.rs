@@ -20,8 +20,9 @@
 //! cargo run --release -p boat-bench --bin dynamic -- --mode same-dist
 //! ```
 
+use boat_bench::obs::json_array;
 use boat_bench::table::fmt_duration;
-use boat_bench::{bench_dir, Args, Table};
+use boat_bench::{bench_dir, print_metrics_summary, Args, BenchReport, Table};
 use boat_core::{reference_tree, Boat, BoatConfig};
 use boat_data::log::DatasetLog;
 use boat_data::{FileDataset, IoStats};
@@ -39,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = args.get::<u64>("seed", 131_313);
     let csv = args.flag("csv");
     let verify = !args.flag("no-verify");
+    let out = args.get_str("out", "BENCH_dynamic.json");
 
     match mode.as_str() {
         "same-dist" => run_updates(
@@ -50,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed,
             csv,
             verify,
+            &out,
         ),
         "drift" => run_updates(
             "Figure 14: distribution change",
@@ -60,10 +63,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed,
             csv,
             verify,
+            &out,
         ),
-        "chunk-size" => run_chunk_size(base_n, chunk_n, chunks, seed, csv),
+        "chunk-size" => run_chunk_size(base_n, chunk_n, chunks, seed, csv, &out),
         other => panic!("--mode must be same-dist | drift | chunk-size, got {other}"),
     }
+}
+
+/// Finish a dynamic-mode report: metrics summary + JSON artifact.
+fn finish_report(
+    mode: &str,
+    rows_json: Vec<String>,
+    out: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let snapshot = boat_obs::Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+    let mut report = BenchReport::new("dynamic");
+    report
+        .field_str("mode", mode)
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&rows_json))
+        .metrics(&snapshot);
+    report.write(out)?;
+    Ok(())
 }
 
 /// The stopping rule shared by the dynamic experiments (15 % of the final
@@ -91,6 +113,7 @@ fn run_updates(
     seed: u64,
     csv: bool,
     verify: bool,
+    out: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let total = base_n + chunks * chunk_n;
     let limits = limits_for(total);
@@ -106,7 +129,7 @@ fn run_updates(
     let mut config = BoatConfig::scaled_for(total).with_seed(seed);
     config.limits = limits;
     config.in_memory_threshold = limits.stop_family_size.unwrap();
-    let algo = Boat::new(config.clone());
+    let algo = Boat::new(config.clone()).with_metrics(boat_obs::Registry::global().clone());
     let t = Instant::now();
     let (mut model, _) = algo.fit_model(&base)?;
     println!(
@@ -130,6 +153,7 @@ fn run_updates(
     ]);
     let (mut cum_update, mut cum_boat, mut cum_rf) =
         (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    let mut rows_json: Vec<String> = Vec::new();
     for i in 0..chunks {
         let gen = GeneratorConfig::new(chunk_fn)
             .with_seed(seed ^ (1000 + i))
@@ -192,6 +216,16 @@ fn run_updates(
             fmt_duration(cum_rf),
             maintenance.failed_nodes.to_string(),
         ]);
+        rows_json.push(format!(
+            "{{\"cumulative_tuples\": {cumulative}, \"update_seconds\": {:.6}, \
+             \"cum_update_seconds\": {:.6}, \"boat_rebuild_seconds\": {:.6}, \
+             \"rf_rebuild_seconds\": {:.6}, \"failed_subtrees\": {}}}",
+            update_time.as_secs_f64(),
+            cum_update.as_secs_f64(),
+            boat_rebuild.as_secs_f64(),
+            rf_rebuild.as_secs_f64(),
+            maintenance.failed_nodes,
+        ));
     }
     table.print(csv);
     println!(
@@ -203,7 +237,15 @@ fn run_updates(
             ", and updates never rescan the original data"
         }
     );
-    Ok(())
+    finish_report(
+        if chunk_fn == LabelFunction::F1Drift {
+            "drift"
+        } else {
+            "same-dist"
+        },
+        rows_json,
+        out,
+    )
 }
 
 fn run_chunk_size(
@@ -212,6 +254,7 @@ fn run_chunk_size(
     chunks: u64,
     seed: u64,
     csv: bool,
+    out: &str,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let total = base_n + chunks * big_chunk;
     let limits = limits_for(total);
@@ -242,9 +285,12 @@ fn run_chunk_size(
         let mut config = BoatConfig::scaled_for(total).with_seed(seed);
         config.limits = limits;
         config.in_memory_threshold = limits.stop_family_size.unwrap();
-        let (model, _) = Boat::new(config).fit_model(&base)?;
+        let (model, _) = Boat::new(config)
+            .with_metrics(boat_obs::Registry::global().clone())
+            .fit_model(&base)?;
         models.push(model);
     }
+    let mut rows_json: Vec<String> = Vec::new();
 
     for i in 0..chunks {
         let gen = GeneratorConfig::new(LabelFunction::F1)
@@ -277,8 +323,15 @@ fn run_chunk_size(
             fmt_duration(cum[0]),
             fmt_duration(cum[1]),
         ]);
+        rows_json.push(format!(
+            "{{\"arrived_tuples\": {}, \"cum_update_seconds_big\": {:.6}, \
+             \"cum_update_seconds_small\": {:.6}}}",
+            (i + 1) * big_chunk,
+            cum[0].as_secs_f64(),
+            cum[1].as_secs_f64(),
+        ));
     }
     table.print(csv);
     println!("\npaper shape: the two cumulative curves are nearly identical.");
-    Ok(())
+    finish_report("chunk-size", rows_json, out)
 }

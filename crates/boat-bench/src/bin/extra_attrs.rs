@@ -9,10 +9,12 @@
 //! cargo run --release -p boat-bench --bin extra_attrs -- --function 1
 //! ```
 
+use boat_bench::obs::json_array;
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
 use boat_bench::{
-    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table,
+    materialize_cached, print_metrics_summary, rf_budgets, run_boat, run_rf_hybrid,
+    run_rf_vertical, Args, BenchReport, Table,
 };
 use boat_data::IoStats;
 use boat_datagen::{GeneratorConfig, LabelFunction};
@@ -24,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extras = args.get_list("extras", &[0, 2, 4, 6, 8]);
     let seed = args.get::<u64>("seed", 88_888);
     let csv = args.flag("csv");
+    let out = args.get_str("out", "BENCH_extra_attrs.json");
     let func = LabelFunction::from_number(function).expect("--function must be 1..=10");
     let limits = paper_limits(n * 2);
 
@@ -45,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "failures",
     ]);
     let mut base_nodes: Option<usize> = None;
+    let mut rows_json: Vec<String> = Vec::new();
     for &k in &extras {
         let gen = GeneratorConfig::new(func)
             .with_seed(seed)
@@ -88,9 +92,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.tree.n_nodes().to_string(),
                 r.failed_nodes.to_string(),
             ]);
+            rows_json.push(format!(
+                "{{\"extras\": {k}, \"algo\": \"{}\", \"seconds\": {:.6}, \"scans\": {}, \
+                 \"input_reads\": {}, \"spill_reads\": {}, \"tree_nodes\": {}, \"failures\": {}}}",
+                r.algo,
+                r.time.as_secs_f64(),
+                r.scans,
+                r.input_reads,
+                r.spill_reads,
+                r.tree.n_nodes(),
+                r.failed_nodes,
+            ));
         }
     }
     table.print(csv);
     println!("\npaper shape: roughly linear scale-up in the number of extra attributes.");
+
+    let snapshot = boat_obs::Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+    let mut report = BenchReport::new("extra_attrs");
+    report
+        .field_str("function", &format!("F{function}"))
+        .field_u64("tuples", n)
+        .field_u64("seed", seed)
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&rows_json))
+        .metrics(&snapshot);
+    report.write(&out)?;
     Ok(())
 }

@@ -15,7 +15,8 @@
 //! cargo run --release -p boat-bench --bin instability
 //! ```
 
-use boat_bench::Args;
+use boat_bench::obs::json_array;
+use boat_bench::{print_metrics_summary, Args, BenchReport};
 use boat_core::{reference_tree, Boat, BoatConfig};
 use boat_data::dataset::RecordSource;
 use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
@@ -28,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tilt = args.get::<usize>("tilt", 8);
     let reps = args.get::<usize>("reps", 40);
     let seed = args.get::<u64>("seed", 121_212);
+    let out = args.get_str("out", "BENCH_instability.json");
 
     println!("# Figure 12: instability of impurity-based split selection\n");
 
@@ -62,10 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- what instability costs BOAT (and that exactness survives) ---
+    let mut rows_json: Vec<String> = Vec::new();
     for (name, data) in [("unstable", &unstable), ("control", &control)] {
         let mut cfg = BoatConfig::scaled_for(data.len()).with_seed(seed);
         cfg.in_memory_threshold = data.len() / 10;
-        let fit = Boat::new(cfg.clone()).fit(data)?;
+        let fit = Boat::new(cfg.clone())
+            .with_metrics(boat_obs::Registry::global().clone())
+            .fit(data)?;
         let reference = reference_tree(data, Gini, cfg.limits)?;
         assert_eq!(fit.tree, reference, "exactness must survive instability");
         println!(
@@ -73,11 +78,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fit.stats,
             fit.tree.n_nodes()
         );
+        rows_json.push(format!(
+            "{{\"dataset\": \"{name}\", \"scans\": {}, \"coarse_nodes\": {}, \
+             \"verified_nodes\": {}, \"failed_nodes\": {}, \"tree_nodes\": {}, \"exact\": true}}",
+            fit.stats.scans_over_input,
+            fit.stats.coarse_nodes,
+            fit.stats.verified_nodes,
+            fit.stats.failed_nodes,
+            fit.tree.n_nodes(),
+        ));
     }
     println!(
         "\npaper shape: bimodal split points on the two-minima data; the optimistic \
          phase loses coverage there (cut coarse trees / rebuilds), the output stays exact."
     );
+
+    let snapshot = boat_obs::Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+    let hist_json = |h: &[(i64, usize)]| {
+        let items: Vec<String> = h
+            .iter()
+            .map(|&(v, c)| format!("{{\"split\": {v}, \"count\": {c}}}"))
+            .collect();
+        json_array(&items)
+    };
+    let mut report = BenchReport::new("instability");
+    report
+        .field_u64("bootstrap_reps", reps as u64)
+        .field_u64("seed", seed)
+        .field_raw("unstable_split_histogram", hist_json(&hist_unstable))
+        .field_raw("control_split_histogram", hist_json(&hist_control))
+        .field_raw("results", json_array(&rows_json))
+        .metrics(&snapshot);
+    report.write(&out)?;
     Ok(())
 }
 

@@ -9,10 +9,12 @@
 //! cargo run --release -p boat-bench --bin noise -- --function 1
 //! ```
 
+use boat_bench::obs::json_array;
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
 use boat_bench::{
-    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table,
+    materialize_cached, print_metrics_summary, rf_budgets, run_boat, run_rf_hybrid,
+    run_rf_vertical, Args, BenchReport, Table,
 };
 use boat_data::IoStats;
 use boat_datagen::{GeneratorConfig, LabelFunction};
@@ -24,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noise_pcts = args.get_list("noise", &[2, 4, 6, 8, 10]);
     let seed = args.get::<u64>("seed", 77_777);
     let csv = args.flag("csv");
+    let out = args.get_str("out", "BENCH_noise.json");
     let func = LabelFunction::from_number(function).expect("--function must be 1..=10");
     // The paper stops at the same absolute threshold as the scalability
     // sweep (1.5M at 10M max), i.e. 30% of its 5M-tuple noise datasets.
@@ -50,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "nodes",
         "failures",
     ]);
+    let mut rows_json: Vec<String> = Vec::new();
     for &pct in &noise_pcts {
         let gen = GeneratorConfig::new(func)
             .with_seed(seed)
@@ -83,9 +87,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.tree.n_nodes().to_string(),
                 r.failed_nodes.to_string(),
             ]);
+            rows_json.push(format!(
+                "{{\"noise_pct\": {pct}, \"algo\": \"{}\", \"seconds\": {:.6}, \"scans\": {}, \
+                 \"input_reads\": {}, \"spill_reads\": {}, \"tree_nodes\": {}, \"failures\": {}}}",
+                r.algo,
+                r.time.as_secs_f64(),
+                r.scans,
+                r.input_reads,
+                r.spill_reads,
+                r.tree.n_nodes(),
+                r.failed_nodes,
+            ));
         }
     }
     table.print(csv);
     println!("\npaper shape: BOAT's time (and scan count) is flat in the noise level.");
+
+    let snapshot = boat_obs::Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+    let mut report = BenchReport::new("noise");
+    report
+        .field_str("function", &format!("F{function}"))
+        .field_u64("tuples", n)
+        .field_u64("seed", seed)
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&rows_json))
+        .metrics(&snapshot);
+    report.write(&out)?;
     Ok(())
 }

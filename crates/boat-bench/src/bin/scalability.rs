@@ -10,11 +10,12 @@
 //! cargo run --release -p boat-bench --bin scalability -- --function 6 --sizes 50000,100000
 //! ```
 
+use boat_bench::obs::json_array;
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
 use boat_bench::{
-    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, run_rf_write, Args,
-    Table,
+    materialize_cached, print_metrics_summary, rf_budgets, run_boat, run_rf_hybrid,
+    run_rf_vertical, run_rf_write, Args, BenchReport, Table,
 };
 use boat_data::IoStats;
 use boat_datagen::{GeneratorConfig, LabelFunction};
@@ -25,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = args.get_list("sizes", &[20_000, 40_000, 60_000, 80_000, 100_000]);
     let seed = args.get::<u64>("seed", 424_242);
     let csv = args.flag("csv");
+    let out = args.get_str("out", "BENCH_scalability.json");
     let func = LabelFunction::from_number(function).expect("--function must be 1..=10");
     let max_n = *sizes.iter().max().expect("at least one size");
     let limits = paper_limits(max_n);
@@ -51,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "nodes",
         "failures",
     ]);
+    let mut rows_json: Vec<String> = Vec::new();
     for &n in &sizes {
         let gen = GeneratorConfig::new(func).with_seed(seed);
         let data =
@@ -82,6 +85,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.tree.n_nodes().to_string(),
                 r.failed_nodes.to_string(),
             ]);
+            rows_json.push(format!(
+                "{{\"tuples\": {n}, \"algo\": \"{}\", \"seconds\": {:.6}, \"scans\": {}, \
+                 \"input_reads\": {}, \"spill_reads\": {}, \"tree_nodes\": {}, \"failures\": {}}}",
+                r.algo,
+                r.time.as_secs_f64(),
+                r.scans,
+                r.input_reads,
+                r.spill_reads,
+                r.tree.n_nodes(),
+                r.failed_nodes,
+            ));
         }
     }
     table.print(csv);
@@ -89,5 +103,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\npaper shape: BOAT ~2-3x faster than RF-Hybrid, RF-Vertical slowest; the gap \
          widens with size; identical trees throughout (asserted)."
     );
+
+    let snapshot = boat_obs::Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+    let mut report = BenchReport::new("scalability");
+    report
+        .field_str("function", &format!("F{function}"))
+        .field_raw(
+            "sizes",
+            format!(
+                "[{}]",
+                sizes
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
+        .field_u64("seed", seed)
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&rows_json))
+        .metrics(&snapshot);
+    report.write(&out)?;
     Ok(())
 }

@@ -7,10 +7,12 @@
 //! cargo run --release -p boat-bench --bin summary
 //! ```
 
+use boat_bench::obs::json_array;
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
 use boat_bench::{
-    materialize_cached, rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, Args, Table,
+    materialize_cached, print_metrics_summary, rf_budgets, run_boat, run_rf_hybrid,
+    run_rf_vertical, Args, BenchReport, Table,
 };
 use boat_core::{Boat, BoatConfig};
 use boat_data::dataset::RecordSource;
@@ -22,8 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let n = args.get::<u64>("n", 40_000);
     let seed = args.get::<u64>("seed", 515_151);
+    let out = args.get_str("out", "BENCH_summary.json");
     let limits = paper_limits(n);
     let t0 = Instant::now();
+    let mut rows_json: Vec<String> = Vec::new();
 
     println!(
         "# BOAT reproduction summary (n = {n}, stop at {})\n",
@@ -65,6 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.input_reads.to_string(),
                 r.failed_nodes.to_string(),
             ]);
+            rows_json.push(format!(
+                "{{\"digest\": \"scalability\", \"function\": \"F{f}\", \"algo\": \"{}\", \
+                 \"seconds\": {:.6}, \"scans\": {}, \"input_reads\": {}, \"failures\": {}}}",
+                r.algo,
+                r.time.as_secs_f64(),
+                r.scans,
+                r.input_reads,
+                r.failed_nodes,
+            ));
         }
     }
     table.print(false);
@@ -88,6 +101,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.scans,
             r.input_reads
         );
+        rows_json.push(format!(
+            "{{\"digest\": \"noise\", \"noise_pct\": {pct}, \"algo\": \"BOAT\", \
+             \"seconds\": {:.6}, \"scans\": {}, \"input_reads\": {}}}",
+            r.time.as_secs_f64(),
+            r.scans,
+            r.input_reads,
+        ));
     }
 
     // --- Instability digest (Figure 12).
@@ -95,10 +115,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unstable = boat_datagen::instability::two_minima_dataset(400, 8);
     let mut cfg = BoatConfig::scaled_for(unstable.len()).with_seed(seed);
     cfg.in_memory_threshold = unstable.len() / 10;
-    let fit = Boat::new(cfg.clone()).fit(&unstable)?;
+    let fit = Boat::new(cfg.clone())
+        .with_metrics(boat_obs::Registry::global().clone())
+        .fit(&unstable)?;
     let reference = boat_core::reference_tree(&unstable, boat_tree::Gini, cfg.limits)?;
     assert_eq!(fit.tree, reference);
     println!("  two-minima data: {} (exact tree: yes)", fit.stats);
+    rows_json.push(format!(
+        "{{\"digest\": \"instability\", \"scans\": {}, \"failed_nodes\": {}, \"exact\": true}}",
+        fit.stats.scans_over_input, fit.stats.failed_nodes,
+    ));
 
     // --- Dynamic digest (Figures 13-15): repeated chunks, cumulative
     //     update cost vs re-building at every arrival (the paper's
@@ -114,7 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = BoatConfig::scaled_for(total).with_seed(seed ^ 78);
     config.limits = paper_limits(total);
     config.in_memory_threshold = config.limits.stop_family_size.unwrap();
-    let algo = Boat::new(config.clone());
+    let algo = Boat::new(config.clone()).with_metrics(boat_obs::Registry::global().clone());
     let (mut model, _) = algo.fit_model(&base)?;
     let mut cum_update = std::time::Duration::ZERO;
     let mut cum_rebuild = std::time::Duration::ZERO;
@@ -142,10 +168,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fmt_duration(cum_update),
         fmt_duration(cum_rebuild)
     );
+    rows_json.push(format!(
+        "{{\"digest\": \"dynamic\", \"chunks\": {chunks}, \"chunk_tuples\": {chunk_n}, \
+         \"cum_update_seconds\": {:.6}, \"cum_rebuild_seconds\": {:.6}}}",
+        cum_update.as_secs_f64(),
+        cum_rebuild.as_secs_f64(),
+    ));
 
     println!(
         "\nAll identical-tree assertions passed. Total summary time: {}",
         fmt_duration(t0.elapsed())
     );
+
+    let snapshot = boat_obs::Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+    let mut report = BenchReport::new("summary");
+    report
+        .field_u64("tuples", n)
+        .field_u64("seed", seed)
+        .field_f64("total_seconds", t0.elapsed().as_secs_f64())
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&rows_json))
+        .metrics(&snapshot);
+    report.write(&out)?;
     Ok(())
 }

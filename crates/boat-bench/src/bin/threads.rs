@@ -15,12 +15,14 @@
 //! cargo run --release -p boat-bench --bin threads -- --threads 1,2,4,8 --reps 3
 //! ```
 
+use boat_bench::obs::json_array;
 use boat_bench::run::paper_limits;
 use boat_bench::table::fmt_duration;
-use boat_bench::{materialize_cached, Args, Table};
+use boat_bench::{materialize_cached, print_metrics_summary, Args, BenchReport, Table};
 use boat_core::{Boat, BoatConfig};
 use boat_data::IoStats;
 use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_obs::Registry;
 use std::time::Duration;
 
 struct Row {
@@ -30,6 +32,10 @@ struct Row {
     scans: u64,
     parked: u64,
     nodes: usize,
+    /// Mean shard-routing time per chunk (ns), parallel path only.
+    route_ns: Option<f64>,
+    /// Mean worker queue-wait per chunk (ns), parallel path only.
+    wait_ns: Option<f64>,
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -82,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 config.in_memory_threshold = stop;
             }
             config.cleanup_threads = threads;
-            let fit = Boat::new(config).fit(&data)?;
+            let fit = Boat::new(config)
+                .with_metrics(Registry::global().clone())
+                .fit(&data)?;
             match &baseline_tree {
                 None => baseline_tree = Some(fit.tree.clone()),
                 Some(t) => assert_eq!(
@@ -97,6 +105,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 scans: fit.stats.scans_over_input,
                 parked: fit.stats.parked_tuples,
                 nodes: fit.tree.n_nodes(),
+                route_ns: fit
+                    .stats
+                    .metrics
+                    .histogram("boat.cleanup.shard_route")
+                    .and_then(|h| h.mean()),
+                wait_ns: fit
+                    .stats
+                    .metrics
+                    .histogram("boat.cleanup.queue_wait")
+                    .and_then(|h| h.mean()),
             };
             // Keep the best (minimum-cleanup-time) repetition, Criterion-style.
             if best.as_ref().is_none_or(|b| row.cleanup < b.cleanup) {
@@ -112,8 +130,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|r| r.cleanup)
         .unwrap_or_else(|| rows[0].cleanup);
 
+    let fmt_mean = |ns: Option<f64>| match ns {
+        Some(v) => format!("{:.1}us", v / 1e3),
+        None => "-".to_string(),
+    };
     let mut table = Table::new(&[
-        "threads", "cleanup", "speedup", "total", "scans", "parked", "nodes",
+        "threads",
+        "cleanup",
+        "speedup",
+        "total",
+        "scans",
+        "parked",
+        "nodes",
+        "route/chunk",
+        "wait/chunk",
     ]);
     for r in &rows {
         table.row(vec![
@@ -127,37 +157,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.scans.to_string(),
             r.parked.to_string(),
             r.nodes.to_string(),
+            fmt_mean(r.route_ns),
+            fmt_mean(r.wait_ns),
         ]);
     }
     table.print(csv);
 
-    // Hand-rolled JSON (the workspace deliberately carries no serde).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"parallel_cleanup_scan\",\n");
-    json.push_str(&format!("  \"function\": \"F{function}\",\n"));
-    json.push_str(&format!("  \"tuples\": {n},\n"));
-    json.push_str(&format!("  \"reps\": {reps},\n"));
-    json.push_str(&format!("  \"machine_parallelism\": {cores},\n"));
-    json.push_str("  \"identical_trees_asserted\": true,\n");
-    json.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let speedup = serial_cleanup.as_secs_f64() / r.cleanup.as_secs_f64();
-        json.push_str(&format!(
-            "    {{\"threads\": {}, \"cleanup_seconds\": {:.6}, \"cleanup_speedup\": {:.3}, \
-             \"total_seconds\": {:.6}, \"scans\": {}, \"parked_tuples\": {}, \"tree_nodes\": {}}}{}\n",
-            r.threads,
-            r.cleanup.as_secs_f64(),
-            speedup,
-            r.total.as_secs_f64(),
-            r.scans,
-            r.parked,
-            r.nodes,
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out, json)?;
-    println!("\nwrote {out}");
+    // Whole-process metrics (every fit at every thread count recorded into
+    // the global registry) — printed and embedded in the JSON artifact.
+    let snapshot = Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+
+    let results: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let speedup = serial_cleanup.as_secs_f64() / r.cleanup.as_secs_f64();
+            format!(
+                "{{\"threads\": {}, \"cleanup_seconds\": {:.6}, \"cleanup_speedup\": {:.3}, \
+                 \"total_seconds\": {:.6}, \"scans\": {}, \"parked_tuples\": {}, \
+                 \"tree_nodes\": {}, \"route_mean_ns\": {}, \"queue_wait_mean_ns\": {}}}",
+                r.threads,
+                r.cleanup.as_secs_f64(),
+                speedup,
+                r.total.as_secs_f64(),
+                r.scans,
+                r.parked,
+                r.nodes,
+                r.route_ns.map_or("null".into(), |v| format!("{v:.0}")),
+                r.wait_ns.map_or("null".into(), |v| format!("{v:.0}")),
+            )
+        })
+        .collect();
+    let mut report = BenchReport::new("parallel_cleanup_scan");
+    report
+        .field_str("function", &format!("F{function}"))
+        .field_u64("tuples", n)
+        .field_u64("reps", reps as u64)
+        .field_u64("machine_parallelism", cores as u64)
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&results))
+        .metrics(&snapshot);
+    report.write(&out)?;
     Ok(())
 }

@@ -19,10 +19,12 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod obs;
 pub mod run;
 pub mod table;
 
 pub use cli::Args;
+pub use obs::{print_metrics_summary, BenchReport};
 pub use run::{rf_budgets, run_boat, run_rf_hybrid, run_rf_vertical, run_rf_write, AlgoResult};
 pub use table::Table;
 

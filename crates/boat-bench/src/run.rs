@@ -29,6 +29,9 @@ pub struct AlgoResult {
     pub tree: Tree,
     /// BOAT only: verification failures (rebuild events).
     pub failed_nodes: u64,
+    /// BOAT only: per-run metrics delta (the `boat-obs` snapshot recorded
+    /// over this fit). Empty for the RainForest runners.
+    pub metrics: boat_obs::Snapshot,
 }
 
 /// Paper-proportional RainForest memory budgets for a dataset of `n` base
@@ -64,7 +67,11 @@ pub fn run_boat(
     }
     let before = data.stats().snapshot();
     let t = Instant::now();
-    let fit = Boat::new(config).fit(data)?;
+    // Record into the process-global registry so experiment binaries can
+    // embed one whole-run snapshot in their BENCH_*.json artifact.
+    let fit = Boat::new(config)
+        .with_metrics(boat_obs::Registry::global().clone())
+        .fit(data)?;
     let time = t.elapsed();
     let delta = data.stats().snapshot() - before;
     Ok(AlgoResult {
@@ -75,6 +82,7 @@ pub fn run_boat(
         spill_reads: fit.stats.spill_io.records_read,
         tree: fit.tree,
         failed_nodes: fit.stats.failed_nodes,
+        metrics: fit.stats.metrics,
     })
 }
 
@@ -103,6 +111,7 @@ fn run_rf(
         spill_reads: fit.stats.temp_io.records_read,
         tree: fit.tree,
         failed_nodes: 0,
+        metrics: boat_obs::Snapshot::default(),
     })
 }
 
@@ -162,6 +171,13 @@ mod tests {
         assert!(b.scans >= 2 && b.input_reads >= 12_000);
         assert!(h.scans >= 2);
         assert!(v.scans >= h.scans);
+        // The embedded metrics delta agrees with the classic stats.
+        assert_eq!(b.metrics.counter("boat.fit.input_scans"), b.scans);
+        assert_eq!(b.metrics.counter("boat.fit.runs"), 1);
+        assert!(
+            h.metrics.counters.is_empty(),
+            "RF runners carry no snapshot"
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::work::{limits_for_subtree, Job, Resolution, WorkTree};
 use boat_data::dataset::RecordSource;
 use boat_data::sample::reservoir_sample;
 use boat_data::spill::SpillBuffer;
-use boat_data::{DataError, FileDatasetWriter, Record, Result};
+use boat_data::{DataError, FileDatasetWriter, IoSnapshot, IoStats, Record, Result};
+use boat_obs::Registry;
 use boat_tree::{Gini, GrowthLimits, Impurity, ImpuritySelector, TdTreeBuilder, Tree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,6 +40,13 @@ pub struct BoatFit {
 pub struct Boat<I: Impurity + Clone = Gini> {
     config: BoatConfig,
     impurity: I,
+    /// Observability registry: every phase span, verification verdict,
+    /// cleanup-shard timer and I/O counter of this instance's runs records
+    /// here. Fresh (private) per instance so parallel fits never share
+    /// counters; recursive sub-runs share their parent's registry. Swap in
+    /// [`boat_obs::Registry::global`] via [`Boat::with_metrics`] for one
+    /// flat process-wide namespace.
+    metrics: Registry,
 }
 
 impl Boat<Gini> {
@@ -47,6 +55,7 @@ impl Boat<Gini> {
         Boat {
             config,
             impurity: Gini,
+            metrics: Registry::new(),
         }
     }
 }
@@ -54,7 +63,19 @@ impl Boat<Gini> {
 impl<I: Impurity + Clone> Boat<I> {
     /// BOAT with an arbitrary concave impurity function.
     pub fn with_impurity(config: BoatConfig, impurity: I) -> Self {
-        Boat { config, impurity }
+        Boat {
+            config,
+            impurity,
+            metrics: Registry::new(),
+        }
+    }
+
+    /// Use `metrics` as this instance's observability registry (e.g.
+    /// `boat_obs::Registry::global().clone()` to share one process-wide
+    /// namespace with other components).
+    pub fn with_metrics(mut self, metrics: Registry) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// The configuration in use.
@@ -67,29 +88,46 @@ impl<I: Impurity + Clone> Boat<I> {
         &self.impurity
     }
 
+    /// The observability registry this instance records into.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
     /// Build the exact decision tree for `source`.
     pub fn fit(&self, source: &dyn RecordSource) -> Result<BoatFit> {
         self.config.validate().map_err(DataError::Invalid)?;
+        let metrics_before = self.metrics.snapshot();
+        let io_before = source.stats().snapshot();
+        self.metrics.counter("boat.fit.runs").inc();
         // In-memory switch at top level: families that fit in memory are
         // always cheaper to build directly (§3.5).
         if source.len() <= self.config.in_memory_threshold {
             let t0 = Instant::now();
+            let span = self.metrics.span("boat.phase.inmem_build");
             let records = source.collect_records()?;
             let selector = ImpuritySelector::new(self.impurity.clone());
             let tree =
                 TdTreeBuilder::new(&selector, self.config.limits).fit(source.schema(), &records);
-            let stats = BoatRunStats {
+            span.finish();
+            self.metrics.counter("boat.fit.input_scans").inc();
+            self.metrics.counter("boat.fit.inmem_builds").inc();
+            let mut stats = BoatRunStats {
                 scans_over_input: 1,
                 sample_records: records.len() as u64,
                 inmem_builds: 1,
                 postprocess_time: t0.elapsed(),
                 ..Default::default()
             };
+            stats.io = source.stats().snapshot() - io_before;
+            mirror_io(&self.metrics, "data.input", stats.io);
+            stats.metrics = self.metrics.snapshot().since(&metrics_before);
             return Ok(BoatFit { tree, stats });
         }
         let (work, mut stats) = self.fit_work(source, self.config.max_recursion, false)?;
         let tree = work.extract_tree();
-        stats.io = source.stats().snapshot();
+        stats.io = source.stats().snapshot() - io_before;
+        mirror_io(&self.metrics, "data.input", stats.io);
+        stats.metrics = self.metrics.snapshot().since(&metrics_before);
         Ok(BoatFit { tree, stats })
     }
 
@@ -108,9 +146,13 @@ impl<I: Impurity + Clone> Boat<I> {
 
         // ---- sampling phase (scan 1 + bootstrap) ----
         let t0 = Instant::now();
+        let sample_span = self.metrics.span("boat.phase.sample");
         let sample = reservoir_sample(source, self.config.sample_size, &mut rng)?;
+        sample_span.finish();
         stats.scans_over_input += 1;
+        self.metrics.counter("boat.fit.input_scans").inc();
         stats.sample_records = sample.len() as u64;
+        let bootstrap_span = self.metrics.span("boat.phase.bootstrap");
         let coarse = build_coarse_tree(
             &schema,
             &sample,
@@ -130,10 +172,17 @@ impl<I: Impurity + Clone> Boat<I> {
             retain_all_families,
             // Temporary files (parked sets, families, rebuild partitions)
             // are accounted separately from the input source, so callers
-            // can tell scans-over-D apart from local spill traffic.
-            boat_data::IoStats::new(),
+            // can tell scans-over-D apart from local spill traffic. The
+            // handle shares its counters with the registry (`data.spill.*`),
+            // so spill traffic shows in metric snapshots as it happens.
+            IoStats::registered(&self.metrics, "data.spill"),
+            self.metrics.clone(),
         );
         drop(sample);
+        bootstrap_span.finish();
+        // The spill handle shares registry counters across runs and
+        // sub-runs, so this run's spill traffic is a delta, not an absolute.
+        let spill_io_before = work.spill_stats.snapshot();
         stats.sampling_time = t0.elapsed();
 
         // ---- cleanup phase (scan 2) ----
@@ -142,12 +191,15 @@ impl<I: Impurity + Clone> Boat<I> {
         // by an exact merge, so the resulting state (and hence the final
         // tree) is bit-identical at every thread count.
         let t1 = Instant::now();
+        let cleanup_span = self.metrics.span("boat.phase.cleanup");
         work.parallel_cleanup(
             source,
             self.config.effective_cleanup_threads(),
             self.config.cleanup_chunk_size,
         )?;
+        cleanup_span.finish();
         stats.scans_over_input += 1;
+        self.metrics.counter("boat.fit.input_scans").inc();
         stats.parked_tuples = work.parked_total();
         stats.cleanup_time = t1.elapsed();
 
@@ -158,8 +210,11 @@ impl<I: Impurity + Clone> Boat<I> {
         // without promotion, so static growth always completes it).
         let t2 = Instant::now();
         for round in 0..4u32 {
+            let verify_span = self.metrics.span("boat.phase.verify");
             let jobs = work.finalize(&self.impurity, self.config.limits)?;
+            verify_span.finish();
             let promote = retain_all_families && round < 3;
+            let rebuild_span = self.metrics.span("boat.phase.rebuild");
             let promoted = self.execute_jobs(
                 &mut work,
                 jobs,
@@ -169,6 +224,7 @@ impl<I: Impurity + Clone> Boat<I> {
                 promote,
                 &mut stats,
             )?;
+            rebuild_span.finish();
             if !promoted {
                 break;
             }
@@ -181,8 +237,17 @@ impl<I: Impurity + Clone> Boat<I> {
             }
         }
         stats.spilled_tuples = work.spilled_total();
-        stats.spill_io = work.spill_stats.snapshot();
+        stats.spill_io = work.spill_stats.snapshot() - spill_io_before;
         stats.postprocess_time = t2.elapsed();
+        self.metrics
+            .gauge("boat.work.nodes")
+            .set(work.nodes.len() as u64);
+        self.metrics
+            .gauge("boat.work.parked_tuples")
+            .set(stats.parked_tuples);
+        self.metrics
+            .gauge("boat.work.spilled_tuples")
+            .set(stats.spilled_tuples);
         Ok((work, stats))
     }
 
@@ -208,6 +273,7 @@ impl<I: Impurity + Clone> Boat<I> {
                 && work.nodes[job.idx].grown_carried_fp == Some(job.carried_fp)
                 && !subtree_dirty(work, job.idx);
             if reusable {
+                self.metrics.counter("boat.jobs.reused").inc();
                 continue;
             }
             let collected = work.collect_subtree(job.idx)?;
@@ -234,6 +300,8 @@ impl<I: Impurity + Clone> Boat<I> {
                 })
                 .collect();
             stats.scans_over_input += 1;
+            self.metrics.counter("boat.fit.input_scans").inc();
+            self.metrics.counter("boat.jobs.collection_scans").inc();
             for r in source.scan()? {
                 let r = r?;
                 if let Some(target) = work.route_to_job(&r) {
@@ -258,6 +326,8 @@ impl<I: Impurity + Clone> Boat<I> {
         }
 
         for (job, records) in pending {
+            stats.jobs_executed += 1;
+            self.metrics.counter("boat.jobs.executed").inc();
             let mut records = records.expect("records gathered above");
             // Maintained models *promote* oversized subtrees into spliced
             // BOAT state (so future updates stream through them) instead
@@ -283,6 +353,7 @@ impl<I: Impurity + Clone> Boat<I> {
                 && family as u64 > self.config.in_memory_threshold
             {
                 let promotions = work.nodes[job.idx].promotions + 1;
+                self.metrics.counter("boat.jobs.promoted").inc();
                 let sub_work = self.promote_records(work, job.idx, records, stats)?;
                 work.splice(job.idx, sub_work);
                 work.nodes[job.idx].promotions = promotions;
@@ -322,6 +393,7 @@ impl<I: Impurity + Clone> Boat<I> {
         let depth = work.nodes[idx].depth;
         let sub_limits = limits_for_subtree(self.config.limits, depth);
         stats.recursive_builds += 1;
+        self.metrics.counter("boat.fit.recursive_builds").inc();
         crate::work::build_exact_work(
             work.schema.clone(),
             records,
@@ -329,6 +401,7 @@ impl<I: Impurity + Clone> Boat<I> {
             &self.config,
             sub_limits,
             work.spill_stats.clone(),
+            work.metrics.clone(),
         )
     }
 
@@ -348,6 +421,7 @@ impl<I: Impurity + Clone> Boat<I> {
         let sub_limits = limits_for_subtree(self.config.limits, depth);
         if records.len() as u64 <= self.config.in_memory_threshold || recursion_left == 0 {
             stats.inmem_builds += 1;
+            self.metrics.counter("boat.fit.inmem_builds").inc();
             let selector = ImpuritySelector::new(self.impurity.clone());
             return Ok(TdTreeBuilder::new(&selector, sub_limits).fit(&work.schema, &records));
         }
@@ -364,6 +438,7 @@ impl<I: Impurity + Clone> Boat<I> {
             self.config.sample_size
         };
         stats.recursive_builds += 1;
+        self.metrics.counter("boat.fit.recursive_builds").inc();
         // The global counter only keeps temp-file names unique. The
         // sub-run's seed must NOT depend on it: run statistics are part of
         // the library's contract (the parallel-exactness oracle compares
@@ -394,6 +469,9 @@ impl<I: Impurity + Clone> Boat<I> {
                 ..self.config.clone()
             },
             impurity: self.impurity.clone(),
+            // Sub-runs record into the parent's registry, so a fit's
+            // metrics snapshot covers its whole recursive pipeline.
+            metrics: self.metrics.clone(),
         };
         let result = (|| -> Result<Tree> {
             let (w, sub_stats) = sub.fit_work(&partition, sub_recursion, false)?;
@@ -403,6 +481,33 @@ impl<I: Impurity + Clone> Boat<I> {
         let _ = std::fs::remove_file(&path);
         result
     }
+}
+
+/// Mirror an [`IoSnapshot`] delta into registry counters under `prefix`
+/// (`{prefix}.scans`, `{prefix}.bytes_read`, …).
+///
+/// Input-source I/O is counted by the *caller's* detached [`IoStats`]
+/// handle, not ours; public entry points mirror the per-run delta into the
+/// registry once, so `data.input.*` counters line up with `data.spill.*`
+/// in the same snapshot without double-counting recursive partition scans
+/// (sub-partitions are temp files, accounted as spill traffic).
+pub(crate) fn mirror_io(metrics: &Registry, prefix: &str, d: IoSnapshot) {
+    metrics.counter(&format!("{prefix}.scans")).add(d.scans);
+    metrics
+        .counter(&format!("{prefix}.records_read"))
+        .add(d.records_read);
+    metrics
+        .counter(&format!("{prefix}.bytes_read"))
+        .add(d.bytes_read);
+    metrics
+        .counter(&format!("{prefix}.records_written"))
+        .add(d.records_written);
+    metrics
+        .counter(&format!("{prefix}.bytes_written"))
+        .add(d.bytes_written);
+    metrics
+        .counter(&format!("{prefix}.spill_events"))
+        .add(d.spill_events);
 }
 
 /// Whether any node in the subtree of `idx` absorbed records since its

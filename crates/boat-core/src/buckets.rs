@@ -74,6 +74,26 @@ impl BucketSet {
         }
     }
 
+    /// Whether [`BucketSet::sub`] of `(v, label)` can proceed without
+    /// underflowing a cell: the bucket count, and the exact boundary count
+    /// when `v` sits on a boundary, must both be positive. Incremental
+    /// deletions check this along the whole routing path *before* mutating
+    /// anything (`WorkTree::validate_delete`).
+    #[inline]
+    pub fn can_sub(&self, v: f64, label: u16) -> bool {
+        let b = self.bucket_of(v);
+        if self.counts[b * self.n_classes + label as usize] == 0 {
+            return false;
+        }
+        if b < self.boundaries.len()
+            && self.boundaries[b] == v
+            && self.at_boundary[b * self.n_classes + label as usize] == 0
+        {
+            return false;
+        }
+        true
+    }
+
     /// Remove one previously-counted tuple.
     #[inline]
     pub fn sub(&mut self, v: f64, label: u16) {

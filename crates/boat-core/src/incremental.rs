@@ -72,8 +72,14 @@ impl<I: Impurity + Clone> Boat<I> {
         I: Clone,
     {
         self.config().validate().map_err(DataError::Invalid)?;
-        let (work, stats) = self.fit_work(source, self.config().max_recursion, true)?;
+        let metrics_before = self.metrics().snapshot();
+        let io_before = source.stats().snapshot();
+        self.metrics().counter("boat.fit.runs").inc();
+        let (work, mut stats) = self.fit_work(source, self.config().max_recursion, true)?;
         let tree = work.extract_tree();
+        stats.io = source.stats().snapshot() - io_before;
+        crate::boat::mirror_io(self.metrics(), "data.input", stats.io);
+        stats.metrics = self.metrics().snapshot().since(&metrics_before);
         Ok((
             BoatModel {
                 algo: self.clone(),
@@ -114,19 +120,56 @@ impl<I: Impurity + Clone> BoatModel<I> {
         if **chunk.schema() != *self.work.schema {
             return Err(DataError::Schema("update chunk schema mismatch".into()));
         }
+        let metrics = self.algo.metrics().clone();
+        let span = metrics.span("boat.incremental.update");
+        metrics.counter("boat.incremental.update_chunks").inc();
         let t0 = Instant::now();
         let mut report = UpdateReport::default();
+        let mut err: Option<DataError> = None;
         for r in chunk.scan()? {
-            self.work.absorb(&r?, delete)?;
-            if delete {
-                report.deleted += 1;
-            } else {
-                report.inserted += 1;
+            let rec = match r {
+                Ok(rec) => rec,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            };
+            match self.work.absorb(&rec, delete) {
+                Ok(()) => {
+                    if delete {
+                        report.deleted += 1;
+                    } else {
+                        report.inserted += 1;
+                    }
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
             }
         }
-        self.tree = None; // maintenance pending
+        metrics
+            .counter("boat.incremental.inserts")
+            .add(report.inserted);
+        metrics
+            .counter("boat.incremental.deletes")
+            .add(report.deleted);
+        // Only invalidate the materialized tree when this chunk actually
+        // mutated state. An *empty* chunk (or a validated-delete failure on
+        // the first record, which is a guaranteed no-op) leaves the tree
+        // current — invalidating it anyway would force a full needless
+        // re-verification pass on the next `tree()`.
+        let clean_failure = report.inserted + report.deleted == 0
+            && matches!(err, None | Some(DataError::Invalid(_)));
+        if !clean_failure {
+            self.tree = None; // maintenance pending
+        }
         report.time = t0.elapsed();
-        Ok(report)
+        span.finish();
+        match err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
     }
 
     /// Run pending maintenance now: the verification pass, subtree
@@ -137,6 +180,9 @@ impl<I: Impurity + Clone> BoatModel<I> {
         if self.tree.is_some() {
             return Ok(report);
         }
+        let metrics = self.algo.metrics().clone();
+        let span = metrics.span("boat.incremental.maintain");
+        metrics.counter("boat.incremental.maintain_runs").inc();
         let t0 = Instant::now();
         let imp = self.algo.impurity().clone();
         let limits = self.config().limits;
@@ -148,9 +194,6 @@ impl<I: Impurity + Clone> BoatModel<I> {
         // promotion, and static growth always completes).
         for round in 0..4u32 {
             let jobs = self.work.finalize(&imp, limits)?;
-            if round == 0 {
-                report.regrown_subtrees = jobs.len() as u64;
-            }
             let promoted = self.algo.execute_jobs(
                 &mut self.work,
                 jobs,
@@ -164,6 +207,11 @@ impl<I: Impurity + Clone> BoatModel<I> {
                 break;
             }
         }
+        // Jobs *executed* across every promotion round — rounds 1–3 regrow
+        // the subtrees the promotions spliced in, and reusable jobs (grown
+        // subtree provably unchanged) are skipped, so this is neither the
+        // round-0 job count nor the sum of per-round job lists.
+        report.regrown_subtrees = stats.jobs_executed;
         report.failed_nodes = self
             .work
             .nodes
@@ -172,7 +220,14 @@ impl<I: Impurity + Clone> BoatModel<I> {
             .count() as u64;
         self.tree = Some(self.work.extract_tree());
         report.time = t0.elapsed();
+        span.finish();
         Ok(report)
+    }
+
+    /// The observability registry this model records into (shared with the
+    /// [`Boat`] instance that built it).
+    pub fn metrics(&self) -> &boat_obs::Registry {
+        self.algo.metrics()
     }
 
     /// Total records currently parked in confidence-interval buffers.

@@ -23,6 +23,11 @@
 //!    absorbs insert/delete chunks in one scan over the chunk, with the
 //!    identical-tree guarantee preserved.
 //!
+//! Every run records into a `boat_obs` registry (phase spans, verification
+//! verdicts, cleanup-shard timers, input/spill I/O counters); the per-run
+//! delta is returned as [`BoatRunStats::metrics`], so the paper's cost
+//! model ("two scans, bounded spill") is directly assertable.
+//!
 //! ```no_run
 //! use boat_core::{Boat, BoatConfig};
 //! use boat_data::{FileDataset, IoStats};

@@ -5,6 +5,7 @@
 //! the bench harness can print them next to wall time.
 
 use boat_data::IoSnapshot;
+use boat_obs::Snapshot;
 use std::time::Duration;
 
 /// Statistics of one BOAT construction (or incremental maintenance) run.
@@ -31,6 +32,10 @@ pub struct BoatRunStats {
     pub inmem_builds: u64,
     /// Frontier/failed subtrees re-run through BOAT recursively.
     pub recursive_builds: u64,
+    /// Completion jobs actually executed (grown, regrown or promoted) —
+    /// reusable jobs whose grown subtree is provably unchanged are skipped
+    /// and not counted. Accumulated across every verification round.
+    pub jobs_executed: u64,
     /// Wall time of the sampling + bootstrap phase.
     pub sampling_time: Duration,
     /// Wall time of the cleanup scan.
@@ -42,6 +47,12 @@ pub struct BoatRunStats {
     /// I/O over temporary files (parked sets `S_n`, retained families,
     /// rebuild partitions).
     pub spill_io: IoSnapshot,
+    /// Full observability snapshot of the run: the delta of the owning
+    /// `Boat`'s metric registry over this fit (phase spans, verification
+    /// verdicts, cleanup-shard timers, input/spill I/O counters). Lets
+    /// tests assert cost-model invariants — "exactly 2 full scans",
+    /// "spilled bytes ≤ budget" — instead of only tree equality.
+    pub metrics: Snapshot,
 }
 
 impl BoatRunStats {
@@ -61,6 +72,7 @@ impl BoatRunStats {
         self.spilled_tuples += sub.spilled_tuples;
         self.inmem_builds += sub.inmem_builds;
         self.recursive_builds += sub.recursive_builds;
+        self.jobs_executed += sub.jobs_executed;
         self.sampling_time += sub.sampling_time;
         self.cleanup_time += sub.cleanup_time;
         self.postprocess_time += sub.postprocess_time;

@@ -19,12 +19,14 @@ use crate::config::BoatConfig;
 use crate::verify::bucket_passes;
 use boat_data::spill::SpillBuffer;
 use boat_data::{AttrType, DataError, IoStats, Record, RecordSource, Result, Schema};
+use boat_obs::Registry;
 use boat_tree::split::{best_categorical_split, cmp_splits, sweep_numeric};
 use boat_tree::{AvcGroup, CatAvc, GrowthLimits, Impurity, NumAvc, SplitEval, Tree};
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Stopping rules for a subtree grown at absolute depth `base_depth`.
 pub(crate) fn limits_for_subtree(limits: GrowthLimits, base_depth: u32) -> GrowthLimits {
@@ -131,6 +133,9 @@ pub(crate) struct WorkTree {
     pub schema: Arc<Schema>,
     pub nodes: Vec<WorkNode>,
     pub spill_stats: IoStats,
+    /// Observability registry (shared with the owning `Boat`): cleanup-shard
+    /// timers, merge spans and verification-verdict counters record here.
+    pub metrics: Registry,
 }
 
 /// One node of a [`CleanupShard`]: the routing fields of the corresponding
@@ -250,6 +255,7 @@ impl WorkTree {
         full_size: u64,
         retain_all_families: bool,
         spill_stats: IoStats,
+        metrics: Registry,
     ) -> WorkTree {
         // Route the sample down the coarse tree to get per-node sample
         // families (estimation + discretization input only).
@@ -431,6 +437,7 @@ impl WorkTree {
             schema,
             nodes,
             spill_stats,
+            metrics,
         }
     }
 
@@ -438,6 +445,16 @@ impl WorkTree {
     /// scan of §3.3/§3.5 and the §4 incremental update, unified).
     /// `delete` subtracts instead of adding.
     pub fn absorb(&mut self, r: &Record, delete: bool) -> Result<()> {
+        if delete {
+            // Deletions are validated along the whole routing path *before*
+            // any counter is touched. Without this, deleting a record that
+            // was never inserted decrements `u64` cells that may already be
+            // zero several levels down — a panic under overflow checks and
+            // silent count corruption in release — after the ancestors were
+            // already mutated. Validate-first makes a failed delete a no-op,
+            // so the model stays usable after the error.
+            self.validate_delete(r)?;
+        }
         let mut idx = 0usize;
         loop {
             let node = &mut self.nodes[idx];
@@ -523,6 +540,88 @@ impl WorkTree {
                             };
                         }
                     }
+                }
+            }
+        }
+    }
+
+    /// Check that deleting `r` cannot underflow any statistic along its
+    /// routing path, without mutating anything.
+    ///
+    /// Mirrors the routing walk of [`WorkTree::absorb`] with `delete =
+    /// true`: at every visited node the class total, every maintained
+    /// AVC/bucket cell the deletion would decrement, and (on the left
+    /// numeric branch) the edge count must be positive; where the record
+    /// would be removed from a spill buffer (parked `S_n`, retained
+    /// family), the buffer must actually contain it. `&mut self` only
+    /// because probing a spilled buffer flushes its writer.
+    fn validate_delete(&mut self, r: &Record) -> Result<()> {
+        let label = r.label() as usize;
+        let mut idx = 0usize;
+        loop {
+            let crit = self.nodes[idx].crit.clone();
+            let node = &mut self.nodes[idx];
+            if node.state.class_totals.get(label).copied().unwrap_or(0) == 0 {
+                return Err(DataError::Invalid(
+                    "deletion of a record not present at a node".into(),
+                ));
+            }
+            let Some(crit) = crit else {
+                if let Some(family) = node.state.family.as_mut() {
+                    if !family.contains(r)? {
+                        return Err(DataError::Invalid(
+                            "deletion of a record missing from a frontier family".into(),
+                        ));
+                    }
+                }
+                return Ok(());
+            };
+            for (a, slot) in node.state.cat.iter().enumerate() {
+                if let Some(avc) = slot {
+                    if avc.counts_for(r.cat(a))[label] == 0 {
+                        return Err(DataError::Invalid(
+                            "deletion of a record not counted in a node's AVC-set".into(),
+                        ));
+                    }
+                }
+            }
+            for (a, slot) in node.state.buckets.iter().enumerate() {
+                if let Some(b) = slot {
+                    if !b.can_sub(r.num(a), r.label()) {
+                        return Err(DataError::Invalid(
+                            "deletion of a record not counted in a node's buckets".into(),
+                        ));
+                    }
+                }
+            }
+            match crit {
+                CoarseCriterion::Num { attr, lo, hi } => {
+                    let v = r.num(attr);
+                    if v < lo {
+                        if node.state.edge_left[label] == 0 {
+                            return Err(DataError::Invalid(
+                                "deletion of a record not counted at a node's left edge".into(),
+                            ));
+                        }
+                        idx = node.left.expect("internal");
+                    } else if v <= hi {
+                        let parked = node.state.parked.as_mut().expect("numeric node parks");
+                        if !parked.contains(r)? {
+                            return Err(DataError::Invalid(
+                                "deletion of a record missing from S_n".into(),
+                            ));
+                        }
+                        return Ok(());
+                    } else {
+                        idx = node.right.expect("internal");
+                    }
+                }
+                CoarseCriterion::Cat { attr, subset } => {
+                    idx = if subset.contains(r.cat(attr)) {
+                        node.left.expect("internal")
+                    } else {
+                        node.right.expect("internal")
+                    };
                 }
             }
         }
@@ -640,11 +739,23 @@ impl WorkTree {
         chunk_size: usize,
     ) -> Result<()> {
         if threads <= 1 {
+            let mut n_routed = 0u64;
             for r in source.scan()? {
                 self.absorb(&r?, false)?;
+                n_routed += 1;
             }
+            self.metrics
+                .counter("boat.cleanup.records_routed")
+                .add(n_routed);
             return Ok(());
         }
+        // Per-shard accumulation is local (plain u64s); each worker records
+        // once at exit, so the histograms describe how route time and
+        // queue-wait distribute *across shards* without hot-path atomics.
+        let route_hist = self.metrics.histogram("boat.cleanup.shard_route");
+        let wait_hist = self.metrics.histogram("boat.cleanup.queue_wait");
+        let chunks_counter = self.metrics.counter("boat.cleanup.chunks");
+        let routed_counter = self.metrics.counter("boat.cleanup.records_routed");
         let mut shards: Vec<CleanupShard> = (0..threads).map(|_| self.new_shard()).collect();
         let mut routed: Vec<RoutedChunk> = Vec::new();
         let mut scan_err: Option<DataError> = None;
@@ -657,20 +768,42 @@ impl WorkTree {
                 for shard in shards.iter_mut() {
                     let rx = &chunk_rx;
                     let tx = out_tx.clone();
-                    scope.spawn(move || loop {
-                        let next = {
-                            let guard = rx.lock().expect("chunk channel lock");
-                            guard.recv()
-                        };
-                        let Ok(chunk) = next else { break };
-                        let mut deposits = Vec::new();
-                        let index = chunk.index;
-                        for r in chunk.records {
-                            shard.route(r, &mut deposits);
+                    let route_hist = route_hist.clone();
+                    let wait_hist = wait_hist.clone();
+                    let chunks_counter = chunks_counter.clone();
+                    let routed_counter = routed_counter.clone();
+                    scope.spawn(move || {
+                        let (mut route_ns, mut wait_ns) = (0u64, 0u64);
+                        let (mut n_chunks, mut n_routed) = (0u64, 0u64);
+                        loop {
+                            let t_wait = Instant::now();
+                            let next = {
+                                let guard = rx.lock().expect("chunk channel lock");
+                                guard.recv()
+                            };
+                            wait_ns = wait_ns.saturating_add(
+                                t_wait.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                            );
+                            let Ok(chunk) = next else { break };
+                            let mut deposits = Vec::new();
+                            let index = chunk.index;
+                            let t_route = Instant::now();
+                            n_routed += chunk.records.len() as u64;
+                            for r in chunk.records {
+                                shard.route(r, &mut deposits);
+                            }
+                            route_ns = route_ns.saturating_add(
+                                t_route.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                            );
+                            n_chunks += 1;
+                            if tx.send(RoutedChunk { index, deposits }).is_err() {
+                                break;
+                            }
                         }
-                        if tx.send(RoutedChunk { index, deposits }).is_err() {
-                            break;
-                        }
+                        route_hist.record(route_ns);
+                        wait_hist.record(wait_ns);
+                        chunks_counter.add(n_chunks);
+                        routed_counter.add(n_routed);
                     });
                 }
                 drop(out_tx);
@@ -705,6 +838,7 @@ impl WorkTree {
         }
         // Reduce. Shard order is fixed for good measure, though any order
         // produces identical counts; chunk order is the serial scan order.
+        let merge_span = self.metrics.span("boat.cleanup.merge");
         for shard in &shards {
             self.merge_shard(shard);
         }
@@ -712,6 +846,7 @@ impl WorkTree {
         for chunk in routed {
             self.apply_deposits(chunk.deposits)?;
         }
+        merge_span.finish();
         Ok(())
     }
 
@@ -745,12 +880,14 @@ impl WorkTree {
         }
 
         if limits.must_stop(&combined, depth) {
+            self.metrics.counter("boat.verify.leaf").inc();
             self.nodes[idx].resolution = Resolution::Leaf { counts: combined };
             return Ok(());
         }
 
         let Some(crit) = self.nodes[idx].crit.clone() else {
             let fp = fingerprint(&self.schema, &carried);
+            self.metrics.counter("boat.verify.frontier").inc();
             self.nodes[idx].resolution = Resolution::Frontier { counts: combined };
             jobs.push(Job {
                 idx,
@@ -990,6 +1127,7 @@ impl WorkTree {
             self.nodes[idx].left.expect("internal"),
             self.nodes[idx].right.expect("internal"),
         );
+        self.metrics.counter("boat.verify.pass").inc();
         self.nodes[idx].resolution = Resolution::Split { eval: chosen };
         self.finalize_node(l, left_c, imp, limits, jobs)?;
         self.finalize_node(rgt, right_c, imp, limits, jobs)?;
@@ -1004,6 +1142,9 @@ impl WorkTree {
         jobs: &mut Vec<Job>,
     ) -> Result<()> {
         let fp = fingerprint(&self.schema, &carried);
+        // A failed verdict is exactly a rebuild trigger: the job pushed
+        // below regrows (or promotes) this subtree.
+        self.metrics.counter("boat.verify.fail").inc();
         self.nodes[idx].resolution = Resolution::Failed { counts: combined };
         jobs.push(Job {
             idx,
@@ -1184,11 +1325,13 @@ pub(crate) fn build_exact_work(
     config: &BoatConfig,
     limits: GrowthLimits,
     spill_stats: IoStats,
+    metrics: Registry,
 ) -> Result<WorkTree> {
     let mut work = WorkTree {
         schema,
         nodes: Vec::new(),
         spill_stats,
+        metrics,
     };
     build_exact_node(&mut work, None, 0, records, imp, config, limits)?;
     Ok(work)
@@ -1546,6 +1689,7 @@ mod tests {
             ds.len(),
             false,
             boat_data::IoStats::new(),
+            boat_obs::Registry::new(),
         )
     }
 
@@ -1673,6 +1817,7 @@ mod tests {
                 ds.len(),
                 false,
                 boat_data::IoStats::new(),
+                boat_obs::Registry::new(),
             )
         };
         let mut serial = prepare();
@@ -1713,6 +1858,7 @@ mod tests {
             &cfg,
             work_limits,
             boat_data::IoStats::new(),
+            boat_obs::Registry::new(),
         )
         .unwrap();
         let jobs = work.finalize(&Gini, work_limits).unwrap();
@@ -1761,6 +1907,7 @@ mod tests {
             &cfg,
             GrowthLimits::default(),
             boat_data::IoStats::new(),
+            boat_obs::Registry::new(),
         )
         .unwrap();
         let n_before = outer.nodes.len();
@@ -1774,6 +1921,7 @@ mod tests {
             &cfg,
             GrowthLimits::default(),
             boat_data::IoStats::new(),
+            boat_obs::Registry::new(),
         )
         .unwrap();
         let sub_nodes = sub.nodes.len();

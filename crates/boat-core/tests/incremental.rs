@@ -189,6 +189,177 @@ fn deleting_a_missing_record_errors() {
     );
 }
 
+/// Regression: deleting a never-inserted record used to subtract from
+/// per-class counters unconditionally, underflowing `u64`s (caught by
+/// `-C overflow-checks`, silent corruption in release). `validate_delete`
+/// must reject the record *before* any counter is touched, leaving the
+/// model fully usable.
+#[test]
+fn failed_delete_leaves_model_usable() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(31);
+    let schema = gen.schema();
+    let all = gen.generate_vec(6_000);
+    let base = mem(&schema, all[..5_000].to_vec());
+    let algo = Boat::new(config(3100));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let before = model.tree().unwrap().clone();
+
+    // A foreign record: same schema, different generator stream.
+    let foreign = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(4_242)
+        .generate_vec(3);
+    let err = model.delete(&mem(&schema, foreign)).unwrap_err();
+    assert!(
+        matches!(err, boat_data::DataError::Invalid(_)),
+        "absent delete must surface as DataError::Invalid, got {err:?}"
+    );
+
+    // The failed delete must be a pure no-op: tree unchanged, and further
+    // maintenance still produces exact trees.
+    assert_eq!(
+        model.tree().unwrap(),
+        &before,
+        "failed delete must not mutate"
+    );
+    model.insert(&mem(&schema, all[5_000..].to_vec())).unwrap();
+    let reference = reference_tree(&mem(&schema, all), Gini, GrowthLimits::default()).unwrap();
+    assert_eq!(model.tree().unwrap(), &reference);
+}
+
+/// Same regression at the bucket level: a record whose class exists at the
+/// node but whose numeric value lands in a bucket that never saw that
+/// class must also be rejected (the old code underflowed the bucket cell).
+#[test]
+fn failed_delete_of_unseen_value_is_rejected() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(32);
+    let schema = gen.schema();
+    let all = gen.generate_vec(5_000);
+    let base = mem(&schema, all.clone());
+    let algo = Boat::new(config(3200));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let before = model.tree().unwrap().clone();
+
+    // Take a real record but nudge its numeric attributes far outside the
+    // observed range — the class totals still match, the cells don't.
+    let fields: Vec<boat_data::Field> = (0..schema.attributes().len())
+        .map(|a| match all[0].field(a) {
+            boat_data::Field::Num(v) => boat_data::Field::Num(v + 1e9),
+            other => other,
+        })
+        .collect();
+    let phantom = Record::new(fields, all[0].label());
+    let result = model.delete(&mem(&schema, vec![phantom]));
+    assert!(
+        result.is_err(),
+        "unseen-value delete must fail, not underflow"
+    );
+    assert_eq!(model.tree().unwrap(), &before);
+}
+
+/// Round-trip identity must also hold when the cleanup scan ran sharded
+/// (the parked sets / frontier buffers the updates stream into were merged
+/// from per-shard state).
+#[test]
+fn roundtrip_under_parallel_cleanup() {
+    let gen = GeneratorConfig::new(LabelFunction::F6).with_seed(33);
+    let schema = gen.schema();
+    let all = gen.generate_vec(7_000);
+    let base = mem(&schema, all[..5_000].to_vec());
+    let mut cfg = config(3300);
+    cfg.cleanup_threads = 4;
+    let algo = Boat::new(cfg);
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let original = model.tree().unwrap().clone();
+
+    let chunk = mem(&schema, all[5_000..].to_vec());
+    model.insert(&chunk).unwrap();
+    let reference = reference_tree(&mem(&schema, all.clone()), Gini, GrowthLimits::default());
+    assert_eq!(model.tree().unwrap(), &reference.unwrap());
+    model.delete(&chunk).unwrap();
+    assert_eq!(
+        model.tree().unwrap(),
+        &original,
+        "insert(C); delete(C) must round-trip under sharded cleanup"
+    );
+
+    // And an absent delete still errors cleanly on the merged state.
+    let foreign = GeneratorConfig::new(LabelFunction::F6)
+        .with_seed(5_555)
+        .generate_vec(1);
+    assert!(model.delete(&mem(&schema, foreign)).is_err());
+    assert_eq!(model.tree().unwrap(), &original);
+}
+
+/// Regression: `MaintainReport::regrown_subtrees` only counted the jobs of
+/// promotion round 0. It must equal the number of completion jobs actually
+/// *executed* across every round — pinned here against the
+/// `boat.jobs.executed` counter delta over the same maintenance pass.
+#[test]
+fn regrown_subtrees_counts_every_promotion_round() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(34);
+    let schema = gen.schema();
+    let all = gen.generate_vec(12_000);
+    let base = mem(&schema, all[..4_000].to_vec());
+    let algo = Boat::new(config(3400));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let _ = model.tree().unwrap();
+
+    // Triple the data: frontier families outgrow in_memory_threshold=400,
+    // forcing promotions — which splice subtrees and trigger follow-up
+    // rounds whose jobs the old accounting dropped.
+    model.insert(&mem(&schema, all[4_000..].to_vec())).unwrap();
+    let before = model.metrics().snapshot();
+    let report = model.maintain().unwrap();
+    let executed = model
+        .metrics()
+        .snapshot()
+        .since(&before)
+        .counter("boat.jobs.executed");
+    assert!(
+        executed > 0,
+        "growth must execute at least one completion job"
+    );
+    assert_eq!(
+        report.regrown_subtrees, executed,
+        "regrown_subtrees must count executed jobs across all rounds"
+    );
+    let reference = reference_tree(&mem(&schema, all), Gini, GrowthLimits::default()).unwrap();
+    assert_eq!(model.tree().unwrap(), &reference);
+}
+
+/// Regression: an empty (or cleanly failed) chunk used to invalidate the
+/// materialized tree, forcing a full needless verification pass on the
+/// next `tree()`. Pinned via the `boat.incremental.maintain_runs` counter.
+#[test]
+fn empty_chunk_does_not_invalidate_tree() {
+    let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(35);
+    let schema = gen.schema();
+    let base = mem(&schema, gen.generate_vec(4_000));
+    let algo = Boat::new(config(3500));
+    let (mut model, _) = algo.fit_model(&base).unwrap();
+    let _ = model.tree().unwrap(); // materialize
+
+    let before = model.metrics().snapshot();
+    let report = model.insert(&mem(&schema, Vec::new())).unwrap();
+    assert_eq!(report.inserted, 0);
+    model.delete(&mem(&schema, Vec::new())).unwrap();
+    // An absent delete that fails validation on its first record is a
+    // guaranteed no-op too.
+    let foreign = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(6_060)
+        .generate_vec(1);
+    let _ = model.delete(&mem(&schema, foreign)).unwrap_err();
+
+    let _ = model.tree().unwrap();
+    let delta = model.metrics().snapshot().since(&before);
+    assert_eq!(
+        delta.counter("boat.incremental.maintain_runs"),
+        0,
+        "no-op chunks must not schedule maintenance"
+    );
+    assert_eq!(delta.counter("boat.incremental.update_chunks"), 3);
+}
+
 #[test]
 fn update_with_mismatched_schema_errors() {
     let gen = GeneratorConfig::new(LabelFunction::F1).with_seed(29);

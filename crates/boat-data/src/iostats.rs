@@ -1,4 +1,4 @@
-//! Shared I/O counters.
+//! Shared I/O counters, backed by the `boat-obs` observability substrate.
 //!
 //! The BOAT paper's headline claim is about *scans over the training
 //! database*: one per tree level for all previous algorithms, two (typically)
@@ -6,19 +6,19 @@
 //! noisy, so every dataset operation in this workspace is counted through an
 //! [`IoStats`] handle, and the bench harness reports scan and byte counts
 //! alongside wall time.
+//!
+//! Since the observability PR, [`IoStats`] is a thin façade over
+//! [`boat_obs::Counter`]s. A handle created with [`IoStats::new`] is
+//! *detached* — private counters, exactly the old behaviour, so unit tests
+//! stay isolated. A handle created with [`IoStats::registered`] shares its
+//! counters with a [`boat_obs::Registry`] under a dotted prefix
+//! (`{prefix}.scans`, `{prefix}.bytes_read`, …), so the same numbers that
+//! feed [`IoSnapshot`] deltas also appear in registry snapshots and the
+//! exported JSON — one source of truth for the cost model.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-#[derive(Default)]
-struct Inner {
-    scans: AtomicU64,
-    records_read: AtomicU64,
-    bytes_read: AtomicU64,
-    records_written: AtomicU64,
-    bytes_written: AtomicU64,
-}
+use boat_obs::{Counter, Registry};
 
 /// A cheaply clonable handle to a set of shared I/O counters.
 ///
@@ -26,39 +26,73 @@ struct Inner {
 /// counters, so an experiment can create one handle, hand it to every file it
 /// opens, and read off totals at the end.
 #[derive(Clone, Default)]
-pub struct IoStats(Arc<Inner>);
+pub struct IoStats {
+    scans: Counter,
+    records_read: Counter,
+    bytes_read: Counter,
+    records_written: Counter,
+    bytes_written: Counter,
+    spill_events: Counter,
+}
 
 impl IoStats {
-    /// Create a fresh set of zeroed counters.
+    /// Create a fresh set of zeroed, *detached* counters (not visible in any
+    /// registry). Use [`IoStats::registered`] to share counters with an
+    /// observability registry.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Create a handle whose counters live in `registry` under `prefix`:
+    /// `{prefix}.scans`, `{prefix}.records_read`, `{prefix}.bytes_read`,
+    /// `{prefix}.records_written`, `{prefix}.bytes_written`,
+    /// `{prefix}.spill_events`.
+    ///
+    /// Repeated calls with the same registry and prefix return handles over
+    /// the *same* counters.
+    pub fn registered(registry: &Registry, prefix: &str) -> Self {
+        IoStats {
+            scans: registry.counter(&format!("{prefix}.scans")),
+            records_read: registry.counter(&format!("{prefix}.records_read")),
+            bytes_read: registry.counter(&format!("{prefix}.bytes_read")),
+            records_written: registry.counter(&format!("{prefix}.records_written")),
+            bytes_written: registry.counter(&format!("{prefix}.bytes_written")),
+            spill_events: registry.counter(&format!("{prefix}.spill_events")),
+        }
+    }
+
     /// Record the start of a sequential scan.
     pub fn record_scan(&self) {
-        self.0.scans.fetch_add(1, Ordering::Relaxed);
+        self.scans.inc();
     }
 
     /// Record `n` records / `bytes` bytes read.
     pub fn record_read(&self, n: u64, bytes: u64) {
-        self.0.records_read.fetch_add(n, Ordering::Relaxed);
-        self.0.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.records_read.add(n);
+        self.bytes_read.add(bytes);
     }
 
     /// Record `n` records / `bytes` bytes written.
     pub fn record_write(&self, n: u64, bytes: u64) {
-        self.0.records_written.fetch_add(n, Ordering::Relaxed);
-        self.0.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.records_written.add(n);
+        self.bytes_written.add(bytes);
+    }
+
+    /// Record one spill event (a buffer overflowing its memory budget and
+    /// opening a temporary file).
+    pub fn record_spill_event(&self) {
+        self.spill_events.inc();
     }
 
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            scans: self.0.scans.load(Ordering::Relaxed),
-            records_read: self.0.records_read.load(Ordering::Relaxed),
-            bytes_read: self.0.bytes_read.load(Ordering::Relaxed),
-            records_written: self.0.records_written.load(Ordering::Relaxed),
-            bytes_written: self.0.bytes_written.load(Ordering::Relaxed),
+            scans: self.scans.get(),
+            records_read: self.records_read.get(),
+            bytes_read: self.bytes_read.get(),
+            records_written: self.records_written.get(),
+            bytes_written: self.bytes_written.get(),
+            spill_events: self.spill_events.get(),
         }
     }
 }
@@ -83,6 +117,8 @@ pub struct IoSnapshot {
     pub records_written: u64,
     /// Bytes written.
     pub bytes_written: u64,
+    /// Buffers that overflowed their memory budget to a temporary file.
+    pub spill_events: u64,
 }
 
 impl std::ops::Sub for IoSnapshot {
@@ -94,6 +130,7 @@ impl std::ops::Sub for IoSnapshot {
             bytes_read: self.bytes_read - rhs.bytes_read,
             records_written: self.records_written - rhs.records_written,
             bytes_written: self.bytes_written - rhs.bytes_written,
+            spill_events: self.spill_events - rhs.spill_events,
         }
     }
 }
@@ -102,12 +139,13 @@ impl fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scans={} read={}rec/{}B written={}rec/{}B",
+            "scans={} read={}rec/{}B written={}rec/{}B spills={}",
             self.scans,
             self.records_read,
             self.bytes_read,
             self.records_written,
-            self.bytes_written
+            self.bytes_written,
+            self.spill_events
         )
     }
 }
@@ -122,12 +160,14 @@ mod tests {
         s.record_scan();
         s.record_read(10, 400);
         s.record_write(3, 120);
+        s.record_spill_event();
         let snap = s.snapshot();
         assert_eq!(snap.scans, 1);
         assert_eq!(snap.records_read, 10);
         assert_eq!(snap.bytes_read, 400);
         assert_eq!(snap.records_written, 3);
         assert_eq!(snap.bytes_written, 120);
+        assert_eq!(snap.spill_events, 1);
     }
 
     #[test]
@@ -137,6 +177,14 @@ mod tests {
         t.record_scan();
         t.record_scan();
         assert_eq!(s.snapshot().scans, 2);
+    }
+
+    #[test]
+    fn detached_handles_are_isolated() {
+        let a = IoStats::new();
+        let b = IoStats::new();
+        a.record_scan();
+        assert_eq!(b.snapshot().scans, 0);
     }
 
     #[test]
@@ -158,5 +206,24 @@ mod tests {
         s.record_scan();
         let text = s.snapshot().to_string();
         assert!(text.contains("scans=1"));
+        assert!(text.contains("spills=0"));
+    }
+
+    #[test]
+    fn registered_handles_flow_into_the_registry() {
+        let reg = Registry::new();
+        let s = IoStats::registered(&reg, "data.input");
+        s.record_scan();
+        s.record_read(4, 64);
+        s.record_spill_event();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("data.input.scans"), 1);
+        assert_eq!(snap.counter("data.input.records_read"), 4);
+        assert_eq!(snap.counter("data.input.bytes_read"), 64);
+        assert_eq!(snap.counter("data.input.spill_events"), 1);
+        // Same prefix → same counters.
+        let t = IoStats::registered(&reg, "data.input");
+        t.record_scan();
+        assert_eq!(s.snapshot().scans, 2);
     }
 }

@@ -11,8 +11,9 @@
 //! * [`codec`] — a fixed-width binary record codec derived from the schema.
 //! * [`dataset`] — the [`dataset::RecordSource`] streaming-scan
 //!   abstraction with in-memory and on-disk implementations.
-//! * [`iostats`] — shared scan/byte counters; every experiment in the bench
-//!   harness reports these alongside wall time.
+//! * [`iostats`] — shared scan/byte/spill counters, backed by `boat-obs`
+//!   counters so the same numbers feed registry snapshots; every experiment
+//!   in the bench harness reports these alongside wall time.
 //! * [`sample`] — reservoir sampling over a stream and bootstrap resampling.
 //! * [`spill`] — memory-budgeted record buffers that transparently spill to
 //!   temporary files (the paper's `S_n` files).

@@ -108,6 +108,7 @@ impl SpillBuffer {
         }
         if self.spill.is_none() {
             self.spill = Some(SpillFile::create()?);
+            self.stats.record_spill_event();
         }
         let spill = self.spill.as_mut().expect("just created");
         let writer = spill
@@ -211,6 +212,28 @@ impl SpillBuffer {
             self.spill = Some(fresh);
         }
         Ok(true)
+    }
+
+    /// Whether a record equal to `target` (by value) is present, without
+    /// mutating the buffer. Used by incremental deletions to *validate* a
+    /// delete before any counter is decremented anywhere in the tree.
+    pub fn contains(&mut self, target: &Record) -> Result<bool> {
+        if self.in_mem.iter().any(|r| r == target) {
+            return Ok(true);
+        }
+        let Some(s) = self.spill.as_mut() else {
+            return Ok(false);
+        };
+        s.flush()?;
+        let mut reader = BufReader::with_capacity(1 << 16, File::open(&s.path)?);
+        let mut buf = vec![0u8; self.schema.record_width()];
+        for _ in 0..s.n_records {
+            reader.read_exact(&mut buf)?;
+            if codec::decode(&self.schema, &buf)? == *target {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Drop all contents (and the temporary file, if any).
@@ -385,5 +408,32 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.records_written, 3);
         assert_eq!(snap.records_read, 3);
+        assert_eq!(snap.spill_events, 1, "one spill file opened");
+    }
+
+    #[test]
+    fn in_memory_buffer_records_no_spill_event() {
+        let stats = IoStats::new();
+        let mut b = SpillBuffer::new(schema(), 16, stats.clone());
+        for i in 0..8 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        assert_eq!(stats.snapshot().spill_events, 0);
+    }
+
+    #[test]
+    fn contains_is_non_destructive() {
+        let mut b = SpillBuffer::new(schema(), 2, IoStats::new());
+        for i in 0..6 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        // in_mem = [0,1], spilled = [2,3,4,5]
+        assert!(b.contains(&rec(1.0)).unwrap());
+        assert!(b.contains(&rec(4.0)).unwrap());
+        assert!(!b.contains(&rec(42.0)).unwrap());
+        assert_eq!(b.len(), 6, "contains must not remove anything");
+        // Buffer still fully usable after probing the spilled region.
+        b.push(rec(6.0)).unwrap();
+        assert_eq!(b.to_vec().unwrap().len(), 7);
     }
 }

@@ -1,0 +1,60 @@
+//! # boat-obs — observability substrate for the BOAT reproduction
+//!
+//! The BOAT paper's entire pitch is a *cost model*: two sequential scans
+//! over the training database, a bounded amount of spill traffic, and
+//! rebuilds limited to the subtrees whose coarse criteria failed
+//! verification (§3.3, §4). Claims like that are only checkable if the
+//! pipeline *reports* where its time and I/O actually went — so every
+//! layer of this workspace (storage, cleanup scan, verification,
+//! incremental maintenance, benches) records into the primitives defined
+//! here.
+//!
+//! The crate is deliberately dependency-free (the build environment has no
+//! registry access, and the workspace hand-rolls its substrates — see
+//! `vendor/`): plain `std::sync::atomic` counters and gauges, fixed-bucket
+//! histograms, RAII span timers, a cheaply clonable [`Registry`] with a
+//! process-global default, and hand-rolled JSON snapshot export.
+//!
+//! ## Model
+//!
+//! * [`Counter`] — monotonically increasing `u64` (events, records, bytes).
+//! * [`Gauge`] — last-write-wins `u64` level (tree size, parked tuples).
+//! * [`Histogram`] — fixed upper-bound buckets plus exact `sum`/`count`;
+//!   used directly for value distributions and as the backing store for
+//!   span timers (durations in nanoseconds).
+//! * [`Span`] — RAII timer: created via [`Registry::span`], records its
+//!   elapsed nanoseconds into the named histogram on drop.
+//! * [`Registry`] — a named collection of the above. `Registry::new()` is a
+//!   private scope (one per `Boat`, so parallel tests never share
+//!   counters); [`Registry::global`] is the process-wide default for
+//!   binaries that want one flat namespace.
+//! * [`Snapshot`] — a point-in-time copy supporting monotone deltas
+//!   ([`Snapshot::since`]), JSON export ([`Snapshot::to_json`]) and a
+//!   human-readable table ([`Snapshot::render_table`]).
+//!
+//! ```
+//! use boat_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! reg.counter("demo.events").inc();
+//! {
+//!     let _span = reg.span("demo.phase");
+//!     // ... timed work ...
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("demo.events"), 1);
+//! assert!(snap.histogram("demo.phase").is_some());
+//! println!("{}", snap.to_json());
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metrics::{duration_bounds_ns, Counter, Gauge, Histogram};
+pub use registry::Registry;
+pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use span::Span;

@@ -1,0 +1,222 @@
+//! Atomic metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three types are cheaply clonable handles over `Arc`'d atomic state,
+//! so a registry can hand out the same underlying metric to any number of
+//! threads (cleanup shards, bench harnesses, the incremental maintainer)
+//! without locks on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+///
+/// Used for events (scans started, spill files created), record counts and
+/// byte totals. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Create a fresh counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `u64` level gauge.
+///
+/// Used for sizes that move both ways: work-tree node count, parked tuples,
+/// live spill bytes. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Create a fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Sorted inclusive upper bounds; a value `v` lands in the first bucket
+    /// whose bound satisfies `v <= bound`. One extra overflow bucket exists
+    /// past the last bound.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram with exact `sum` and `count`.
+///
+/// The bucket layout is frozen at construction (no resizing races), which
+/// keeps `record` a couple of relaxed atomic ops. Span timers record
+/// nanosecond durations here via [`duration_bounds_ns`]-shaped buckets;
+/// other callers may pick domain-specific bounds via
+/// `Registry::histogram_with`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Create a histogram with the given sorted upper bounds.
+    ///
+    /// Unsorted or duplicate bounds are sorted/deduped defensively so bucket
+    /// search stays well-defined.
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds: Vec<u64> = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                counts,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = match self.inner.bounds.iter().position(|&b| v <= b) {
+            Some(i) => i,
+            None => self.inner.bounds.len(),
+        };
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The frozen upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries, last = overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram bounds for durations in nanoseconds.
+///
+/// Exponential (powers of four) from 1µs up past ten minutes — wide enough
+/// that a whole release-build fit and a single 100ns bucket update both land
+/// inside the bounded range rather than the overflow bucket.
+pub fn duration_bounds_ns() -> Vec<u64> {
+    // 1µs * 4^k for k = 0..=15 → 1µs .. ~17.9 min.
+    (0..16u32).map(|k| 1_000u64 * 4u64.pow(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.get(), 5);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5); // bucket 0 (<=10)
+        h.record(10); // bucket 0 (inclusive)
+        h.record(50); // bucket 1
+        h.record(1_000); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.sum(), 1_065);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_sorts_and_dedups_bounds() {
+        let h = Histogram::new(&[100, 10, 10]);
+        assert_eq!(h.bounds(), &[10, 100]);
+    }
+
+    #[test]
+    fn duration_bounds_are_sorted_and_wide() {
+        let b = duration_bounds_ns();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b[0], 1_000);
+        assert!(*b.last().unwrap() > 600_000_000_000); // > 10 min
+    }
+
+    #[test]
+    fn histogram_concurrent_records() {
+        let h = Histogram::new(&duration_bounds_ns());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4_000);
+        assert_eq!(h.sum(), 4 * (0..1_000u64).sum::<u64>());
+    }
+}

@@ -1,0 +1,376 @@
+//! Point-in-time metric snapshots: deltas, JSON export, human tables.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A frozen copy of one histogram's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sorted inclusive upper bounds.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` bucket counts, last = overflow.
+    pub counts: Vec<u64>,
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Monotone delta against an earlier snapshot of the same histogram.
+    ///
+    /// Saturates at zero so a mismatched/reset baseline degrades to "no
+    /// change" rather than garbage. Bucket layouts that differ fall back to
+    /// `self` (the earlier snapshot cannot be subtracted meaningfully).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != earlier.bounds || self.counts.len() != earlier.counts.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+}
+
+/// A point-in-time copy of a `Registry`'s metrics.
+///
+/// Cheap to clone and compare; supports monotone deltas ([`Snapshot::since`]),
+/// dependency-free JSON export ([`Snapshot::to_json`]) and a human-readable
+/// table ([`Snapshot::render_table`]). `BTreeMap` storage keeps iteration —
+/// and therefore the JSON — deterministically ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by name; absent counters read as zero (a counter that
+    /// never fired and a counter never created are the same observation).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level by name, or `None` if never set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram state by name, or `None` if never created.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of `sum` over every histogram whose name starts with `prefix`.
+    ///
+    /// Used to check the cost-model invariant that per-phase wall-time spans
+    /// (all under one prefix, e.g. `boat.phase.`) cover total fit time.
+    pub fn histogram_sum_by_prefix(&self, prefix: &str) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, h)| h.sum)
+            .sum()
+    }
+
+    /// Monotone delta against an earlier snapshot.
+    ///
+    /// Counters and histograms subtract (saturating at zero; metrics absent
+    /// from `earlier` pass through whole). Gauges are levels, not totals, so
+    /// the later snapshot's values are kept as-is.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| match earlier.histograms.get(k) {
+                Some(e) => (k.clone(), h.since(e)),
+                None => (k.clone(), h.clone()),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Serialize to a deterministic JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 1},
+    ///   "gauges": {"name": 2},
+    ///   "histograms": {
+    ///     "name": {"bounds": [10], "counts": [1, 0], "sum": 4, "count": 1}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Hand-rolled (the workspace has no serde); names are escaped per JSON
+    /// string rules, values are plain `u64` literals, and `BTreeMap` order
+    /// makes the output stable across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        push_map(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_map(&mut out, &self.gauges, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"histograms\":{");
+        push_map(&mut out, &self.histograms, |out, h| {
+            out.push_str("{\"bounds\":");
+            push_u64_array(out, &h.bounds);
+            out.push_str(",\"counts\":");
+            push_u64_array(out, &h.counts);
+            let _ = write!(out, ",\"sum\":{},\"count\":{}}}", h.sum, h.count);
+        });
+        out.push_str("}}");
+        out
+    }
+
+    /// Render a fixed-width human-readable table of every metric.
+    ///
+    /// Counters and gauges print their value; histograms print
+    /// `count / sum / mean`. Durations (any histogram — they are
+    /// nanosecond-valued by convention) are left as raw numbers; bench
+    /// binaries format them further.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(String, String, String)> = Vec::new();
+        for (name, v) in &self.counters {
+            rows.push((name.clone(), "counter".into(), v.to_string()));
+        }
+        for (name, v) in &self.gauges {
+            rows.push((name.clone(), "gauge".into(), v.to_string()));
+        }
+        for (name, h) in &self.histograms {
+            let mean = h
+                .mean()
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "-".into());
+            rows.push((
+                name.clone(),
+                "histogram".into(),
+                format!("count={} sum={} mean={}", h.count, h.sum, mean),
+            ));
+        }
+        rows.sort();
+        let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(6).max(6);
+        let kind_w = 9;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<name_w$}  {:<kind_w$}  value", "metric", "kind");
+        let _ = writeln!(
+            out,
+            "{}  {}  {}",
+            "-".repeat(name_w),
+            "-".repeat(kind_w),
+            "-".repeat(5)
+        );
+        for (name, kind, value) in rows {
+            let _ = writeln!(out, "{name:<name_w$}  {kind:<kind_w$}  {value}");
+        }
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON document (quotes included).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&escape_json(k));
+        out.push(':');
+        write_value(out, v);
+    }
+}
+
+fn push_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    let mut first = true;
+    for v in values {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(sum: u64, count: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: vec![10, 100],
+            counts: vec![count, 0, 0],
+            sum,
+            count,
+        }
+    }
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        let snap = Snapshot::default();
+        assert_eq!(snap.counter("nope"), 0);
+        assert_eq!(snap.gauge("nope"), None);
+        assert!(snap.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn since_subtracts_counters_and_histograms() {
+        let mut early = Snapshot::default();
+        early.counters.insert("c".into(), 3);
+        early.histograms.insert("h".into(), hist(100, 2));
+        let mut late = Snapshot::default();
+        late.counters.insert("c".into(), 10);
+        late.counters.insert("new".into(), 5);
+        late.gauges.insert("g".into(), 42);
+        late.histograms.insert("h".into(), hist(150, 3));
+        let delta = late.since(&early);
+        assert_eq!(delta.counter("c"), 7);
+        assert_eq!(delta.counter("new"), 5);
+        assert_eq!(delta.gauge("g"), Some(42));
+        let h = delta.histogram("h").unwrap();
+        assert_eq!(h.sum, 50);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let mut early = Snapshot::default();
+        early.counters.insert("c".into(), 10);
+        let mut late = Snapshot::default();
+        late.counters.insert("c".into(), 3); // reset between snapshots
+        assert_eq!(late.since(&early).counter("c"), 0);
+    }
+
+    #[test]
+    fn histogram_since_with_different_layout_passes_through() {
+        let a = HistogramSnapshot {
+            bounds: vec![1],
+            counts: vec![5, 0],
+            sum: 5,
+            count: 5,
+        };
+        let b = hist(100, 2);
+        assert_eq!(b.since(&a), b);
+    }
+
+    #[test]
+    fn prefix_sum_covers_only_matching_histograms() {
+        let mut snap = Snapshot::default();
+        snap.histograms
+            .insert("boat.phase.sample".into(), hist(10, 1));
+        snap.histograms
+            .insert("boat.phase.cleanup".into(), hist(30, 1));
+        snap.histograms
+            .insert("data.spill.write".into(), hist(99, 1));
+        assert_eq!(snap.histogram_sum_by_prefix("boat.phase."), 40);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("b".into(), 2);
+        snap.counters.insert("a".into(), 1);
+        snap.gauges.insert("g".into(), 3);
+        snap.histograms.insert("h".into(), hist(7, 1));
+        let json = snap.to_json();
+        let expected = concat!(
+            "{\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":3},",
+            "\"histograms\":{\"h\":{\"bounds\":[10,100],\"counts\":[1,0,0],",
+            "\"sum\":7,\"count\":1}}}"
+        );
+        assert_eq!(json, expected);
+        assert_eq!(json, snap.to_json());
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("we\"ird\\name\n".into(), 1);
+        let json = snap.to_json();
+        assert!(json.contains("we\\\"ird\\\\name\\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_json() {
+        assert_eq!(
+            Snapshot::default().to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("events".into(), 4);
+        snap.gauges.insert("level".into(), 2);
+        snap.histograms.insert("timing".into(), hist(100, 4));
+        let table = snap.render_table();
+        assert!(table.contains("events"));
+        assert!(table.contains("counter"));
+        assert!(table.contains("level"));
+        assert!(table.contains("gauge"));
+        assert!(table.contains("timing"));
+        assert!(table.contains("mean=25"));
+    }
+}

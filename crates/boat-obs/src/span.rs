@@ -1,0 +1,84 @@
+//! RAII span timers.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An RAII timer: records its elapsed wall-clock nanoseconds into a
+/// [`Histogram`] when dropped.
+///
+/// Created via `Registry::span(name)`. Phase timing in the fit pipeline
+/// works by scoping: the sample scan, bootstrap build, cleanup scan,
+/// verification and rebuild phases each hold a span for their lexical
+/// extent, so the per-phase histograms' `sum` fields partition total fit
+/// time.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    /// Start a new span recording into `histogram` on drop.
+    pub fn new(histogram: Histogram) -> Self {
+        Self {
+            histogram,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Elapsed nanoseconds so far (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stop the span early, recording now instead of at drop.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.histogram.record(ns);
+        self.recorded = true;
+        ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram.record(self.elapsed_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::new(&crate::metrics::duration_bounds_ns());
+        {
+            let _span = Span::new(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_suppresses_drop() {
+        let h = Histogram::new(&crate::metrics::duration_bounds_ns());
+        let span = Span::new(h.clone());
+        let ns = span.finish();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), ns);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let h = Histogram::new(&[1]);
+        let span = Span::new(h);
+        let a = span.elapsed_ns();
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+    }
+}
