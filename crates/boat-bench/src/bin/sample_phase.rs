@@ -1,0 +1,238 @@
+//! Sampling-phase engine comparison: Rows (materialized bootstrap
+//! resamples + per-node re-sorting) vs Columnar (presorted attribute
+//! indices + weighted bootstrap, zero record clones) across a
+//! `sample size × numeric attributes × bootstrap reps` grid.
+//!
+//! Both engines are required to produce **identical coarse trees** for
+//! the same seed (the columnar engine's determinism contract); any
+//! mismatch makes the run exit non-zero, so CI's smoke invocation is a
+//! differential test as well as a perf gate. `--min-speedup X` turns the
+//! largest-configuration speedup into a hard assertion.
+//!
+//! ```sh
+//! cargo run --release -p boat-bench --bin sample_phase
+//! cargo run --release -p boat-bench --bin sample_phase -- \
+//!     --sizes 4000,16000 --attrs 4,10 --boot-reps 20 --min-speedup 1.5
+//! ```
+
+use boat_bench::obs::json_array;
+use boat_bench::table::fmt_duration;
+use boat_bench::{print_metrics_summary, Args, BenchReport, Table};
+use boat_core::coarse::build_coarse_tree;
+use boat_core::{BoatConfig, SampleEngine};
+use boat_data::{Attribute, Field, Record, Schema};
+use boat_obs::Registry;
+use boat_tree::{Gini, ImpuritySelector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A synthetic sample with `n_attrs` numeric attributes (coarse value
+/// grids, so duplicate values and tie paths are common) plus two
+/// categorical attributes, labeled by a two-attribute threshold concept
+/// with a noisy band — deep enough trees to make the grow phase dominate.
+fn make_sample(n: usize, n_attrs: usize, seed: u64) -> (Schema, Vec<Record>) {
+    let mut attrs: Vec<Attribute> = (0..n_attrs)
+        .map(|a| Attribute::numeric(format!("x{a}")))
+        .collect();
+    attrs.push(Attribute::categorical("c0", 4));
+    attrs.push(Attribute::categorical("c1", 8));
+    let schema = Schema::new(attrs, 2).expect("valid schema");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = (0..n)
+        .map(|_| {
+            let mut fields: Vec<Field> = (0..n_attrs)
+                .map(|_| Field::Num(rng.random_range(0..200u32) as f64 * 0.25))
+                .collect();
+            fields.push(Field::Cat(rng.random_range(0..4u32)));
+            fields.push(Field::Cat(rng.random_range(0..8u32)));
+            let (x0, x1) = match (&fields[0], &fields[1 % n_attrs.max(1)]) {
+                (Field::Num(a), Field::Num(b)) => (*a, *b),
+                _ => unreachable!("first attributes are numeric"),
+            };
+            let noisy = rng.random_range(0..20u32) == 0;
+            let label = if noisy {
+                rng.random_range(0..2u32) as u16
+            } else {
+                u16::from(x0 + 0.5 * x1 >= 37.5)
+            };
+            Record::new(fields, label)
+        })
+        .collect();
+    (schema, records)
+}
+
+struct Row {
+    size: usize,
+    attrs: usize,
+    boot_reps: usize,
+    rows_time: Duration,
+    columnar_time: Duration,
+    speedup: f64,
+    coarse_nodes: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let sizes: Vec<usize> = args
+        .get_list("sizes", &[4_000, 16_000])
+        .into_iter()
+        .map(|v| v as usize)
+        .collect();
+    let attr_counts: Vec<usize> = args
+        .get_list("attrs", &[4, 10])
+        .into_iter()
+        .map(|v| v as usize)
+        .collect();
+    let boot_reps_list: Vec<usize> = args
+        .get_list("boot-reps", &[20])
+        .into_iter()
+        .map(|v| v as usize)
+        .collect();
+    let reps = args.get::<usize>("reps", 3);
+    let seed = args.get::<u64>("seed", 42_007);
+    let min_speedup = args.get::<f64>("min-speedup", 0.0);
+    let out = args.get_str("out", "BENCH_sample_phase.json");
+    let csv = args.flag("csv");
+
+    println!(
+        "# Sampling-phase engines — Rows vs Columnar, best of {reps}, seed {seed}\n\
+         # grid: sizes={sizes:?} numeric attrs={attr_counts:?} bootstrap reps={boot_reps_list:?}\n"
+    );
+
+    let selector = ImpuritySelector::new(Gini);
+    let mut rows: Vec<Row> = Vec::new();
+    for &size in &sizes {
+        for &n_attrs in &attr_counts {
+            let (schema, sample) = make_sample(size, n_attrs, seed ^ (size as u64) << 8);
+            for &boot in &boot_reps_list {
+                let config = BoatConfig {
+                    sample_size: size,
+                    bootstrap_reps: boot,
+                    bootstrap_sample_size: (size / 4).max(500),
+                    // Deep bootstrap trees: the scaled stop threshold stays
+                    // small relative to the resample.
+                    in_memory_threshold: 500,
+                    ..BoatConfig::default()
+                };
+                let full_size = (size as u64) * 20;
+                let time_of = |engine: SampleEngine| {
+                    let cfg = config.clone().with_sample_engine(engine);
+                    let mut best: Option<(Duration, _)> = None;
+                    for _ in 0..reps {
+                        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0A5);
+                        let t0 = Instant::now();
+                        let coarse = build_coarse_tree(
+                            &schema,
+                            &sample,
+                            &selector,
+                            &cfg,
+                            full_size,
+                            &mut rng,
+                            Registry::global(),
+                        );
+                        let dt = t0.elapsed();
+                        if best.as_ref().is_none_or(|(b, _)| dt < *b) {
+                            best = Some((dt, coarse));
+                        }
+                    }
+                    best.expect("reps >= 1")
+                };
+                let (rows_time, rows_coarse) = time_of(SampleEngine::Rows);
+                let (columnar_time, columnar_coarse) = time_of(SampleEngine::Columnar);
+                assert_eq!(
+                    rows_coarse, columnar_coarse,
+                    "ENGINE MISMATCH at size={size} attrs={n_attrs} boot={boot}: \
+                     the engines must produce identical coarse trees"
+                );
+                rows.push(Row {
+                    size,
+                    attrs: n_attrs,
+                    boot_reps: boot,
+                    rows_time,
+                    columnar_time,
+                    speedup: rows_time.as_secs_f64() / columnar_time.as_secs_f64(),
+                    coarse_nodes: rows_coarse.len(),
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(&[
+        "sample",
+        "num attrs",
+        "boot reps",
+        "rows",
+        "columnar",
+        "speedup",
+        "coarse nodes",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.size.to_string(),
+            r.attrs.to_string(),
+            r.boot_reps.to_string(),
+            fmt_duration(r.rows_time),
+            fmt_duration(r.columnar_time),
+            format!("{:.2}x", r.speedup),
+            r.coarse_nodes.to_string(),
+        ]);
+    }
+    table.print(csv);
+
+    // Whole-process metrics: every build at every grid point recorded into
+    // the global registry, so the boat.sample.* spans/counters of both
+    // engines appear in the JSON artifact.
+    let snapshot = Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+
+    // The acceptance gate runs on the *largest* configuration (most
+    // attributes, biggest sample, most bootstrap reps).
+    let largest = rows
+        .iter()
+        .max_by_key(|r| (r.attrs, r.size, r.boot_reps))
+        .expect("non-empty grid");
+    println!(
+        "\nlargest config: {} x {} numeric attrs x {} reps -> {:.2}x",
+        largest.size, largest.attrs, largest.boot_reps, largest.speedup
+    );
+
+    let results: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"sample_size\": {}, \"numeric_attrs\": {}, \"bootstrap_reps\": {}, \
+                 \"rows_seconds\": {:.6}, \"columnar_seconds\": {:.6}, \"speedup\": {:.3}, \
+                 \"coarse_nodes\": {}, \"identical\": true}}",
+                r.size,
+                r.attrs,
+                r.boot_reps,
+                r.rows_time.as_secs_f64(),
+                r.columnar_time.as_secs_f64(),
+                r.speedup,
+                r.coarse_nodes,
+            )
+        })
+        .collect();
+    let mut report = BenchReport::new("sample_phase");
+    report
+        .field_u64("reps", reps as u64)
+        .field_u64("seed", seed)
+        .field_f64("largest_config_speedup", largest.speedup)
+        .field_u64("largest_config_numeric_attrs", largest.attrs as u64)
+        .field_u64("largest_config_sample_size", largest.size as u64)
+        .field_u64("largest_config_bootstrap_reps", largest.boot_reps as u64)
+        .field_bool("identical_coarse_trees_asserted", true)
+        .field_raw("results", json_array(&results))
+        .metrics(&snapshot);
+    report.write(&out)?;
+
+    if min_speedup > 0.0 && largest.speedup < min_speedup {
+        eprintln!(
+            "FAIL: largest-config speedup {:.2}x below required {min_speedup:.2}x",
+            largest.speedup
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -145,13 +145,24 @@ pub fn print_metrics_summary(snap: &Snapshot) {
         table.row(vec![name, value.to_string()]);
     }
     for (name, hist) in &snap.histograms {
-        if !name.starts_with("boat.phase.") {
+        if !name.starts_with("boat.phase.") && !name.starts_with("boat.sample.") {
             continue;
         }
         table.row(vec![
             name.clone(),
             format!("{:.1}ms over {} span(s)", hist.sum as f64 / 1e6, hist.count),
         ]);
+    }
+    // Sampling-engine counters, shown only when a sampling phase ran.
+    for name in [
+        "boat.sample.columnar_builds",
+        "boat.sample.rows_builds",
+        "boat.sample.clone_bytes_avoided",
+    ] {
+        let v = snap.counter(name);
+        if v > 0 {
+            table.row(vec![name.to_string(), v.to_string()]);
+        }
     }
     table.row(vec![
         "boat.phase.* total".to_string(),

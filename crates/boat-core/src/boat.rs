@@ -9,7 +9,7 @@
 //! the in-memory builder, exactly as §3.5 prescribes.
 
 use crate::coarse::build_coarse_tree;
-use crate::config::BoatConfig;
+use crate::config::{BoatConfig, SampleEngine};
 use crate::stats::BoatRunStats;
 use crate::work::{limits_for_subtree, Job, Resolution, WorkTree};
 use boat_data::dataset::RecordSource;
@@ -93,6 +93,28 @@ impl<I: Impurity + Clone> Boat<I> {
         &self.metrics
     }
 
+    /// Grow an in-memory family with the configured sample engine (§3.5's
+    /// in-memory switch). Bit-identical output either way — the columnar
+    /// engine's determinism contract (`boat_tree::columnar`) — so this is
+    /// purely the per-family analogue of the bootstrap-phase engine choice.
+    fn inmem_tree(
+        &self,
+        schema: &boat_data::Schema,
+        records: &[Record],
+        limits: GrowthLimits,
+    ) -> Tree {
+        let selector = ImpuritySelector::new(self.impurity.clone());
+        match self.config.sample_engine {
+            SampleEngine::Columnar => {
+                self.metrics.counter("boat.sample.inmem_columnar").inc();
+                let cs = boat_tree::ColumnarSample::from_records(schema, records);
+                let weights = vec![1u32; records.len()];
+                boat_tree::grow_weighted(&cs, &weights, &selector, limits)
+            }
+            SampleEngine::Rows => TdTreeBuilder::new(&selector, limits).fit(schema, records),
+        }
+    }
+
     /// Build the exact decision tree for `source`.
     pub fn fit(&self, source: &dyn RecordSource) -> Result<BoatFit> {
         self.config.validate().map_err(DataError::Invalid)?;
@@ -105,9 +127,7 @@ impl<I: Impurity + Clone> Boat<I> {
             let t0 = Instant::now();
             let span = self.metrics.span("boat.phase.inmem_build");
             let records = source.collect_records()?;
-            let selector = ImpuritySelector::new(self.impurity.clone());
-            let tree =
-                TdTreeBuilder::new(&selector, self.config.limits).fit(source.schema(), &records);
+            let tree = self.inmem_tree(source.schema(), &records, self.config.limits);
             span.finish();
             self.metrics.counter("boat.fit.input_scans").inc();
             self.metrics.counter("boat.fit.inmem_builds").inc();
@@ -160,6 +180,7 @@ impl<I: Impurity + Clone> Boat<I> {
             &self.config,
             source.len(),
             &mut rng,
+            &self.metrics,
         );
         stats.coarse_nodes = coarse.len() as u64;
         let mut work = WorkTree::prepare(
@@ -422,8 +443,7 @@ impl<I: Impurity + Clone> Boat<I> {
         if records.len() as u64 <= self.config.in_memory_threshold || recursion_left == 0 {
             stats.inmem_builds += 1;
             self.metrics.counter("boat.fit.inmem_builds").inc();
-            let selector = ImpuritySelector::new(self.impurity.clone());
-            return Ok(TdTreeBuilder::new(&selector, sub_limits).fit(&work.schema, &records));
+            return Ok(self.inmem_tree(&work.schema, &records, sub_limits));
         }
         // Recursion damping: if this partition is (nearly) the whole input,
         // the optimistic phase already saw this data and failed — grant one

@@ -14,11 +14,12 @@
 //!   points give a confidence interval `[lo, hi]` that contains the final
 //!   split point with high probability.
 
-use crate::config::{AgreementRule, BoatConfig};
+use crate::config::{AgreementRule, BoatConfig, SampleEngine};
 use boat_data::{Record, Schema};
+use boat_obs::Registry;
 use boat_tree::grow::SplitSelector;
 use boat_tree::model::Predicate;
-use boat_tree::{CatSet, GrowthLimits, NodeId, TdTreeBuilder, Tree};
+use boat_tree::{CatSet, ColumnarSample, GrowthLimits, NodeId, TdTreeBuilder, Tree};
 use rand::rngs::StdRng;
 
 /// A coarse splitting criterion (paper Figure 2).
@@ -62,7 +63,7 @@ pub enum FrontierReason {
 }
 
 /// One node of the coarse tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoarseNode {
     /// The coarse criterion; `None` marks a frontier leaf.
     pub crit: Option<CoarseCriterion>,
@@ -82,7 +83,7 @@ pub struct CoarseNode {
 }
 
 /// The coarse tree produced by the sampling phase.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoarseTree {
     /// Arena of nodes; index 0 is the root.
     pub nodes: Vec<CoarseNode>,
@@ -139,7 +140,18 @@ pub fn bootstrap_limits(config: &BoatConfig, full_size: u64) -> GrowthLimits {
 ///
 /// `full_size` is `|D|` (used to scale the bootstrap trees' stopping
 /// threshold). The selector must be the same split-selection method the
-/// final tree uses.
+/// final tree uses. `metrics` receives the `boat.sample.*` phase spans and
+/// counters (transpose/presort/grow timings, resample-clone bytes avoided).
+///
+/// The engine ([`BoatConfig::sample_engine`]) is a pure performance knob:
+/// both paths produce bit-identical bootstrap trees — and hence the same
+/// coarse tree — for the same seeded rng, because the columnar path draws
+/// its multiplicity vectors with the *same rng call sequence* as
+/// [`bootstrap_resample`] and grows through the same shared split code
+/// (see `boat_tree::columnar`). Selectors without columnar support (e.g.
+/// QUEST) silently use the row path.
+///
+/// [`bootstrap_resample`]: boat_data::sample::bootstrap_resample
 pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
     schema: &Schema,
     sample: &[Record],
@@ -147,6 +159,7 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
     config: &BoatConfig,
     full_size: u64,
     rng: &mut StdRng,
+    metrics: &Registry,
 ) -> CoarseTree {
     if sample.is_empty() {
         // Degenerate input: a single frontier leaf (everything resolves via
@@ -164,52 +177,12 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
         };
     }
     let limits = bootstrap_limits(config, full_size);
-    let builder = TdTreeBuilder::new(selector, limits);
-    // Draw the resamples sequentially (deterministic in the rng), then
-    // build the b trees in parallel — they are independent, and this phase
-    // is the dominant CPU cost of BOAT's sampling scan. The result is
-    // bit-identical to a serial build.
-    let resamples: Vec<Vec<Record>> = (0..config.bootstrap_reps)
-        .map(|_| boat_data::sample::bootstrap_resample(sample, config.bootstrap_sample_size, rng))
-        .collect();
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(resamples.len().max(1));
-    let trees: Vec<Tree> = if threads <= 1 || resamples.len() <= 1 {
-        resamples.iter().map(|r| builder.fit(schema, r)).collect()
+    let use_columnar =
+        config.sample_engine == SampleEngine::Columnar && selector.supports_columnar();
+    let trees: Vec<Tree> = if use_columnar {
+        bootstrap_trees_columnar(schema, sample, selector, config, limits, rng, metrics)
     } else {
-        let mut slots: Vec<Option<Tree>> = (0..resamples.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            // Work-stealing over resample indices; each worker returns its
-            // (index, tree) results, merged afterwards.
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                let next = &next;
-                let resamples = &resamples;
-                let builder = &builder;
-                handles.push(scope.spawn(move || {
-                    let mut built: Vec<(usize, Tree)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= resamples.len() {
-                            break;
-                        }
-                        built.push((i, builder.fit(schema, &resamples[i])));
-                    }
-                    built
-                }));
-            }
-            for h in handles {
-                for (i, t) in h.join().expect("bootstrap worker panicked") {
-                    slots[i] = Some(t);
-                }
-            }
-        });
-        slots
-            .into_iter()
-            .map(|t| t.expect("every slot built"))
-            .collect()
+        bootstrap_trees_rows(schema, sample, selector, config, limits, rng, metrics)
     };
     let mut coarse = CoarseTree { nodes: Vec::new() };
     let cursors: Vec<(usize, NodeId)> = trees
@@ -219,6 +192,124 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
         .collect();
     agree(&trees, cursors, None, 0, config, &mut coarse);
     coarse
+}
+
+/// Run `build(i)` for `i in 0..n` over a work-stealing thread pool (one
+/// atomic next-index counter; workers return `(i, tree)` pairs merged in
+/// order). The builds are independent, so the result is bit-identical to a
+/// serial loop at every thread count.
+fn build_parallel<F>(n: usize, build: F) -> Vec<Tree>
+where
+    F: Fn(usize) -> Tree + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(build).collect();
+    }
+    let mut slots: Vec<Option<Tree>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let next = &next;
+            let build = &build;
+            handles.push(scope.spawn(move || {
+                let mut built: Vec<(usize, Tree)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    built.push((i, build(i)));
+                }
+                built
+            }));
+        }
+        for h in handles {
+            for (i, t) in h.join().expect("bootstrap worker panicked") {
+                slots[i] = Some(t);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|t| t.expect("every slot built"))
+        .collect()
+}
+
+/// Row-oriented bootstrap path: materialize each resample as a
+/// `Vec<Record>` (drawn sequentially, deterministic in the rng) and grow
+/// the `b` trees in parallel with the reference in-memory builder.
+fn bootstrap_trees_rows<S: SplitSelector + ?Sized>(
+    schema: &Schema,
+    sample: &[Record],
+    selector: &S,
+    config: &BoatConfig,
+    limits: GrowthLimits,
+    rng: &mut StdRng,
+    metrics: &Registry,
+) -> Vec<Tree> {
+    let builder = TdTreeBuilder::new(selector, limits);
+    let resample_span = metrics.span("boat.sample.resample");
+    let resamples: Vec<Vec<Record>> = (0..config.bootstrap_reps)
+        .map(|_| boat_data::sample::bootstrap_resample(sample, config.bootstrap_sample_size, rng))
+        .collect();
+    resample_span.finish();
+    metrics
+        .counter("boat.sample.rows_builds")
+        .add(resamples.len() as u64);
+    let grow_span = metrics.span("boat.sample.grow");
+    let trees = build_parallel(resamples.len(), |i| builder.fit(schema, &resamples[i]));
+    grow_span.finish();
+    trees
+}
+
+/// Columnar bootstrap path: transpose the sample once into dense columns,
+/// presort the numeric attributes once, draw per-resample *multiplicity
+/// vectors* (same rng call sequence as the row path — one
+/// `random_range(0..len)` per draw), and grow the `b` trees in parallel
+/// over the shared immutable `(columns, presorted indices)` with zero
+/// record clones.
+fn bootstrap_trees_columnar<S: SplitSelector + ?Sized>(
+    schema: &Schema,
+    sample: &[Record],
+    selector: &S,
+    config: &BoatConfig,
+    limits: GrowthLimits,
+    rng: &mut StdRng,
+    metrics: &Registry,
+) -> Vec<Tree> {
+    let transpose_span = metrics.span("boat.sample.transpose");
+    let mut cs = ColumnarSample::transpose(schema, sample);
+    transpose_span.finish();
+    let presort_span = metrics.span("boat.sample.presort");
+    cs.presort();
+    presort_span.finish();
+    let resample_span = metrics.span("boat.sample.resample");
+    let weight_sets: Vec<Vec<u32>> = (0..config.bootstrap_reps)
+        .map(|_| {
+            boat_data::sample::bootstrap_multiplicities(
+                sample.len(),
+                config.bootstrap_sample_size,
+                rng,
+            )
+        })
+        .collect();
+    resample_span.finish();
+    metrics
+        .counter("boat.sample.columnar_builds")
+        .add(weight_sets.len() as u64);
+    metrics
+        .counter("boat.sample.clone_bytes_avoided")
+        .add((weight_sets.len() * config.bootstrap_sample_size) as u64 * cs.record_bytes() as u64);
+    let grow_span = metrics.span("boat.sample.grow");
+    let trees = build_parallel(weight_sets.len(), |i| {
+        boat_tree::grow_weighted(&cs, &weight_sets[i], selector, limits)
+    });
+    grow_span.finish();
+    trees
 }
 
 /// The "signature" a bootstrap node votes with: leaf, or internal with a
@@ -457,7 +548,15 @@ mod tests {
         let sample = clean_sample(1000);
         let sel = ImpuritySelector::new(Gini);
         let mut rng = StdRng::seed_from_u64(7);
-        let coarse = build_coarse_tree(&schema, &sample, &sel, &config(), 100_000, &mut rng);
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &config(),
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
         let root = &coarse.nodes[0];
         let Some(CoarseCriterion::Num { attr, lo, hi }) = &root.crit else {
             panic!(
@@ -481,7 +580,15 @@ mod tests {
         let sample = clean_sample(800);
         let sel = ImpuritySelector::new(Gini);
         let mut rng = StdRng::seed_from_u64(8);
-        let coarse = build_coarse_tree(&schema, &sample, &sel, &config(), 50_000, &mut rng);
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &config(),
+            50_000,
+            &mut rng,
+            &Registry::new(),
+        );
         let root = &coarse.nodes[0];
         if let Some(CoarseCriterion::Num { lo, hi, .. }) = root.crit {
             for &p in &root.bootstrap_points {
@@ -499,10 +606,26 @@ mod tests {
         let sel = ImpuritySelector::new(Gini);
         let mut cfg = config();
         let mut rng = StdRng::seed_from_u64(9);
-        let wide = build_coarse_tree(&schema, &sample, &sel, &cfg, 50_000, &mut rng);
+        let wide = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            50_000,
+            &mut rng,
+            &Registry::new(),
+        );
         cfg.confidence_trim = 0.2;
         let mut rng = StdRng::seed_from_u64(9);
-        let narrow = build_coarse_tree(&schema, &sample, &sel, &cfg, 50_000, &mut rng);
+        let narrow = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            50_000,
+            &mut rng,
+            &Registry::new(),
+        );
         let get = |c: &CoarseTree| match c.nodes[0].crit {
             Some(CoarseCriterion::Num { lo, hi, .. }) => (lo, hi),
             _ => panic!("numeric root"),
@@ -520,7 +643,15 @@ mod tests {
             .collect();
         let sel = ImpuritySelector::new(Gini);
         let mut rng = StdRng::seed_from_u64(10);
-        let coarse = build_coarse_tree(&schema, &sample, &sel, &config(), 10_000, &mut rng);
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &config(),
+            10_000,
+            &mut rng,
+            &Registry::new(),
+        );
         assert!(coarse.is_empty());
         assert_eq!(coarse.nodes[0].reason, Some(FrontierReason::SampleLeaf));
     }
@@ -538,7 +669,15 @@ mod tests {
         cfg.bootstrap_reps = 16;
         cfg.bootstrap_sample_size = 600;
         let mut rng = StdRng::seed_from_u64(11);
-        let coarse = build_coarse_tree(&schema, &sample, &sel, &cfg, 100_000, &mut rng);
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
         // The root agrees on the single attribute; mode clustering then
         // commits to ONE of the two minima (near 20 or near 60) — spanning
         // both would park half the database and make the children
@@ -564,7 +703,15 @@ mod tests {
         let sample = clean_sample(1000);
         let sel = ImpuritySelector::new(Gini);
         let mut rng = StdRng::seed_from_u64(12);
-        let coarse = build_coarse_tree(&schema, &sample, &sel, &config(), 100_000, &mut rng);
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &config(),
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
         for (i, n) in coarse.nodes.iter().enumerate() {
             if let Some(p) = n.parent {
                 assert_eq!(coarse.nodes[p].depth + 1, n.depth);
@@ -609,11 +756,27 @@ mod tests {
 
         cfg.agreement = crate::config::AgreementRule::Majority { quorum: 0.7 };
         let mut rng = StdRng::seed_from_u64(77);
-        let majority = build_coarse_tree(&schema, &sample, &sel, &cfg, 100_000, &mut rng);
+        let majority = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
 
         cfg.agreement = crate::config::AgreementRule::Unanimous;
         let mut rng = StdRng::seed_from_u64(77);
-        let unanimous = build_coarse_tree(&schema, &sample, &sel, &cfg, 100_000, &mut rng);
+        let unanimous = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
 
         assert!(
             majority.n_internal() >= unanimous.n_internal(),
@@ -636,7 +799,15 @@ mod tests {
         let mut cfg = config();
         cfg.agreement = crate::config::AgreementRule::Majority { quorum: 0.6 };
         let mut rng = StdRng::seed_from_u64(78);
-        let coarse = build_coarse_tree(&schema, &sample, &sel, &cfg, 100_000, &mut rng);
+        let coarse = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
         let root = &coarse.nodes[0];
         assert!(root.crit.is_some());
         assert!(
@@ -644,6 +815,79 @@ mod tests {
             "interval points come from agreeing trees only"
         );
         assert!(root.bootstrap_points.len() >= (0.6 * cfg.bootstrap_reps as f64) as usize);
+    }
+
+    #[test]
+    fn columnar_and_rows_engines_build_identical_coarse_trees() {
+        // Same seed, both engines, metrics inspected for the new counters.
+        let schema = schema();
+        let sample = clean_sample(900);
+        let sel = ImpuritySelector::new(Gini);
+        let mut cfg = config();
+
+        cfg.sample_engine = SampleEngine::Columnar;
+        let columnar_metrics = Registry::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let columnar = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &columnar_metrics,
+        );
+
+        cfg.sample_engine = SampleEngine::Rows;
+        let rows_metrics = Registry::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let rows = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &rows_metrics,
+        );
+
+        assert_eq!(columnar, rows, "engines must agree node for node");
+
+        let snap = columnar_metrics.snapshot();
+        assert_eq!(
+            snap.counter("boat.sample.columnar_builds"),
+            cfg.bootstrap_reps as u64
+        );
+        assert!(snap.counter("boat.sample.clone_bytes_avoided") > 0);
+        assert!(snap.histogram("boat.sample.transpose").is_some());
+        assert!(snap.histogram("boat.sample.presort").is_some());
+        assert!(snap.histogram("boat.sample.grow").is_some());
+        let rows_snap = rows_metrics.snapshot();
+        assert_eq!(
+            rows_snap.counter("boat.sample.rows_builds"),
+            cfg.bootstrap_reps as u64
+        );
+        assert_eq!(rows_snap.counter("boat.sample.columnar_builds"), 0);
+    }
+
+    #[test]
+    fn quest_selector_falls_back_to_rows_engine() {
+        // QUEST has no columnar path; the dispatch must silently use the
+        // row-oriented builder instead of panicking.
+        let schema = schema();
+        let sample = clean_sample(600);
+        let sel = boat_tree::QuestSelector;
+        let cfg = config(); // sample_engine: Columnar (default)
+        let metrics = Registry::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let coarse = build_coarse_tree(&schema, &sample, &sel, &cfg, 50_000, &mut rng, &metrics);
+        assert!(!coarse.nodes.is_empty());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("boat.sample.columnar_builds"), 0);
+        assert_eq!(
+            snap.counter("boat.sample.rows_builds"),
+            cfg.bootstrap_reps as u64
+        );
     }
 
     #[test]

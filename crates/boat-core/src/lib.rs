@@ -50,6 +50,6 @@ mod work;
 
 pub use boat::{reference_tree, Boat, BoatFit};
 pub use coarse::{CoarseCriterion, CoarseTree, FrontierReason};
-pub use config::{BoatConfig, DiscretizeStrategy};
+pub use config::{BoatConfig, DiscretizeStrategy, SampleEngine};
 pub use incremental::{BoatModel, MaintainReport, UpdateReport};
 pub use stats::BoatRunStats;

@@ -1679,7 +1679,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let sample = boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
         let selector = ImpuritySelector::new(Gini);
-        let coarse = build_coarse_tree(&schema(), &sample, &selector, cfg, ds.len(), &mut rng);
+        let coarse = build_coarse_tree(
+            &schema(),
+            &sample,
+            &selector,
+            cfg,
+            ds.len(),
+            &mut rng,
+            &Registry::new(),
+        );
         WorkTree::prepare(
             &coarse,
             schema(),
@@ -1806,8 +1814,15 @@ mod tests {
             let sample =
                 boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
             let selector = ImpuritySelector::new(Gini);
-            let coarse =
-                build_coarse_tree(&gen.schema(), &sample, &selector, &cfg, ds.len(), &mut rng);
+            let coarse = build_coarse_tree(
+                &gen.schema(),
+                &sample,
+                &selector,
+                &cfg,
+                ds.len(),
+                &mut rng,
+                &Registry::new(),
+            );
             WorkTree::prepare(
                 &coarse,
                 gen.schema(),

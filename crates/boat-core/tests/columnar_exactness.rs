@@ -1,0 +1,203 @@
+//! Differential oracle for the columnar sample-phase engine.
+//!
+//! The columnar engine (presorted attribute indices + weighted bootstrap)
+//! must be *invisible*: for any schema, dataset, and seed, running BOAT
+//! with `sample_engine: Columnar` must produce exactly the artifacts the
+//! row-materializing engine produces — byte-identical serialized coarse
+//! trees out of the sampling phase, and byte-identical serialized final
+//! models out of the full pipeline (sampling + cleanup + verification),
+//! at `cleanup_threads` 1 and 4 alike. Property tests draw random schema
+//! shapes (numeric/categorical mixes), random record tables on coarse
+//! value grids (so duplicate values and tie paths are common), and random
+//! seeds; a failure prints the first diverging artifact.
+
+use boat_core::coarse::build_coarse_tree;
+use boat_core::{Boat, BoatConfig, SampleEngine};
+use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
+use boat_obs::Registry;
+use boat_tree::{Gini, ImpuritySelector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Attribute shape: `None` = numeric, `Some(card)` = categorical.
+type AttrSpec = Option<u32>;
+
+fn arb_attrs() -> impl Strategy<Value = Vec<AttrSpec>> {
+    prop::collection::vec(prop_oneof![Just(None), (2u32..6).prop_map(Some)], 1..5)
+}
+
+fn make_schema(attrs: &[AttrSpec], n_classes: usize) -> Arc<Schema> {
+    let attrs: Vec<Attribute> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| match spec {
+            None => Attribute::numeric(format!("x{i}")),
+            Some(card) => Attribute::categorical(format!("c{i}"), *card),
+        })
+        .collect();
+    Arc::new(Schema::new(attrs, n_classes as u16).expect("valid schema"))
+}
+
+/// Random records on a coarse numeric grid (multiples of 0.5, including a
+/// negative band) so duplicate values, ties, and interval boundaries are
+/// common. Labels follow the first attribute when possible, with noise, so
+/// the trees are non-trivial without being pure noise-fitting.
+fn make_records(
+    schema: &Schema,
+    attrs: &[AttrSpec],
+    n: usize,
+    n_classes: usize,
+    seed: u64,
+) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let fields: Vec<Field> = attrs
+                .iter()
+                .map(|spec| match spec {
+                    None => Field::Num((rng.random_range(0..60i32) - 10) as f64 * 0.5),
+                    Some(card) => Field::Cat(rng.random_range(0..*card)),
+                })
+                .collect();
+            let noisy = rng.random_range(0..5u32) == 0;
+            let label = if noisy {
+                rng.random_range(0..n_classes as u32) as u16
+            } else {
+                match &fields[0] {
+                    Field::Num(v) => u16::from(*v >= 7.5) % n_classes as u16,
+                    Field::Cat(c) => (*c % n_classes as u32) as u16,
+                }
+            };
+            debug_assert!(schema.n_classes() >= n_classes);
+            Record::new(fields, label)
+        })
+        .collect()
+}
+
+/// Small config that still exercises the full pipeline: the dataset is
+/// larger than both `sample_size` (real reservoir sampling) and
+/// `in_memory_threshold` (real cleanup scan + verification).
+fn small_config(seed: u64, engine: SampleEngine, threads: usize) -> BoatConfig {
+    BoatConfig {
+        sample_size: 200,
+        bootstrap_reps: 6,
+        bootstrap_sample_size: 100,
+        in_memory_threshold: 120,
+        spill_budget: 16,
+        cleanup_chunk_size: 128,
+        seed,
+        ..BoatConfig::default()
+    }
+    .with_sample_engine(engine)
+    .with_cleanup_threads(threads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampling phase in isolation: identical coarse trees, byte for byte,
+    /// from the same sample and seed.
+    #[test]
+    fn coarse_trees_are_byte_identical(
+        attrs in arb_attrs(),
+        n_classes in 2usize..4,
+        n in 250usize..600,
+        data_seed in 0u64..1_000_000,
+        boat_seed in 0u64..1_000_000,
+    ) {
+        let schema = make_schema(&attrs, n_classes);
+        let sample = make_records(&schema, &attrs, n, n_classes, data_seed);
+        let selector = ImpuritySelector::new(Gini);
+        let full_size = (n as u64) * 8;
+        let coarse_of = |engine: SampleEngine| {
+            let config = small_config(boat_seed, engine, 1);
+            let mut rng = StdRng::seed_from_u64(boat_seed ^ 0x0B0A7);
+            build_coarse_tree(
+                &schema,
+                &sample,
+                &selector,
+                &config,
+                full_size,
+                &mut rng,
+                &Registry::new(),
+            )
+        };
+        let columnar = coarse_of(SampleEngine::Columnar);
+        let rows = coarse_of(SampleEngine::Rows);
+        prop_assert_eq!(&columnar, &rows, "coarse trees diverge");
+        // "Byte-identical" in the serialized sense too: the rendered form
+        // carries every split constant at full float precision.
+        prop_assert_eq!(
+            format!("{columnar:?}").into_bytes(),
+            format!("{rows:?}").into_bytes()
+        );
+    }
+
+    /// Full pipeline: byte-identical serialized final models at 1 and 4
+    /// cleanup threads, plus identical deterministic run statistics.
+    #[test]
+    fn full_pipeline_models_are_byte_identical(
+        attrs in arb_attrs(),
+        n_classes in 2usize..4,
+        n in 450usize..900,
+        data_seed in 0u64..1_000_000,
+        boat_seed in 0u64..1_000_000,
+    ) {
+        let schema = make_schema(&attrs, n_classes);
+        let records = make_records(&schema, &attrs, n, n_classes, data_seed);
+        for threads in [1usize, 4] {
+            let fit_of = |engine: SampleEngine| {
+                let source = MemoryDataset::new(schema.clone(), records.clone());
+                Boat::new(small_config(boat_seed, engine, threads))
+                    .fit(&source)
+                    .expect("boat fit")
+            };
+            let columnar = fit_of(SampleEngine::Columnar);
+            let rows = fit_of(SampleEngine::Rows);
+            prop_assert_eq!(
+                columnar.tree.to_bytes(),
+                rows.tree.to_bytes(),
+                "threads={}: serialized models diverge\ncolumnar:\n{}\nrows:\n{}",
+                threads,
+                columnar.tree.render(&schema),
+                rows.tree.render(&schema),
+            );
+            // The engines must also agree on everything verification saw:
+            // scan counts, parked/spilled tuples, and verdicts.
+            prop_assert_eq!(columnar.stats.scans_over_input, rows.stats.scans_over_input);
+            prop_assert_eq!(columnar.stats.coarse_nodes, rows.stats.coarse_nodes);
+            prop_assert_eq!(columnar.stats.verified_nodes, rows.stats.verified_nodes);
+            prop_assert_eq!(columnar.stats.failed_nodes, rows.stats.failed_nodes);
+            prop_assert_eq!(columnar.stats.parked_tuples, rows.stats.parked_tuples);
+            prop_assert_eq!(columnar.stats.spilled_tuples, rows.stats.spilled_tuples);
+        }
+    }
+}
+
+/// Non-property regression pin: one fixed, fully-specified case that fails
+/// loudly (outside the proptest harness) if either engine drifts.
+#[test]
+fn fixed_case_agrees_across_engines_and_threads() {
+    let attrs: Vec<AttrSpec> = vec![None, Some(4), None, Some(3)];
+    let schema = make_schema(&attrs, 3);
+    let records = make_records(&schema, &attrs, 700, 3, 7_001);
+    let mut bytes: Option<Vec<u8>> = None;
+    for threads in [1usize, 4] {
+        for engine in [SampleEngine::Columnar, SampleEngine::Rows] {
+            let source = MemoryDataset::new(schema.clone(), records.clone());
+            let fit = Boat::new(small_config(9_001, engine, threads))
+                .fit(&source)
+                .expect("boat fit");
+            let b = fit.tree.to_bytes();
+            match &bytes {
+                None => bytes = Some(b),
+                Some(first) => assert_eq!(
+                    &b, first,
+                    "engine={engine:?} threads={threads} diverges from the first run"
+                ),
+            }
+        }
+    }
+}

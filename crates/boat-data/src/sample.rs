@@ -55,6 +55,27 @@ pub fn bootstrap_resample<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Multiplicity-vector form of [`bootstrap_resample`]: draw `size` row
+/// indices with replacement from `0..len` and return how many times each
+/// row was drawn (`Vec<u32>` of length `len`).
+///
+/// The rng call sequence is *identical* to [`bootstrap_resample`] — one
+/// `random_range(0..len)` per draw — so under the same seeded rng the
+/// multiset of drawn rows is exactly the multiset of cloned records, and
+/// any code downstream of the rng sees unchanged outputs. This is the
+/// zero-copy substrate of the columnar sample engine: a bootstrap tree is
+/// grown over (shared columns, weights) instead of `size` cloned records.
+///
+/// Panics if `len == 0` and `size > 0`.
+pub fn bootstrap_multiplicities<R: Rng + ?Sized>(len: usize, size: usize, rng: &mut R) -> Vec<u32> {
+    assert!(size == 0 || len > 0, "cannot resample from an empty sample");
+    let mut multiplicities = vec![0u32; len];
+    for _ in 0..size {
+        multiplicities[rng.random_range(0..len)] += 1;
+    }
+    multiplicities
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +170,44 @@ mod tests {
             vals.len() >= 2,
             "seeded resample should touch several records"
         );
+    }
+
+    #[test]
+    fn bootstrap_multiplicities_agree_with_resample_under_same_seed() {
+        // Same seed => same rng call sequence => identical multiset of
+        // drawn rows. The dataset's attribute value *is* the row index, so
+        // counting resampled values recovers the drawn-index multiset.
+        let ds = dataset(17);
+        let sample = ds.records().to_vec();
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let boot = bootstrap_resample(&sample, 300, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let mult = bootstrap_multiplicities(sample.len(), 300, &mut rng_b);
+        assert_eq!(mult.len(), sample.len());
+        assert_eq!(mult.iter().map(|&m| m as usize).sum::<usize>(), 300);
+        let mut counted = vec![0u32; sample.len()];
+        for r in &boot {
+            counted[r.num(0) as usize] += 1;
+        }
+        assert_eq!(counted, mult);
+        // And the rngs are left in the same state (same number of draws).
+        assert_eq!(
+            rng_a.random_range(0..u64::MAX),
+            rng_b.random_range(0..u64::MAX)
+        );
+    }
+
+    #[test]
+    fn bootstrap_multiplicities_empty_size_zero_ok() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(bootstrap_multiplicities(0, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn bootstrap_multiplicities_empty_nonzero_panics() {
+        let mut rng = StdRng::seed_from_u64(10);
+        bootstrap_multiplicities(0, 1, &mut rng);
     }
 
     #[test]

@@ -15,8 +15,20 @@ use std::collections::BTreeMap;
 
 /// A totally-ordered wrapper for finite `f64` attribute values
 /// (via `f64::total_cmp`).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality is defined to match [`f64::total_cmp`] exactly (two values are
+/// equal iff their bit patterns are, so `-0.0 != 0.0` and NaN payloads are
+/// distinguished). A derived `PartialEq` would use IEEE `==`, which calls
+/// `-0.0 == 0.0` *equal* while `cmp` orders them `Less` — an `Eq`/`Ord`
+/// consistency violation that breaks the `BTreeMap` contract.
+#[derive(Debug, Clone, Copy)]
 pub struct OrdF64(pub f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
 
 impl Eq for OrdF64 {}
 
@@ -54,6 +66,14 @@ impl CatAvc {
     #[inline]
     pub fn add(&mut self, cat: u32, label: u16) {
         self.counts[cat as usize * self.n_classes + label as usize] += 1;
+    }
+
+    /// Count `weight` tuples with category `cat` and class `label` at once.
+    /// The columnar sample engine accumulates bootstrap multiplicities this
+    /// way instead of cloning records; `add_weighted(c, l, 1)` ≡ `add(c, l)`.
+    #[inline]
+    pub fn add_weighted(&mut self, cat: u32, label: u16, weight: u64) {
+        self.counts[cat as usize * self.n_classes + label as usize] += weight;
     }
 
     /// Remove one previously-counted tuple (incremental deletions).
@@ -156,6 +176,29 @@ impl NumAvc {
     /// Distinct values in ascending order with their per-class counts.
     pub fn iter(&self) -> impl Iterator<Item = (f64, &[u64])> {
         self.map.iter().map(|(k, v)| (k.0, v.as_slice()))
+    }
+
+    /// Materialize into parallel flat buffers — ascending distinct values
+    /// plus row-major per-class counts (`n_classes` per value) — in a
+    /// *single* pass over the tree map. Use this instead of collecting
+    /// `(value, counts.to_vec())` pairs and re-collecting into buffers,
+    /// which copies every count vector twice.
+    pub fn materialized(&self) -> (Vec<f64>, Vec<u64>) {
+        let mut values = Vec::with_capacity(self.map.len());
+        let mut counts = Vec::with_capacity(self.map.len() * self.n_classes);
+        for (k, c) in &self.map {
+            values.push(k.0);
+            counts.extend_from_slice(c);
+        }
+        (values, counts)
+    }
+
+    /// Consume the AVC-set into `(value, per-class counts)` entries in
+    /// ascending value order, *moving* each count vector out of the map
+    /// instead of cloning it (drain-instead-of-clone for call sites that
+    /// own the set and only need its entries once).
+    pub fn into_entries(self) -> impl Iterator<Item = (f64, Vec<u64>)> {
+        self.map.into_iter().map(|(k, v)| (k.0, v))
     }
 
     /// Number of distinct values.
@@ -315,11 +358,11 @@ mod tests {
         let AttrAvc::Num(num) = g.attr(0) else {
             panic!("attr 0 numeric")
         };
-        let entries: Vec<(f64, Vec<u64>)> = num.iter().map(|(v, c)| (v, c.to_vec())).collect();
-        assert_eq!(
-            entries,
-            vec![(1.0, vec![1, 1]), (2.0, vec![0, 1]), (3.0, vec![1, 0])]
-        );
+        // Single-pass materialization into the final flat buffers (no
+        // intermediate per-value Vec clones).
+        let (values, counts) = num.materialized();
+        assert_eq!(values, vec![1.0, 2.0, 3.0]);
+        assert_eq!(counts, vec![1, 1, 0, 1, 1, 0]);
         let AttrAvc::Cat(cat) = g.attr(1) else {
             panic!("attr 1 categorical")
         };
@@ -386,5 +429,72 @@ mod tests {
         let mut v = [OrdF64(1.0), OrdF64(-2.0), OrdF64(0.0), OrdF64(-0.0)];
         v.sort();
         assert_eq!(v.map(|o| o.0), [-2.0, -0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn ordf64_eq_is_consistent_with_total_cmp() {
+        use std::cmp::Ordering;
+        // Signed zeros: total_cmp says Less, so PartialEq must say unequal
+        // (a derived PartialEq would use IEEE ==, claiming equality).
+        let (nz, pz) = (OrdF64(-0.0), OrdF64(0.0));
+        assert_eq!(nz.cmp(&pz), Ordering::Less);
+        assert_ne!(nz, pz);
+        assert_eq!(nz, nz);
+        assert_eq!(pz, pz);
+        // NaN payloads: equal bits compare Equal (and eq), distinct
+        // payloads compare unequal, both consistently with total_cmp.
+        let qnan = OrdF64(f64::from_bits(0x7ff8_0000_0000_0000));
+        let payload = OrdF64(f64::from_bits(0x7ff8_0000_0000_0001));
+        assert_eq!(qnan, qnan);
+        assert_eq!(qnan.cmp(&qnan), Ordering::Equal);
+        assert_ne!(qnan, payload);
+        assert_eq!(qnan.cmp(&payload), Ordering::Less);
+        // The blanket invariant: eq ⟺ cmp == Equal on a value sweep.
+        let vals = [-1.5, -0.0, 0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    OrdF64(a) == OrdF64(b),
+                    OrdF64(a).cmp(&OrdF64(b)) == Ordering::Equal,
+                    "eq/cmp inconsistent for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_matches_iter_in_one_pass() {
+        let mut a = NumAvc::new(3);
+        for (v, l) in [(2.0, 0), (1.0, 2), (2.0, 1), (-3.0, 0), (2.0, 0)] {
+            a.add(v, l);
+        }
+        let (values, counts) = a.materialized();
+        assert_eq!(values, vec![-3.0, 1.0, 2.0]);
+        assert_eq!(counts.len(), values.len() * 3);
+        let flat_from_iter: Vec<u64> = a.iter().flat_map(|(_, c)| c.to_vec()).collect();
+        assert_eq!(counts, flat_from_iter);
+    }
+
+    #[test]
+    fn into_entries_moves_counts_in_order() {
+        let mut a = NumAvc::new(2);
+        for (v, l) in [(5.0, 1), (4.0, 0), (5.0, 1)] {
+            a.add(v, l);
+        }
+        let entries: Vec<(f64, Vec<u64>)> = a.into_entries().collect();
+        assert_eq!(entries, vec![(4.0, vec![1, 0]), (5.0, vec![0, 2])]);
+    }
+
+    #[test]
+    fn cat_avc_add_weighted_matches_repeated_add() {
+        let mut w = CatAvc::new(3, 2);
+        let mut r = CatAvc::new(3, 2);
+        for (c, l, n) in [(0u32, 0u16, 4u64), (2, 1, 7), (0, 1, 1)] {
+            w.add_weighted(c, l, n);
+            for _ in 0..n {
+                r.add(c, l);
+            }
+        }
+        assert_eq!(w, r);
     }
 }

@@ -33,6 +33,33 @@ pub trait SplitSelector: Debug + Send + Sync {
         let group = AvcGroup::from_records(schema, records.iter().copied());
         self.select(schema, &group)
     }
+
+    /// Whether [`SplitSelector::select_columnar`] is implemented for this
+    /// selector. Callers (e.g. BOAT's sampling phase) fall back to the
+    /// row-oriented path when this returns `false`.
+    fn supports_columnar(&self) -> bool {
+        false
+    }
+
+    /// Choose the best split for one node of the columnar weighted engine
+    /// (see [`crate::columnar`]): `node` holds the member rows (row-id order
+    /// plus each numeric attribute's presorted order), `weights` the
+    /// bootstrap multiplicities, and `totals` the node's weighted per-class
+    /// counts. Implementations must return exactly what
+    /// [`SplitSelector::select_records`] would on the materialized multiset.
+    ///
+    /// The default panics; only call when
+    /// [`SplitSelector::supports_columnar`] is `true`.
+    fn select_columnar(
+        &self,
+        sample: &crate::columnar::ColumnarSample,
+        node: &crate::columnar::NodeRows,
+        weights: &[u32],
+        totals: &[u64],
+    ) -> Option<SplitEval> {
+        let _ = (sample, node, weights, totals);
+        unimplemented!("selector does not support the columnar sample engine")
+    }
 }
 
 /// The impurity-based selector used by CART/C4.5-style methods (paper
@@ -88,6 +115,90 @@ impl<I: Impurity> SplitSelector for ImpuritySelector<I> {
                 let better = best
                     .as_ref()
                     .is_none_or(|b| crate::split::cmp_splits(&c, b) == std::cmp::Ordering::Less);
+                if better {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn select_columnar(
+        &self,
+        sample: &crate::columnar::ColumnarSample,
+        node: &crate::columnar::NodeRows,
+        weights: &[u32],
+        totals: &[u64],
+    ) -> Option<SplitEval> {
+        // The columnar twin of `select_records`: same per-attribute loop,
+        // same shared sweep/impurity/tie-break code over the same counts.
+        // Numeric attributes skip the per-node sort entirely — the node's
+        // presorted row list yields the distinct values in `total_cmp`
+        // order, grouped into runs by bit pattern exactly like
+        // `best_numeric_split_from_pairs`, with weight-multiplied class
+        // counts (u64 sums are order-insensitive, so counts are identical).
+        use crate::avc::CatAvc;
+        use crate::split::{best_categorical_split, cmp_splits, sweep_numeric};
+        use boat_data::AttrType;
+        let schema = sample.schema();
+        let k = schema.n_classes();
+        let mut best: Option<SplitEval> = None;
+        let mut values: Vec<f64> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new(); // flat, k per distinct value
+        for (a, attr) in schema.attributes().iter().enumerate() {
+            let cand = match attr.ty() {
+                AttrType::Numeric => {
+                    let col = sample.num_column(a);
+                    let list = node.sorted[a]
+                        .as_deref()
+                        .expect("numeric attribute must carry a presorted node list");
+                    values.clear();
+                    counts.clear();
+                    for &row in list {
+                        let v = col[row as usize];
+                        let new_run = values
+                            .last()
+                            .is_none_or(|&last| last.to_bits() != v.to_bits());
+                        if new_run {
+                            values.push(v);
+                            counts.extend(std::iter::repeat_n(0, k));
+                        }
+                        let base = counts.len() - k;
+                        counts[base + sample.label(row) as usize] += weights[row as usize] as u64;
+                    }
+                    sweep_numeric(
+                        a,
+                        values
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| (v, &counts[i * k..(i + 1) * k])),
+                        None,
+                        None,
+                        totals,
+                        &self.impurity,
+                    )
+                }
+                AttrType::Categorical { cardinality } => {
+                    let col = sample.cat_column(a);
+                    let mut avc = CatAvc::new(cardinality, k);
+                    for &row in &node.rows {
+                        avc.add_weighted(
+                            col[row as usize],
+                            sample.label(row),
+                            weights[row as usize] as u64,
+                        );
+                    }
+                    best_categorical_split(a, &avc, &self.impurity)
+                }
+            };
+            if let Some(c) = cand {
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| cmp_splits(&c, b) == std::cmp::Ordering::Less);
                 if better {
                     best = Some(c);
                 }

@@ -18,6 +18,7 @@
 
 pub mod avc;
 pub mod catset;
+pub mod columnar;
 pub mod grow;
 pub mod impurity;
 pub mod model;
@@ -29,6 +30,7 @@ pub mod stats;
 
 pub use avc::{AttrAvc, AvcGroup, CatAvc, NumAvc, OrdF64};
 pub use catset::CatSet;
+pub use columnar::{grow_weighted, ColumnarSample, NodeRows};
 pub use grow::{GrowthLimits, ImpuritySelector, SplitSelector, TdTreeBuilder};
 pub use impurity::{split_impurity, Entropy, Gini, Impurity};
 pub use model::{Node, NodeId, NodeKind, Predicate, Split, Tree};

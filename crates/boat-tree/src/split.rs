@@ -111,8 +111,8 @@ pub fn sweep_numeric<'a>(
     let mut prev = init_candidate;
     for (v, counts) in entries {
         debug_assert!(
-            prev.is_none_or(|p| p < v),
-            "sweep_numeric entries must be strictly ascending"
+            prev.is_none_or(|p| p.total_cmp(&v) == Ordering::Less),
+            "sweep_numeric entries must be strictly ascending (total_cmp order)"
         );
         prev = Some(v);
         for (l, c) in left.iter_mut().zip(counts) {
@@ -336,6 +336,22 @@ mod tests {
         assert_eq!(slow.split, fast.split);
         assert_eq!(slow.impurity.to_bits(), fast.impurity.to_bits());
         assert_eq!(slow.left_counts, fast.left_counts);
+    }
+
+    #[test]
+    fn sweep_accepts_adjacent_signed_zero_runs() {
+        // -0.0 and 0.0 are distinct under total_cmp (and distinct NumAvc /
+        // run-grouping entries) but equal under `<`; the sweep's ascending-
+        // order check must use total_cmp or this spuriously panics in debug
+        // builds. Both the AVC path and the pairs fast path must agree.
+        let pairs = [(-1.0, 0u16), (-0.0, 1), (0.0, 1), (1.0, 1)];
+        let (avc, totals) = build_num_avc(&pairs);
+        let slow = best_numeric_split(0, &avc, &totals, &Gini).unwrap();
+        let mut p = pairs.to_vec();
+        let fast = best_numeric_split_from_pairs(0, &mut p, &totals, &Gini).unwrap();
+        assert_eq!(slow.split, fast.split);
+        assert_eq!(slow.impurity.to_bits(), fast.impurity.to_bits());
+        assert_eq!(slow.split.predicate, Predicate::NumLe(-1.0));
     }
 
     #[test]
