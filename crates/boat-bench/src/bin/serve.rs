@@ -1,0 +1,278 @@
+//! Serving-path benchmark: interpreted `Tree::predict` vs the compiled
+//! SoA tree, scalar and batched, plus the full [`boat_serve::ServeEngine`]
+//! and snapshot-swap latency under scoring load.
+//!
+//! ```sh
+//! cargo run --release -p boat-bench --bin serve -- --tuples 16000
+//! ```
+//!
+//! Every variant scores the **same probe set against the same tree**, and
+//! the run aborts unless all four prediction vectors are identical — the
+//! speedups below are only meaningful because the outputs are
+//! bit-identical. The `--min-speedup` gate (default 2.0) asserts the
+//! batched compiled path beats per-record interpreted scoring by at least
+//! that factor; CI runs it at a reduced grid as a regression tripwire.
+
+use boat_bench::table::fmt_duration;
+use boat_bench::{materialize_cached, Args, BenchReport, Table};
+use boat_core::{Boat, BoatConfig};
+use boat_data::{IoStats, Record, Schema};
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_serve::{
+    compile, publish_on_maintain, ModelHandle, RecordBlock, ServeConfig, ServeEngine,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Best-of-`reps` wall time of `inner` back-to-back runs of `f`
+/// (returning `f`'s last result). The inner loop stretches the measured
+/// region well past timer resolution; the reported duration is per inner
+/// run.
+fn best_of<T>(reps: u64, inner: u64, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for _ in 0..inner.max(1) {
+            result = Some(f());
+        }
+        best = best.min(t.elapsed() / inner.max(1) as u32);
+    }
+    (best, result.expect("reps >= 1"))
+}
+
+fn rps(n: usize, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let n = args.get::<u64>("tuples", 16_000);
+    // Training set size; defaults to 4x the probe count so the fitted
+    // tree has serving-realistic depth (a model is trained once on bulk
+    // data and then scored on traffic — the scored workload is `tuples`).
+    let train = args.get::<u64>("train", n * 4);
+    let batch = args.get::<usize>("batch", 8_000).max(1);
+    let workers = args.get::<usize>("workers", 0);
+    let reps = args.get::<u64>("reps", 3);
+    let seed = args.get::<u64>("seed", 424_242);
+    let swaps = args.get::<u64>("swaps", 50);
+    let noise = args.get::<f64>("noise", 0.08);
+    let min_speedup = args.get::<f64>("min-speedup", 2.0);
+    let out = args.get_str("out", "BENCH_serve.json");
+
+    let metrics = boat_obs::Registry::global().clone();
+
+    // --- Build the model the way a serving deployment would: BOAT fit,
+    //     then compile + publish through the snapshot handle.
+    // Label noise grows a realistically deep tree (the no-noise F1 tree
+    // is a handful of nodes, which no serving bench should be scored on).
+    let gen = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(seed)
+        .with_noise(noise);
+    let schema: Arc<Schema> = gen.schema();
+    let noise_pct = (noise * 100.0) as u64;
+    let data = materialize_cached(
+        &gen,
+        train,
+        &format!("serve-f1-n{noise_pct}-t{train}-{seed}"),
+        IoStats::new(),
+    )?;
+    let config = BoatConfig::scaled_for(train).with_seed(seed ^ 0x5E7);
+    let algo = Boat::new(BoatConfig {
+        limits: boat_tree::GrowthLimits::default(), // grow to purity
+        ..config
+    })
+    .with_metrics(metrics.clone());
+    let t_fit = Instant::now();
+    let (mut model, _) = algo.fit_model(&data)?;
+    let fit_time = t_fit.elapsed();
+    let handle =
+        ModelHandle::with_metrics(compile(&boat_tree::Tree::leaf(vec![1, 0])), metrics.clone());
+    publish_on_maintain(&mut model, &handle)?;
+    let tree = model.tree()?.clone();
+    let compiled = handle.snapshot();
+    println!(
+        "# serve bench: {n} probes, {train} training tuples, tree = {} nodes \
+         ({} compiled bytes), fit {}\n",
+        tree.n_nodes(),
+        compiled.table_size_bytes(),
+        fmt_duration(fit_time),
+    );
+
+    // Probe set: fresh draw from the same distribution.
+    let probes: Vec<Record> = GeneratorConfig::new(LabelFunction::F1)
+        .with_seed(seed + 1)
+        .generate_vec(n as usize);
+    let n_probes = probes.len();
+
+    let inner = args.get::<u64>("inner", 16);
+
+    // --- 1. Interpreted per-record (the pre-PR serving story).
+    let (t_interp, interp) = best_of(reps, inner, || {
+        probes.iter().map(|r| tree.predict(r)).collect::<Vec<u16>>()
+    });
+
+    // --- 2. Compiled per-record.
+    let (t_scalar, scalar) = best_of(reps, inner, || {
+        probes
+            .iter()
+            .map(|r| compiled.predict(r))
+            .collect::<Vec<u16>>()
+    });
+
+    // --- Diagnostic: transposition alone (the batched path's fixed cost).
+    let (t_transpose, _) = best_of(reps, inner, || {
+        let mut rows = 0usize;
+        for chunk in probes.chunks(batch) {
+            rows += RecordBlock::from_records(&schema, chunk).n_rows();
+        }
+        rows
+    });
+
+    // --- 3. Compiled batched (transposition cost included — this is the
+    //        end-to-end cost of scoring row-oriented micro-batches).
+    let mut scratch = boat_serve::BatchScratch::default();
+    let mut labels = Vec::new();
+    let (t_batched, batched) = best_of(reps, inner, || {
+        let mut preds = Vec::with_capacity(n_probes);
+        for chunk in probes.chunks(batch) {
+            let block = RecordBlock::from_records(&schema, chunk);
+            compiled.predict_batch_into(&block, &mut scratch, &mut labels);
+            preds.extend_from_slice(&labels);
+        }
+        preds
+    });
+
+    // --- 4. Full serving engine: N workers, bounded queue, one producer.
+    let config = ServeConfig {
+        workers,
+        queue_depth: 64,
+    };
+    let n_workers = config.effective_workers();
+    let (t_engine, engine_preds) = best_of(reps, 1, || {
+        let engine = ServeEngine::start(handle.clone(), schema.clone(), config);
+        let mut tickets = Vec::with_capacity(n_probes / batch + 1);
+        for chunk in probes.chunks(batch) {
+            tickets.push(engine.submit(chunk.to_vec()).expect("engine is running"));
+        }
+        let mut preds = Vec::with_capacity(n_probes);
+        for t in tickets {
+            preds.extend(t.wait());
+        }
+        engine.shutdown();
+        preds
+    });
+
+    // --- Differential gate: all four paths must agree exactly.
+    assert_eq!(interp, scalar, "compiled scalar diverges from interpreted");
+    assert_eq!(
+        interp, batched,
+        "compiled batched diverges from interpreted"
+    );
+    assert_eq!(
+        interp, engine_preds,
+        "serve engine diverges from interpreted"
+    );
+    println!("all {n_probes} predictions identical across the four paths\n");
+
+    // --- 5. Snapshot swaps under load: publish repeatedly while an
+    //        engine keeps scoring; measures publish latency (the write
+    //        side of the RCU swap) with readers hammering the lock.
+    let epoch_before = handle.epoch();
+    let publish_time = {
+        let engine = ServeEngine::start(handle.clone(), schema.clone(), config);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut total = Duration::ZERO;
+        std::thread::scope(|s| {
+            let feeder = s.spawn(|| {
+                let mut i = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let chunk = &probes[(i * batch) % (n_probes - batch)..][..batch];
+                    match engine.submit(chunk.to_vec()) {
+                        Ok(t) => drop(t.wait()),
+                        Err(_) => break,
+                    }
+                    i += 1;
+                }
+            });
+            for _ in 0..swaps {
+                let fresh = compile(&tree);
+                let t = Instant::now();
+                handle.publish(fresh);
+                total += t.elapsed();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            feeder.join().unwrap();
+        });
+        engine.shutdown();
+        total
+    };
+    assert_eq!(handle.epoch(), epoch_before + swaps);
+    let publish_mean = publish_time / swaps.max(1) as u32;
+
+    // --- Report.
+    let speedup_scalar = rps(n_probes, t_scalar) / rps(n_probes, t_interp);
+    let speedup_batched = rps(n_probes, t_batched) / rps(n_probes, t_interp);
+    let speedup_engine = rps(n_probes, t_engine) / rps(n_probes, t_interp);
+    let mut table = Table::new(&["path", "time", "records/s", "vs interpreted"]);
+    for (name, t, s) in [
+        ("interpreted per-record", t_interp, 1.0),
+        ("compiled per-record", t_scalar, speedup_scalar),
+        (
+            "transpose only (diagnostic)",
+            t_transpose,
+            rps(n_probes, t_transpose) / rps(n_probes, t_interp),
+        ),
+        ("compiled batched", t_batched, speedup_batched),
+        (
+            &format!("serve engine ({n_workers} workers)") as &str,
+            t_engine,
+            speedup_engine,
+        ),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            fmt_duration(t),
+            format!("{:.0}", rps(n_probes, t)),
+            format!("{s:.2}x"),
+        ]);
+    }
+    table.print(false);
+    println!(
+        "\nsnapshot swaps under load: {swaps} publishes, mean {} each",
+        fmt_duration(publish_mean),
+    );
+
+    assert!(
+        speedup_batched >= min_speedup,
+        "batched compiled speedup {speedup_batched:.2}x is below the --min-speedup \
+         gate of {min_speedup:.2}x"
+    );
+
+    let snapshot = metrics.snapshot();
+    let mut report = BenchReport::new("serve");
+    report
+        .field_u64("tuples", n)
+        .field_u64("train_tuples", train)
+        .field_u64("batch", batch as u64)
+        .field_u64("workers", n_workers as u64)
+        .field_u64("reps", reps)
+        .field_u64("seed", seed)
+        .field_u64("tree_nodes", tree.n_nodes() as u64)
+        .field_u64("compiled_bytes", compiled.table_size_bytes() as u64)
+        .field_f64("interpreted_rps", rps(n_probes, t_interp))
+        .field_f64("compiled_scalar_rps", rps(n_probes, t_scalar))
+        .field_f64("transpose_rps", rps(n_probes, t_transpose))
+        .field_f64("compiled_batched_rps", rps(n_probes, t_batched))
+        .field_f64("engine_rps", rps(n_probes, t_engine))
+        .field_f64("speedup_scalar", speedup_scalar)
+        .field_f64("speedup_batched", speedup_batched)
+        .field_f64("speedup_engine", speedup_engine)
+        .field_u64("swaps", swaps)
+        .field_f64("publish_mean_seconds", publish_mean.as_secs_f64())
+        .field_bool("predictions_identical", true)
+        .metrics(&snapshot);
+    report.write(&out)?;
+    Ok(())
+}

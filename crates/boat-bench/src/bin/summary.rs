@@ -20,6 +20,72 @@ use boat_data::{IoStats, MemoryDataset};
 use boat_datagen::{GeneratorConfig, LabelFunction};
 use std::time::Instant;
 
+/// Minimal reader for the flat JSON that [`BenchReport`] writes: one
+/// `"key": value` scalar per line. Nested values (the `metrics` object,
+/// `results` arrays) are skipped — the summary aggregates headlines, not
+/// raw data. Returns `(key, raw_json_value)` pairs in file order, or
+/// `None` when the file has no recognizable scalar fields.
+fn read_flat_report(path: &std::path::Path) -> Option<Vec<(String, String)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut fields = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim();
+        if !(key.starts_with('"') && key.ends_with('"')) {
+            continue;
+        }
+        let value = value.trim();
+        if value.is_empty() || value.starts_with('{') || value.starts_with('[') {
+            continue;
+        }
+        fields.push((key.trim_matches('"').to_string(), value.to_string()));
+    }
+    if fields.is_empty() {
+        None
+    } else {
+        Some(fields)
+    }
+}
+
+/// One-line human digest of a sibling bench report. Known benches get a
+/// purpose-built headline; anything else still shows up with its `bench`
+/// tag and field count — **no report is silently skipped**.
+fn report_headline(bench: &str, fields: &[(String, String)]) -> String {
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.trim_matches('"').to_string())
+    };
+    let fmt1 = |v: Option<String>| {
+        v.and_then(|s| s.parse::<f64>().ok())
+            .map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "?".into())
+    };
+    match bench {
+        "serve" => format!(
+            "batched {}x / scalar {}x vs interpreted, {} tree nodes",
+            fmt1(get("speedup_batched")),
+            fmt1(get("speedup_scalar")),
+            get("tree_nodes").unwrap_or_else(|| "?".into()),
+        ),
+        "sample_phase" => format!(
+            "columnar sample phase {}x at the largest config",
+            fmt1(get("largest_config_speedup")),
+        ),
+        "parallel_cleanup_scan" => format!(
+            "{} tuples at machine parallelism {}",
+            get("tuples").unwrap_or_else(|| "?".into()),
+            get("machine_parallelism").unwrap_or_else(|| "?".into()),
+        ),
+        "summary" => format!("full digest in {}s", fmt1(get("total_seconds")),),
+        _ => format!("{} scalar fields", fields.len()),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let n = args.get::<u64>("n", 40_000);
@@ -175,6 +241,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cum_rebuild.as_secs_f64(),
     ));
 
+    // --- Sibling bench reports: fold every BENCH_*.json already on disk
+    //     into this summary (the dedicated binaries each write one), with
+    //     a recognizable headline per known bench and a generic line for
+    //     anything new — unknown reports are listed, never skipped.
+    let mut report_paths: Vec<std::path::PathBuf> = std::fs::read_dir(".")?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json") && f != out)
+        })
+        .collect();
+    report_paths.sort();
+    let mut sibling_json: Vec<String> = Vec::new();
+    if report_paths.is_empty() {
+        println!("\n## Bench reports on disk: none (run the dedicated binaries first)");
+    } else {
+        println!("\n## Bench reports on disk ({})\n", report_paths.len());
+        let mut reports = Table::new(&["report", "bench", "headline"]);
+        for path in &report_paths {
+            let file = path.file_name().unwrap().to_string_lossy().into_owned();
+            let Some(fields) = read_flat_report(path) else {
+                reports.row(vec![
+                    file,
+                    "?".into(),
+                    "unparseable (not a flat report)".into(),
+                ]);
+                continue;
+            };
+            let bench = fields
+                .iter()
+                .find(|(k, _)| k == "bench")
+                .map(|(_, v)| v.trim_matches('"').to_string())
+                .unwrap_or_else(|| "?".into());
+            let headline = report_headline(&bench, &fields);
+            let scalars: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect();
+            sibling_json.push(format!("{{\"file\": \"{file}\", {}}}", scalars.join(", ")));
+            reports.row(vec![file, bench, headline]);
+        }
+        reports.print(false);
+    }
+
     println!(
         "\nAll identical-tree assertions passed. Total summary time: {}",
         fmt_duration(t0.elapsed())
@@ -189,6 +301,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field_f64("total_seconds", t0.elapsed().as_secs_f64())
         .field_bool("identical_trees_asserted", true)
         .field_raw("results", json_array(&rows_json))
+        .field_raw("sibling_reports", json_array(&sibling_json))
         .metrics(&snapshot);
     report.write(&out)?;
     Ok(())

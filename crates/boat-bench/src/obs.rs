@@ -164,6 +164,41 @@ pub fn print_metrics_summary(snap: &Snapshot) {
             table.row(vec![name.to_string(), v.to_string()]);
         }
     }
+    // Serving-path counters/gauges, shown only when a serve ran.
+    for name in [
+        "serve.records",
+        "serve.batches",
+        "serve.batches_submitted",
+        "serve.snapshot_swaps",
+        "serve.rejected",
+    ] {
+        let v = snap.counter(name);
+        if v > 0 {
+            table.row(vec![name.to_string(), v.to_string()]);
+        }
+    }
+    for name in ["serve.epoch", "serve.model_bytes", "serve.workers"] {
+        if let Some(v) = snap.gauge(name) {
+            table.row(vec![name.to_string(), v.to_string()]);
+        }
+    }
+    for (name, hist) in &snap.histograms {
+        if !name.starts_with("serve.") || hist.count == 0 {
+            continue;
+        }
+        // Nanosecond-valued histograms print as total milliseconds; the
+        // rest (batch sizes) print as a mean per observation.
+        let value = if name.ends_with("_ns") || name == "serve.compile" {
+            format!("{:.1}ms over {} span(s)", hist.sum as f64 / 1e6, hist.count)
+        } else {
+            format!(
+                "mean {:.1} over {} obs",
+                hist.sum as f64 / hist.count as f64,
+                hist.count
+            )
+        };
+        table.row(vec![name.clone(), value]);
+    }
     table.row(vec![
         "boat.phase.* total".to_string(),
         format!(

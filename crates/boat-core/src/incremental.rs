@@ -55,12 +55,19 @@ pub struct MaintainReport {
     pub time: Duration,
 }
 
+/// Observer invoked with every freshly materialized exact tree (see
+/// [`BoatModel::set_publish_hook`]).
+type PublishHook = Box<dyn Fn(&Tree) + Send>;
+
 /// A maintained BOAT model: per-node state that absorbs insert/delete
 /// chunks, plus the (lazily materialized) current exact tree.
 pub struct BoatModel<I: Impurity + Clone = Gini> {
     algo: Boat<I>,
     work: WorkTree,
     tree: Option<Tree>,
+    /// Observer invoked with every freshly materialized exact tree (see
+    /// [`BoatModel::set_publish_hook`]). Not cloned with the model.
+    publish_hook: Option<PublishHook>,
 }
 
 impl<I: Impurity + Clone> Boat<I> {
@@ -85,6 +92,7 @@ impl<I: Impurity + Clone> Boat<I> {
                 algo: self.clone(),
                 work,
                 tree: Some(tree),
+                publish_hook: None,
             },
             stats,
         ))
@@ -219,9 +227,35 @@ impl<I: Impurity + Clone> BoatModel<I> {
             .filter(|n| matches!(n.resolution, Resolution::Failed { .. }))
             .count() as u64;
         self.tree = Some(self.work.extract_tree());
+        if let (Some(hook), Some(tree)) = (self.publish_hook.as_ref(), self.tree.as_ref()) {
+            let publish_span = metrics.span("boat.incremental.publish");
+            hook(tree);
+            publish_span.finish();
+            metrics.counter("boat.incremental.published").inc();
+        }
         report.time = t0.elapsed();
         span.finish();
         Ok(report)
+    }
+
+    /// Register an observer that is handed every freshly materialized
+    /// exact tree, immediately after a maintenance pass rebuilds it and
+    /// before [`BoatModel::maintain`] returns. Downstream consumers (the
+    /// `boat-serve` snapshot layer) use this to compile and atomically
+    /// publish the post-maintenance tree the instant it exists; because
+    /// the hook runs *after* the tree is fully materialized, observers
+    /// only ever see complete, exact trees — never intermediate
+    /// verification state. Replaces any previously installed hook. The
+    /// hook is **not** invoked for a tree that is already current
+    /// (maintain short-circuits), nor retroactively for the initial
+    /// [`Boat::fit_model`] tree — publish that one yourself.
+    pub fn set_publish_hook(&mut self, hook: impl Fn(&Tree) + Send + 'static) {
+        self.publish_hook = Some(Box::new(hook));
+    }
+
+    /// Remove the publish hook installed by [`BoatModel::set_publish_hook`].
+    pub fn clear_publish_hook(&mut self) {
+        self.publish_hook = None;
     }
 
     /// The observability registry this model records into (shared with the

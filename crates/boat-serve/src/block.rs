@@ -1,0 +1,136 @@
+//! Columnar record batches for scoring.
+//!
+//! [`RecordBlock`] transposes a micro-batch of row-oriented [`Record`]s
+//! into one dense column per schema attribute — the same
+//! structure-of-arrays shape as `boat_tree::columnar`'s sample engine,
+//! reused here on the read path. [`crate::CompiledTree::predict_batch`]
+//! walks these columns attribute-major: each tree node scans exactly one
+//! column for the rows that reached it.
+
+use boat_data::{AttrType, Field, Record, Schema};
+
+/// One dense attribute column of a [`RecordBlock`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Numeric attribute values (NaN allowed at prediction time).
+    Num(Vec<f64>),
+    /// Categorical category codes.
+    Cat(Vec<u32>),
+}
+
+/// A columnar micro-batch: `n_rows` records transposed into per-attribute
+/// columns in schema order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBlock {
+    n_rows: usize,
+    columns: Vec<Column>,
+}
+
+impl RecordBlock {
+    /// Transpose `records` (each conforming to `schema`'s field shape)
+    /// into dense columns. One row-major pass: each record's field slice
+    /// is visited exactly once, appending to every column in schema order
+    /// (cheaper than one column-major pass per attribute, which would
+    /// re-chase every record's field allocation once per column).
+    ///
+    /// # Panics
+    /// Panics if a record's field shape disagrees with the schema (same
+    /// contract as `Record::num`/`Record::cat`).
+    pub fn from_records(schema: &Schema, records: &[Record]) -> RecordBlock {
+        let n = records.len();
+        let mut columns: Vec<Column> = schema
+            .attributes()
+            .iter()
+            .map(|attr| match attr.ty() {
+                AttrType::Numeric => Column::Num(Vec::with_capacity(n)),
+                AttrType::Categorical { .. } => Column::Cat(Vec::with_capacity(n)),
+            })
+            .collect();
+        for r in records {
+            assert_eq!(
+                r.fields().len(),
+                columns.len(),
+                "record width disagrees with schema"
+            );
+            for (col, field) in columns.iter_mut().zip(r.fields()) {
+                match (col, *field) {
+                    (Column::Num(v), Field::Num(x)) => v.push(x),
+                    (Column::Cat(v), Field::Cat(c)) => v.push(c),
+                    _ => panic!("record field type disagrees with schema"),
+                }
+            }
+        }
+        RecordBlock { n_rows: n, columns }
+    }
+
+    /// Number of rows in the batch.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attribute columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column of attribute `attr`.
+    #[inline]
+    pub fn column(&self, attr: usize) -> &Column {
+        &self.columns[attr]
+    }
+}
+
+/// Convenience for tests and benches: transpose and keep the originals.
+impl From<(&Schema, &[Record])> for RecordBlock {
+    fn from((schema, records): (&Schema, &[Record])) -> Self {
+        RecordBlock::from_records(schema, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_data::{Attribute, Field};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::numeric("x"),
+                Attribute::categorical("c", 4),
+                Attribute::numeric("y"),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transposes_in_schema_order() {
+        let records = vec![
+            Record::new(vec![Field::Num(1.0), Field::Cat(2), Field::Num(-3.5)], 0),
+            Record::new(
+                vec![Field::Num(f64::NAN), Field::Cat(0), Field::Num(7.0)],
+                1,
+            ),
+        ];
+        let block = RecordBlock::from_records(&schema(), &records);
+        assert_eq!(block.n_rows(), 2);
+        assert_eq!(block.n_columns(), 3);
+        match block.column(0) {
+            Column::Num(v) => {
+                assert_eq!(v[0], 1.0);
+                assert!(v[1].is_nan());
+            }
+            _ => panic!("column 0 is numeric"),
+        }
+        assert_eq!(block.column(1), &Column::Cat(vec![2, 0]));
+        assert_eq!(block.column(2), &Column::Num(vec![-3.5, 7.0]));
+    }
+
+    #[test]
+    fn empty_batch_has_empty_columns() {
+        let block = RecordBlock::from_records(&schema(), &[]);
+        assert_eq!(block.n_rows(), 0);
+        assert_eq!(block.column(0), &Column::Num(vec![]));
+    }
+}

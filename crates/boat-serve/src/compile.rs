@@ -1,0 +1,648 @@
+//! The tree compiler: lowering a pointer-chasing [`Tree`] into an
+//! immutable, flattened [`CompiledTree`].
+//!
+//! `Tree` is the *construction* representation — an arena of enum nodes
+//! carrying full per-class counts, parents, and depths, optimized for
+//! splicing and verification. Serving wants the opposite: a read-only
+//! structure-of-arrays where one prediction touches a handful of dense
+//! `Vec`s instead of chasing `Node`/`Vec<u64>` allocations, and where the
+//! common "go left" step is a `+1` (nodes are laid out in **preorder**, so
+//! every internal node's left child is physically adjacent; only the right
+//! child needs an explicit index).
+//!
+//! ## Exactness
+//!
+//! Compilation is required to be **prediction-exact**: for every record,
+//! [`CompiledTree::predict`] and [`CompiledTree::predict_batch`] return
+//! exactly what [`Tree::predict`] returns — including the pinned
+//! edge-value contract (`boat_tree::model::Predicate::matches`): NaN
+//! numeric values fail `X ≤ x` and route right; category codes absent
+//! from a splitting subset (including codes never seen at training time)
+//! fail `X ∈ Y` and route right. The compiler replicates the *same*
+//! IEEE-754 `<=` on the bit-identical split point and the *same* 64-bit
+//! mask test, so the agreement is structural, not coincidental — and the
+//! differential oracle in `tests/differential.rs` asserts it anyway.
+//!
+//! Compilation is also **deterministic**: the tables are a pure function
+//! of the logical tree (reachable nodes in preorder), so two trees that
+//! compare equal under `Tree`'s structural equality compile to
+//! byte-identical tables ([`CompiledTree::table_bytes`]).
+
+use crate::block::{Column, RecordBlock};
+use boat_data::Record;
+use boat_tree::{NodeKind, Predicate, Tree};
+
+/// Per-node operation tag of a compiled node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeOp {
+    /// Terminal node: predict `label[i]`.
+    Leaf = 0,
+    /// Numeric split: `value <= threshold[i]` routes to `i + 1`, else to
+    /// `right[i]`.
+    Num = 1,
+    /// Categorical split: `(cat_mask[i] >> code) & 1 == 1` routes to
+    /// `i + 1`, else to `right[i]`.
+    Cat = 2,
+}
+
+/// An immutable, flattened decision tree in structure-of-arrays layout.
+///
+/// Nodes are stored in preorder: node `0` is the root and the left child
+/// of internal node `i` is always `i + 1` (adjacent — the hot "routes
+/// left" step is a unit increment with perfect locality). All per-node
+/// attributes live in parallel dense arrays, so the traversal loop is a
+/// tag dispatch plus one comparison per level with no pointer chasing and
+/// no per-prediction allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledTree {
+    /// Number of class labels (`k`); every `label` entry is `< n_classes`.
+    n_classes: u16,
+    /// Operation tag per node.
+    ops: Vec<NodeOp>,
+    /// Splitting attribute per internal node (`u16::MAX` for leaves,
+    /// where it is meaningless but kept deterministic for byte-identity).
+    split_attr: Vec<u16>,
+    /// Numeric split point per `Num` node (bit-identical to the source
+    /// tree's `Predicate::NumLe` operand; `0.0` elsewhere).
+    threshold: Vec<f64>,
+    /// Splitting-subset mask per `Cat` node (the `Predicate::CatIn`
+    /// operand's `CatSet::mask()`; `0` elsewhere).
+    cat_mask: Vec<u64>,
+    /// Right-child index per internal node (`0` for leaves — unambiguous,
+    /// since the root is never anyone's right child).
+    right: Vec<u32>,
+    /// Majority class label per leaf (`0` for internal nodes).
+    label: Vec<u16>,
+    /// Attributes referenced by at least one `Num` node (sorted, deduped).
+    /// Derived from the tables; lets the batch entry point validate the
+    /// block/tree agreement **once** so the per-row loops can skip bounds
+    /// checks (see `predict_batch_into`).
+    num_attrs_used: Vec<u16>,
+    /// Attributes referenced by at least one `Cat` node (sorted, deduped).
+    cat_attrs_used: Vec<u16>,
+}
+
+impl CompiledTree {
+    /// Lower `tree` into its flattened serving form.
+    ///
+    /// Leaf labels are materialized from the node family's class counts
+    /// with the same tie-breaking rule as `Tree::predict` (smaller class
+    /// index wins). Unreachable arena entries (left behind by subtree
+    /// replacement) are skipped — the compiled output depends only on the
+    /// logical tree.
+    pub fn compile(tree: &Tree) -> CompiledTree {
+        let ids = tree.preorder_ids();
+        let n = ids.len();
+        // Map arena id -> compiled (preorder) index.
+        let mut index_of = vec![u32::MAX; ids.iter().map(|id| id.index()).max().unwrap_or(0) + 1];
+        for (i, id) in ids.iter().enumerate() {
+            index_of[id.index()] = i as u32;
+        }
+        let n_classes = tree.node(tree.root()).class_counts.len() as u16;
+        let mut out = CompiledTree {
+            n_classes,
+            ops: Vec::with_capacity(n),
+            split_attr: Vec::with_capacity(n),
+            threshold: Vec::with_capacity(n),
+            cat_mask: Vec::with_capacity(n),
+            right: Vec::with_capacity(n),
+            label: Vec::with_capacity(n),
+            num_attrs_used: Vec::new(),
+            cat_attrs_used: Vec::new(),
+        };
+        for (i, id) in ids.iter().enumerate() {
+            let node = tree.node(*id);
+            match &node.kind {
+                NodeKind::Leaf => {
+                    out.ops.push(NodeOp::Leaf);
+                    out.split_attr.push(u16::MAX);
+                    out.threshold.push(0.0);
+                    out.cat_mask.push(0);
+                    out.right.push(0);
+                    out.label.push(node.majority_label());
+                }
+                NodeKind::Internal { split, left, right } => {
+                    debug_assert_eq!(
+                        index_of[left.index()] as usize,
+                        i + 1,
+                        "preorder left child must be adjacent"
+                    );
+                    let (op, threshold, mask) = match split.predicate {
+                        Predicate::NumLe(x) => (NodeOp::Num, x, 0u64),
+                        Predicate::CatIn(set) => (NodeOp::Cat, 0.0, set.mask()),
+                    };
+                    out.ops.push(op);
+                    out.split_attr.push(split.attr as u16);
+                    out.threshold.push(threshold);
+                    out.cat_mask.push(mask);
+                    out.right.push(index_of[right.index()]);
+                    out.label.push(0);
+                }
+            }
+        }
+        for (i, &op) in out.ops.iter().enumerate() {
+            match op {
+                NodeOp::Num => out.num_attrs_used.push(out.split_attr[i]),
+                NodeOp::Cat => out.cat_attrs_used.push(out.split_attr[i]),
+                NodeOp::Leaf => {}
+            }
+        }
+        out.num_attrs_used.sort_unstable();
+        out.num_attrs_used.dedup();
+        out.cat_attrs_used.sort_unstable();
+        out.cat_attrs_used.dedup();
+        out
+    }
+
+    /// Number of class labels.
+    pub fn n_classes(&self) -> u16 {
+        self.n_classes
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.ops.iter().filter(|&&op| op == NodeOp::Leaf).count()
+    }
+
+    /// Predict the class label of one record.
+    ///
+    /// Agrees with [`Tree::predict`] on every record (the differential
+    /// oracle's guarantee), including NaN numeric values and unseen
+    /// category codes. Category codes must be `< 64` (the schema bound).
+    #[inline]
+    pub fn predict(&self, record: &Record) -> u16 {
+        let mut i = 0usize;
+        loop {
+            match self.ops[i] {
+                NodeOp::Leaf => return self.label[i],
+                NodeOp::Num => {
+                    let v = record.num(self.split_attr[i] as usize);
+                    i = if v <= self.threshold[i] {
+                        i + 1
+                    } else {
+                        self.right[i] as usize
+                    };
+                }
+                NodeOp::Cat => {
+                    let c = record.cat(self.split_attr[i] as usize);
+                    i = if (self.cat_mask[i] >> c) & 1 != 0 {
+                        i + 1
+                    } else {
+                        self.right[i] as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Walk the rows of `rows` from `node` to their leaves **in
+    /// lockstep**, `LANES` rows at a time: every not-yet-finished row in
+    /// a block advances one level per sweep. The row walks are mutually
+    /// independent, so the interleaving keeps several table/column loads
+    /// in flight at once (memory-level parallelism) instead of
+    /// serializing one row's root-to-leaf chain before starting the
+    /// next — the finisher for frontier ranges too small to be worth
+    /// another partition pass.
+    /// # Safety
+    /// Caller must guarantee what `predict_batch_into` validates up
+    /// front: every attribute a `Num` node splits on indexes a
+    /// `num_cols` slice (and `Cat` a `cat_cols` slice) at least as long
+    /// as `out`, and every `rows` value is `< out.len()`. Node indices
+    /// are in bounds by construction of [`CompiledTree::compile`].
+    unsafe fn descend_interleaved(
+        &self,
+        num_cols: &[&[f64]],
+        cat_cols: &[&[u32]],
+        node: usize,
+        rows: &[u32],
+        out: &mut [u16],
+    ) {
+        const LANES: usize = 16;
+        for block in rows.chunks(LANES) {
+            let m = block.len();
+            let mut cur = [node as u32; LANES];
+            loop {
+                let mut all_leaf = true;
+                for i in 0..m {
+                    let node = *cur.get_unchecked(i) as usize;
+                    match *self.ops.get_unchecked(node) {
+                        NodeOp::Leaf => {}
+                        NodeOp::Num => {
+                            all_leaf = false;
+                            let a = *self.split_attr.get_unchecked(node) as usize;
+                            let v = *num_cols
+                                .get_unchecked(a)
+                                .get_unchecked(*block.get_unchecked(i) as usize);
+                            *cur.get_unchecked_mut(i) = if v <= *self.threshold.get_unchecked(node)
+                            {
+                                node as u32 + 1
+                            } else {
+                                *self.right.get_unchecked(node)
+                            };
+                        }
+                        NodeOp::Cat => {
+                            all_leaf = false;
+                            let a = *self.split_attr.get_unchecked(node) as usize;
+                            let c = *cat_cols
+                                .get_unchecked(a)
+                                .get_unchecked(*block.get_unchecked(i) as usize);
+                            *cur.get_unchecked_mut(i) =
+                                if (*self.cat_mask.get_unchecked(node) >> c) & 1 != 0 {
+                                    node as u32 + 1
+                                } else {
+                                    *self.right.get_unchecked(node)
+                                };
+                        }
+                    }
+                }
+                if all_leaf {
+                    break;
+                }
+            }
+            for i in 0..m {
+                *out.get_unchecked_mut(*block.get_unchecked(i) as usize) =
+                    *self.label.get_unchecked(*cur.get_unchecked(i) as usize);
+            }
+        }
+    }
+
+    /// Score a columnar batch, attribute-major.
+    ///
+    /// Instead of walking root→leaf once per record (touching every level's
+    /// scattered state per row), the batch is partitioned *node by node*:
+    /// each compiled node sees the contiguous slice of row ids that reached
+    /// it and scans exactly **one** attribute column for all of them before
+    /// any child runs. Work is proportional to total path length — the same
+    /// as per-record traversal — but each step is a tight loop over one
+    /// dense column, which is the layout this workspace's columnar engines
+    /// have repeatedly measured as the winning shape. Once a frontier
+    /// range shrinks below a small cutoff (deep tails of bushy trees,
+    /// where per-node partition bookkeeping would dominate), the
+    /// remaining rows finish with a direct column-walk to their leaves.
+    ///
+    /// Returns one label per row, in input order. Predictions are exactly
+    /// [`CompiledTree::predict`] per record.
+    ///
+    /// Allocates fresh working buffers; steady-state callers (the serve
+    /// engine's workers, benchmark loops) should hold a [`BatchScratch`]
+    /// and call [`CompiledTree::predict_batch_into`] instead.
+    pub fn predict_batch(&self, block: &RecordBlock) -> Vec<u16> {
+        let mut scratch = BatchScratch::default();
+        let mut labels = Vec::new();
+        self.predict_batch_into(block, &mut scratch, &mut labels);
+        labels
+    }
+
+    /// [`CompiledTree::predict_batch`] with caller-owned buffers: `out`
+    /// is cleared and filled with one label per row in input order; all
+    /// working memory comes from (and stays in) `scratch`, so a scoring
+    /// loop allocates only on its first and largest batch.
+    pub fn predict_batch_into(
+        &self,
+        block: &RecordBlock,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<u16>,
+    ) {
+        /// Below this many rows, stop partitioning and walk each row down.
+        const TAIL_CUTOFF: usize = 8;
+        let n = block.n_rows();
+        out.clear();
+        out.resize(n, 0);
+        if n == 0 {
+            return;
+        }
+        // Resolve every column to a typed slice once per batch; the hot
+        // loops below index these directly (empty slice for the other
+        // type — unreachable for a well-typed tree/schema pair).
+        let n_attrs = block.n_columns();
+        let mut num_cols: Vec<&[f64]> = Vec::with_capacity(n_attrs);
+        let mut cat_cols: Vec<&[u32]> = Vec::with_capacity(n_attrs);
+        for a in 0..n_attrs {
+            match block.column(a) {
+                Column::Num(v) => {
+                    num_cols.push(v);
+                    cat_cols.push(&[]);
+                }
+                Column::Cat(v) => {
+                    num_cols.push(&[]);
+                    cat_cols.push(v);
+                }
+            }
+        }
+        // Validate the tree/block agreement ONCE, so the per-row loops
+        // below can use unchecked indexing:
+        //   * every attribute a `Num` node splits on is a numeric column
+        //     of length `n`, and likewise for `Cat` nodes — so
+        //     `col.get_unchecked(row)` is in bounds for any `row < n`;
+        //   * `rows` holds exactly the permutation of `0..n` (built here,
+        //     only ever swapped in place);
+        //   * node indices are in bounds by construction of `compile`
+        //     (`right[i] < n_nodes`, and `i + 1 < n_nodes` for internal
+        //     nodes, since preorder puts the left child at `i + 1`).
+        for &a in &self.num_attrs_used {
+            assert!(
+                num_cols.get(a as usize).is_some_and(|c| c.len() == n),
+                "tree splits numerically on attribute {a}, but the block's \
+                 column {a} is not numeric with {n} rows"
+            );
+        }
+        for &a in &self.cat_attrs_used {
+            assert!(
+                cat_cols.get(a as usize).is_some_and(|c| c.len() == n),
+                "tree splits categorically on attribute {a}, but the block's \
+                 column {a} is not categorical with {n} rows"
+            );
+        }
+        let BatchScratch { rows, stack } = scratch;
+        rows.clear();
+        rows.extend(0..n as u32);
+        stack.clear();
+        // Explicit DFS over (node, row range). Ranges index into `rows`,
+        // which is re-partitioned in place at every internal node with a
+        // two-pointer sweep (unstable — row order inside a range is
+        // irrelevant, since labels are written by row id).
+        stack.push((0, 0, n as u32));
+        while let Some((node, start, end)) = stack.pop() {
+            let (node, start, end) = (node as usize, start as usize, end as usize);
+            if end - start <= TAIL_CUTOFF && self.ops[node] != NodeOp::Leaf {
+                // SAFETY: column/row invariants validated at entry (above).
+                unsafe {
+                    self.descend_interleaved(&num_cols, &cat_cols, node, &rows[start..end], out);
+                }
+                continue;
+            }
+            match self.ops[node] {
+                NodeOp::Leaf => {
+                    let lab = self.label[node];
+                    for &r in &rows[start..end] {
+                        out[r as usize] = lab;
+                    }
+                }
+                NodeOp::Num => {
+                    let col = num_cols[self.split_attr[node] as usize];
+                    let t = self.threshold[node];
+                    // Two-pointer in-place partition: left-routed rows end
+                    // up in `start..l`, right-routed in `l..end`. NaN
+                    // fails `<=` and lands right — same rule as
+                    // `Predicate::matches`.
+                    let mut l = start;
+                    let mut r = end;
+                    while l < r {
+                        // SAFETY: `start <= l < r <= end <= rows.len()`,
+                        // and every `rows` value is `< n == col.len()`
+                        // (validated above).
+                        unsafe {
+                            let row = *rows.get_unchecked(l);
+                            if *col.get_unchecked(row as usize) <= t {
+                                l += 1;
+                            } else {
+                                r -= 1;
+                                *rows.get_unchecked_mut(l) = *rows.get_unchecked(r);
+                                *rows.get_unchecked_mut(r) = row;
+                            }
+                        }
+                    }
+                    if l < end {
+                        stack.push((self.right[node], l as u32, end as u32));
+                    }
+                    if start < l {
+                        stack.push((node as u32 + 1, start as u32, l as u32));
+                    }
+                }
+                NodeOp::Cat => {
+                    let col = cat_cols[self.split_attr[node] as usize];
+                    let mask = self.cat_mask[node];
+                    let mut l = start;
+                    let mut r = end;
+                    while l < r {
+                        // SAFETY: same bounds argument as the `Num` arm.
+                        unsafe {
+                            let row = *rows.get_unchecked(l);
+                            if (mask >> *col.get_unchecked(row as usize)) & 1 != 0 {
+                                l += 1;
+                            } else {
+                                r -= 1;
+                                *rows.get_unchecked_mut(l) = *rows.get_unchecked(r);
+                                *rows.get_unchecked_mut(r) = row;
+                            }
+                        }
+                    }
+                    if l < end {
+                        stack.push((self.right[node], l as u32, end as u32));
+                    }
+                    if start < l {
+                        stack.push((node as u32 + 1, start as u32, l as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A canonical byte serialization of every table, in declaration
+    /// order. Two compiled trees are byte-identical here iff their logical
+    /// source trees are structurally equal — the form the model-IO and
+    /// torn-state regressions compare.
+    pub fn table_bytes(&self) -> Vec<u8> {
+        let n = self.n_nodes();
+        let mut out = Vec::with_capacity(8 + n * 23);
+        out.extend_from_slice(&self.n_classes.to_le_bytes());
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        for &op in &self.ops {
+            out.push(op as u8);
+        }
+        for &a in &self.split_attr {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for &t in &self.threshold {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+        for &m in &self.cat_mask {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for &r in &self.right {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for &l in &self.label {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+
+    /// Approximate resident size of the tables in bytes (capacity
+    /// excluded) — surfaced by the serving metrics.
+    pub fn table_size_bytes(&self) -> usize {
+        self.ops.len() * (1 + 2 + 8 + 8 + 4 + 2) + 2
+    }
+}
+
+/// Reusable working buffers for [`CompiledTree::predict_batch_into`].
+///
+/// Holds the frontier row-id permutation, the right-side spill buffer,
+/// and the DFS stack. Buffers grow to the largest batch scored through
+/// them and are then reused allocation-free; one scratch per scoring
+/// thread (they are cheap and `Send`, not shared).
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    /// Row ids, re-partitioned in place as the frontier descends.
+    rows: Vec<u32>,
+    /// DFS worklist of `(node, start, end)` ranges.
+    stack: Vec<(u32, u32, u32)>,
+}
+
+/// Convenience free function: [`CompiledTree::compile`].
+pub fn compile(tree: &Tree) -> CompiledTree {
+    CompiledTree::compile(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_data::{Attribute, Field, Schema};
+    use boat_tree::{CatSet, Split};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![Attribute::numeric("x"), Attribute::categorical("c", 4)],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn rec(x: f64, c: u32) -> Record {
+        Record::new(vec![Field::Num(x), Field::Cat(c)], 0)
+    }
+
+    /// x <= 5 ? (c in {1,3} ? [4,0] : [0,2]) : [2,2]
+    fn sample_tree() -> Tree {
+        let mut t = Tree::leaf(vec![6, 4]);
+        let (l, _r) = t.split_node(
+            t.root(),
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(5.0),
+            },
+            vec![4, 2],
+            vec![2, 2],
+        );
+        t.split_node(
+            l,
+            Split {
+                attr: 1,
+                predicate: Predicate::CatIn(CatSet::from_iter([1, 3])),
+            },
+            vec![4, 0],
+            vec![0, 2],
+        );
+        t
+    }
+
+    #[test]
+    fn compiles_preorder_with_adjacent_left_children() {
+        let c = CompiledTree::compile(&sample_tree());
+        assert_eq!(c.n_nodes(), 5);
+        assert_eq!(c.n_leaves(), 3);
+        assert_eq!(c.n_classes(), 2);
+        // Preorder: root(Num), left(Cat), leaf, leaf, right leaf.
+        assert_eq!(
+            c.ops,
+            vec![
+                NodeOp::Num,
+                NodeOp::Cat,
+                NodeOp::Leaf,
+                NodeOp::Leaf,
+                NodeOp::Leaf
+            ]
+        );
+        assert_eq!(c.right, vec![4, 3, 0, 0, 0]);
+        assert_eq!(c.split_attr[..2], [0, 1]);
+        assert_eq!(c.threshold[0], 5.0);
+        assert_eq!(c.cat_mask[1], CatSet::from_iter([1, 3]).mask());
+        assert_eq!(c.label, vec![0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn predict_matches_interpreted_tree() {
+        let t = sample_tree();
+        let c = CompiledTree::compile(&t);
+        for (x, cat) in [
+            (3.0, 1u32),
+            (3.0, 0),
+            (9.0, 1),
+            (5.0, 0),
+            (5.0, 3),
+            (f64::NAN, 1),
+            (f64::INFINITY, 3),
+            (f64::NEG_INFINITY, 0),
+            (3.0, 2), // unseen-at-training category
+        ] {
+            let r = rec(x, cat);
+            assert_eq!(c.predict(&r), t.predict(&r), "x={x} c={cat}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_in_input_order() {
+        let t = sample_tree();
+        let c = CompiledTree::compile(&t);
+        let records: Vec<Record> = (0..64)
+            .map(|i| {
+                let x = if i % 13 == 0 {
+                    f64::NAN
+                } else {
+                    (i % 11) as f64
+                };
+                rec(x, (i % 4) as u32)
+            })
+            .collect();
+        let block = RecordBlock::from_records(&schema(), &records);
+        let batch = c.predict_batch(&block);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(batch[i], c.predict(r), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let c = CompiledTree::compile(&sample_tree());
+        let block = RecordBlock::from_records(&schema(), &[]);
+        assert!(c.predict_batch(&block).is_empty());
+    }
+
+    #[test]
+    fn single_leaf_tree_predicts_majority() {
+        let c = CompiledTree::compile(&Tree::leaf(vec![1, 5, 5]));
+        assert_eq!(c.n_nodes(), 1);
+        // Tie between classes 1 and 2 breaks low → 1.
+        assert_eq!(c.predict(&rec(0.0, 0)), 1);
+    }
+
+    #[test]
+    fn table_bytes_identical_for_equal_trees_only() {
+        let a = CompiledTree::compile(&sample_tree());
+        // Same logical tree via a replace+compact cycle (different arena).
+        let mut t = sample_tree();
+        let sub = sample_tree();
+        t.replace_subtree(t.root(), &sub);
+        let b = CompiledTree::compile(&t);
+        assert_eq!(a.table_bytes(), b.table_bytes());
+        assert_eq!(a, b);
+        // A different split point must change the bytes.
+        let mut t2 = Tree::leaf(vec![6, 4]);
+        t2.split_node(
+            t2.root(),
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(6.0),
+            },
+            vec![4, 2],
+            vec![2, 2],
+        );
+        assert_ne!(a.table_bytes(), CompiledTree::compile(&t2).table_bytes());
+    }
+}

@@ -1,0 +1,469 @@
+//! The serving harness: scorer worker threads pulling micro-batches off a
+//! bounded MPMC queue.
+//!
+//! Shape: any number of producer threads [`ServeEngine::submit`]
+//! micro-batches of records; `workers` scorer threads pop batches, take a
+//! [`ModelHandle`] snapshot *per batch* (so one batch is always scored
+//! against one consistent tree, and a concurrently published tree is
+//! picked up at the next batch boundary), transpose the batch into a
+//! columnar [`RecordBlock`], run the compiled batched traversal, and
+//! fulfill the batch's [`Ticket`].
+//!
+//! Flow control is plain std synchronization — a `Mutex<VecDeque>` with
+//! two `Condvar`s:
+//!
+//! * **Backpressure** — the queue is bounded by `queue_depth`; `submit`
+//!   blocks on `not_full` when the scorers fall behind, so an overloaded
+//!   engine slows producers down instead of growing without bound.
+//! * **Graceful drain** — [`ServeEngine::shutdown`] closes the intake and
+//!   wakes everyone; workers keep popping until the queue is **empty**
+//!   before exiting, so every accepted ticket is fulfilled. Submissions
+//!   after shutdown fail fast with an error.
+//!
+//! Every stage records into `serve.*` metrics: accepted batches/records,
+//! batch-size and end-to-end latency histograms, queue-depth gauge, and
+//! per-batch scoring time.
+
+use crate::block::RecordBlock;
+use crate::handle::ModelHandle;
+use boat_data::{DataError, Record, Result, Schema};
+use boat_obs::Registry;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Scorer worker threads. `0` resolves to the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Maximum queued (accepted, unscored) batches before `submit`
+    /// blocks. Must be ≥ 1.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The worker count actually spawned (`0` → available parallelism).
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            w => w,
+        }
+    }
+}
+
+/// One queued scoring request.
+struct Job {
+    records: Vec<Record>,
+    ticket: Arc<TicketState>,
+    /// Cell the scoring worker writes the snapshot epoch into (before
+    /// fulfilling the ticket), for [`Ticket::wait_with_epoch`].
+    epoch: Arc<Mutex<Option<u64>>>,
+    enqueued: Instant,
+}
+
+struct TicketState {
+    slot: Mutex<Option<Vec<u16>>>,
+    done: Condvar,
+}
+
+/// A handle to one submitted batch's eventual predictions.
+///
+/// Returned by [`ServeEngine::submit`]; [`Ticket::wait`] blocks until a
+/// scorer fulfills the batch (shutdown drains the queue, so every issued
+/// ticket is eventually fulfilled).
+pub struct Ticket {
+    state: Arc<TicketState>,
+    /// The epoch the batch was scored under, once fulfilled (telemetry
+    /// for swap-under-load tests; set before `wait` returns).
+    epoch: Arc<Mutex<Option<u64>>>,
+}
+
+impl Ticket {
+    /// Block until the batch is scored; returns one label per submitted
+    /// record, in submission order.
+    pub fn wait(self) -> Vec<u16> {
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.done.wait(slot).unwrap();
+        }
+        slot.take().expect("fulfilled above")
+    }
+
+    /// Like [`Ticket::wait`], additionally returning the publication
+    /// epoch of the snapshot the batch was scored against.
+    pub fn wait_with_epoch(self) -> (Vec<u16>, u64) {
+        let labels = {
+            let mut slot = self.state.slot.lock().unwrap();
+            while slot.is_none() {
+                slot = self.state.done.wait(slot).unwrap();
+            }
+            slot.take().expect("fulfilled above")
+        };
+        let epoch = self.epoch.lock().unwrap().expect("set before fulfill");
+        (labels, epoch)
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_depth: usize,
+    handle: ModelHandle,
+    schema: Arc<Schema>,
+    metrics: Registry,
+}
+
+/// A running serving engine: scorer threads + bounded intake queue.
+///
+/// Dropping the engine without calling [`ServeEngine::shutdown`] also
+/// drains gracefully (shutdown is invoked from `Drop`).
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spawn the scorer pool. `schema` types the columnar transposition
+    /// of every batch; `handle` supplies per-batch tree snapshots.
+    /// Metrics go to the handle's registry.
+    pub fn start(handle: ModelHandle, schema: Arc<Schema>, config: ServeConfig) -> ServeEngine {
+        let workers = config.effective_workers();
+        let metrics = handle.metrics().clone();
+        metrics.gauge("serve.workers").set(workers as u64);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            handle,
+            schema,
+            metrics,
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ServeEngine {
+            shared,
+            workers: threads,
+        }
+    }
+
+    /// Submit one micro-batch for scoring. Blocks while the queue is at
+    /// `queue_depth` (backpressure); fails fast once the engine is shut
+    /// down. The returned [`Ticket`] resolves to one label per record.
+    pub fn submit(&self, records: Vec<Record>) -> Result<Ticket> {
+        let ticket_state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let epoch = Arc::new(Mutex::new(None));
+        let job = Job {
+            records,
+            ticket: Arc::clone(&ticket_state),
+            epoch: Arc::clone(&epoch),
+            enqueued: Instant::now(),
+        };
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            while q.jobs.len() >= self.shared.queue_depth && !q.closed {
+                q = self.shared.not_full.wait(q).unwrap();
+            }
+            if q.closed {
+                return Err(DataError::Invalid("serve engine is shut down".into()));
+            }
+            q.jobs.push_back(job);
+            self.shared
+                .metrics
+                .gauge("serve.queue_depth")
+                .set(q.jobs.len() as u64);
+        }
+        self.shared.not_empty.notify_one();
+        self.shared.metrics.counter("serve.batches_submitted").inc();
+        Ok(Ticket {
+            state: ticket_state,
+            epoch,
+        })
+    }
+
+    /// Close the intake, wait for the queue to drain, and join every
+    /// scorer thread. All accepted tickets are fulfilled before return.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Per-worker scoring buffers, reused across every batch this worker
+    // ever scores (allocation-free steady state).
+    let mut scratch = crate::compile::BatchScratch::default();
+    // Resolve metric handles once; updates are lock-free afterwards.
+    let batches = shared.metrics.counter("serve.batches");
+    let records_total = shared.metrics.counter("serve.records");
+    let batch_size_hist = shared
+        .metrics
+        .histogram_with("serve.batch_size", &batch_size_bounds());
+    let latency_hist = shared.metrics.histogram("serve.latency_ns");
+    let score_hist = shared.metrics.histogram("serve.score_ns");
+    let depth_gauge = shared.metrics.gauge("serve.queue_depth");
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    depth_gauge.set(q.jobs.len() as u64);
+                    break job;
+                }
+                if q.closed {
+                    return; // queue drained and intake closed
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+        };
+        shared.not_full.notify_one();
+        // One snapshot per batch: the whole batch scores against one
+        // consistent tree; a concurrent publish takes effect at the next
+        // batch boundary.
+        let (tree, epoch) = shared.handle.snapshot_with_epoch();
+        let t0 = Instant::now();
+        let block = RecordBlock::from_records(&shared.schema, &job.records);
+        let mut labels = Vec::new();
+        tree.predict_batch_into(&block, &mut scratch, &mut labels);
+        score_hist.record(t0.elapsed().as_nanos() as u64);
+        batches.inc();
+        records_total.add(job.records.len() as u64);
+        batch_size_hist.record(job.records.len() as u64);
+        latency_hist.record(job.enqueued.elapsed().as_nanos() as u64);
+        *job.epoch.lock().unwrap() = Some(epoch);
+        let mut slot = job.ticket.slot.lock().unwrap();
+        *slot = Some(labels);
+        job.ticket.done.notify_all();
+    }
+}
+
+/// Histogram bounds for batch sizes: powers of two, 1 … 64 Ki records.
+fn batch_size_bounds() -> Vec<u64> {
+    (0..17u32).map(|k| 1u64 << k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use boat_data::{Attribute, Field};
+    use boat_tree::{Predicate, Split, Tree};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Attribute::numeric("x")], 2).unwrap())
+    }
+
+    /// x <= 5 → class 0 else class 1.
+    fn threshold_tree() -> Tree {
+        let mut t = Tree::leaf(vec![5, 5]);
+        t.split_node(
+            t.root(),
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(5.0),
+            },
+            vec![5, 0],
+            vec![0, 5],
+        );
+        t
+    }
+
+    fn rec(x: f64) -> Record {
+        Record::new(vec![Field::Num(x)], 0)
+    }
+
+    #[test]
+    fn scores_batches_in_submission_order() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+        );
+        let t1 = engine.submit(vec![rec(1.0), rec(9.0), rec(5.0)]).unwrap();
+        let t2 = engine.submit(vec![rec(6.0)]).unwrap();
+        assert_eq!(t1.wait(), vec![0, 1, 0]);
+        assert_eq!(t2.wait(), vec![1]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_tickets_then_rejects() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 1,
+                queue_depth: 32,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| engine.submit(vec![rec(i as f64)]).unwrap())
+            .collect();
+        let shared = Arc::clone(&engine.shared);
+        engine.shutdown();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), vec![u16::from(i as f64 > 5.0)]);
+        }
+        // Post-shutdown submissions fail fast (reconstruct a throwaway
+        // engine handle view via the shared state: queue is closed).
+        assert!(shared.queue.lock().unwrap().closed);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        // Queue depth 1 with zero workers-like behavior is impossible (a
+        // worker always runs), so instead verify the invariant directly:
+        // while submitting many one-record batches from several producer
+        // threads, the observed queue length never exceeds the bound.
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let depth = 4usize;
+        let engine = Arc::new(ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 1,
+                queue_depth: depth,
+            },
+        ));
+        std::thread::scope(|s| {
+            for p in 0..3 {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let t = engine.submit(vec![rec((p * 50 + i) as f64)]).unwrap();
+                        let _ = t.wait();
+                        assert!(engine.shared.queue.lock().unwrap().jobs.len() <= depth);
+                    }
+                });
+            }
+        });
+        let engine = Arc::into_inner(engine).expect("producers joined");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn epoch_reported_per_batch_and_swaps_take_effect() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(
+            handle.clone(),
+            schema(),
+            ServeConfig {
+                workers: 1,
+                queue_depth: 8,
+            },
+        );
+        let (labels, epoch) = engine.submit(vec![rec(1.0)]).unwrap().wait_with_epoch();
+        assert_eq!((labels, epoch), (vec![0], 0));
+        // Publish an inverted tree: x <= 5 → class 1.
+        let mut inverted = Tree::leaf(vec![5, 5]);
+        inverted.split_node(
+            inverted.root(),
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(5.0),
+            },
+            vec![0, 5],
+            vec![5, 0],
+        );
+        handle.publish(compile(&inverted));
+        let (labels, epoch) = engine.submit(vec![rec(1.0)]).unwrap().wait_with_epoch();
+        assert_eq!((labels, epoch), (vec![1], 1));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_batches_and_records() {
+        let reg = Registry::new();
+        let handle = ModelHandle::with_metrics(compile(&threshold_tree()), reg.clone());
+        let engine = ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+        );
+        for _ in 0..5 {
+            engine.submit(vec![rec(1.0), rec(9.0)]).unwrap().wait();
+        }
+        engine.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.batches"), 5);
+        assert_eq!(snap.counter("serve.batches_submitted"), 5);
+        assert_eq!(snap.counter("serve.records"), 10);
+        let h = snap.histogram("serve.batch_size").unwrap();
+        assert_eq!((h.count, h.sum), (5, 10));
+        assert_eq!(snap.histogram("serve.latency_ns").unwrap().count, 5);
+        assert_eq!(snap.gauge("serve.workers"), Some(2));
+    }
+
+    #[test]
+    fn drop_without_shutdown_drains() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 1,
+                queue_depth: 8,
+            },
+        );
+        let t = engine.submit(vec![rec(2.0)]).unwrap();
+        drop(engine); // Drop impl drains and joins
+        assert_eq!(t.wait(), vec![0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Snapshot publication: epoch-versioned atomic swapping of compiled
+//! trees between one maintainer and any number of scorer threads.
+//!
+//! The serving invariant is the read-path mirror of BOAT's exact-tree
+//! guarantee: **every prediction is computed against one consistent
+//! compiled tree** — either the pre-maintenance or the post-maintenance
+//! snapshot, never a torn mix — while `BoatModel::maintain` runs
+//! concurrently and publishes its result the instant it materializes.
+//!
+//! The mechanism is deliberately boring (std-only, no epoch GC, no
+//! hazard pointers): the current snapshot is an `Arc<CompiledTree>`
+//! behind a `Mutex`. Readers take the lock only long enough to clone the
+//! `Arc` (one refcount increment — nanoseconds; no reader ever waits on
+//! compilation, maintenance, or another reader's scoring), then score
+//! entirely outside the lock. Writers swap the `Arc` and bump a
+//! monotonically increasing **epoch** under the same lock, so
+//! `(snapshot, epoch)` pairs read under the lock are always mutually
+//! consistent. Old snapshots stay alive exactly as long as some reader
+//! still holds them and are freed by the last `Arc` drop — the classic
+//! RCU shape with reference counting as the grace period.
+
+use crate::compile::{compile, CompiledTree};
+use boat_core::BoatModel;
+use boat_obs::Registry;
+use boat_tree::Impurity;
+use std::sync::{Arc, Mutex};
+
+struct HandleInner {
+    /// The current snapshot plus its epoch, swapped together.
+    current: Mutex<(Arc<CompiledTree>, u64)>,
+    /// Metrics sink (`serve.snapshot_swaps`, `serve.epoch`,
+    /// `serve.model_bytes`, `serve.compile` span).
+    metrics: Registry,
+}
+
+/// A cheaply clonable handle to the currently published [`CompiledTree`].
+///
+/// Clone freely into scorer threads, the serving engine, and the
+/// maintenance thread — all clones observe the same publication state.
+#[derive(Clone)]
+pub struct ModelHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl std::fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (tree, epoch) = self.snapshot_with_epoch();
+        f.debug_struct("ModelHandle")
+            .field("epoch", &epoch)
+            .field("n_nodes", &tree.n_nodes())
+            .finish()
+    }
+}
+
+impl ModelHandle {
+    /// Publish `initial` as epoch 0 with a private metrics registry.
+    pub fn new(initial: CompiledTree) -> ModelHandle {
+        Self::with_metrics(initial, Registry::new())
+    }
+
+    /// Publish `initial` as epoch 0, recording swap/epoch metrics into
+    /// `metrics` (pass `boat_obs::Registry::global().clone()` for one
+    /// process-wide namespace).
+    pub fn with_metrics(initial: CompiledTree, metrics: Registry) -> ModelHandle {
+        metrics.gauge("serve.epoch").set(0);
+        metrics
+            .gauge("serve.model_bytes")
+            .set(initial.table_size_bytes() as u64);
+        ModelHandle {
+            inner: Arc::new(HandleInner {
+                current: Mutex::new((Arc::new(initial), 0)),
+                metrics,
+            }),
+        }
+    }
+
+    /// The current snapshot. The lock is held for one `Arc` clone only;
+    /// scoring against the returned tree happens entirely outside it.
+    #[inline]
+    pub fn snapshot(&self) -> Arc<CompiledTree> {
+        self.inner.current.lock().unwrap().0.clone()
+    }
+
+    /// The current snapshot together with its epoch, read atomically
+    /// (both under the same lock acquisition — the pair is never torn).
+    #[inline]
+    pub fn snapshot_with_epoch(&self) -> (Arc<CompiledTree>, u64) {
+        let guard = self.inner.current.lock().unwrap();
+        (guard.0.clone(), guard.1)
+    }
+
+    /// The current epoch: 0 at creation, +1 per [`ModelHandle::publish`].
+    pub fn epoch(&self) -> u64 {
+        self.inner.current.lock().unwrap().1
+    }
+
+    /// Atomically publish `tree` as the new snapshot; returns the new
+    /// epoch. Readers that already hold the previous snapshot keep
+    /// scoring against it; every subsequent [`ModelHandle::snapshot`]
+    /// observes the new tree.
+    pub fn publish(&self, tree: CompiledTree) -> u64 {
+        let bytes = tree.table_size_bytes() as u64;
+        let fresh = Arc::new(tree);
+        let epoch = {
+            let mut guard = self.inner.current.lock().unwrap();
+            guard.0 = fresh;
+            guard.1 += 1;
+            guard.1
+        };
+        self.inner.metrics.counter("serve.snapshot_swaps").inc();
+        self.inner.metrics.gauge("serve.epoch").set(epoch);
+        self.inner.metrics.gauge("serve.model_bytes").set(bytes);
+        epoch
+    }
+
+    /// The metrics registry this handle records into.
+    pub fn metrics(&self) -> &Registry {
+        &self.inner.metrics
+    }
+}
+
+/// Wire a maintained [`BoatModel`] to a [`ModelHandle`]: compile and
+/// publish the model's *current* exact tree immediately (running any
+/// pending maintenance first), then install a publish hook so every
+/// future [`BoatModel::maintain`] that materializes a fresh tree
+/// compiles it (timed under the `serve.compile` span) and atomically
+/// publishes it to the handle.
+///
+/// After this call, reader threads holding clones of `handle` always
+/// observe either the pre- or post-maintenance tree while `maintain`
+/// runs — never an intermediate state — because publication happens in
+/// one swap after the exact tree is fully materialized.
+pub fn publish_on_maintain<I: Impurity + Clone>(
+    model: &mut BoatModel<I>,
+    handle: &ModelHandle,
+) -> boat_data::Result<u64> {
+    let initial = {
+        let span = handle.metrics().span("serve.compile");
+        let compiled = compile(model.tree()?);
+        span.finish();
+        compiled
+    };
+    let epoch = handle.publish(initial);
+    let hook_handle = handle.clone();
+    model.set_publish_hook(move |tree| {
+        let span = hook_handle.metrics().span("serve.compile");
+        let compiled = compile(tree);
+        span.finish();
+        hook_handle.publish(compiled);
+    });
+    Ok(epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_tree::Tree;
+
+    fn leaf(counts: Vec<u64>) -> CompiledTree {
+        compile(&Tree::leaf(counts))
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps() {
+        let handle = ModelHandle::new(leaf(vec![5, 1]));
+        assert_eq!(handle.epoch(), 0);
+        let snap0 = handle.snapshot();
+        let e = handle.publish(leaf(vec![0, 9]));
+        assert_eq!(e, 1);
+        assert_eq!(handle.epoch(), 1);
+        // The old snapshot is unaffected; the new one predicts class 1.
+        let r = boat_data::Record::new(vec![boat_data::Field::Num(0.0)], 0);
+        assert_eq!(snap0.predict(&r), 0);
+        assert_eq!(handle.snapshot().predict(&r), 1);
+    }
+
+    #[test]
+    fn snapshot_with_epoch_is_consistent() {
+        let handle = ModelHandle::new(leaf(vec![1, 0]));
+        let (snap, epoch) = handle.snapshot_with_epoch();
+        assert_eq!(epoch, 0);
+        assert_eq!(snap.n_nodes(), 1);
+    }
+
+    #[test]
+    fn clones_share_publication_state() {
+        let a = ModelHandle::new(leaf(vec![1, 0]));
+        let b = a.clone();
+        a.publish(leaf(vec![0, 1]));
+        assert_eq!(b.epoch(), 1);
+    }
+
+    #[test]
+    fn metrics_track_swaps() {
+        let reg = Registry::new();
+        let handle = ModelHandle::with_metrics(leaf(vec![1, 0]), reg.clone());
+        handle.publish(leaf(vec![0, 1]));
+        handle.publish(leaf(vec![2, 1]));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.snapshot_swaps"), 2);
+        assert_eq!(snap.gauge("serve.epoch"), Some(2));
+        assert!(snap.gauge("serve.model_bytes").unwrap() > 0);
+    }
+}

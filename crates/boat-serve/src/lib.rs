@@ -1,0 +1,42 @@
+//! Compiled-tree inference subsystem for maintained BOAT models.
+//!
+//! `boat-serve` is the read path of the workspace: it takes the exact
+//! decision trees that `boat-core` constructs and maintains, lowers them
+//! into a cache-friendly immutable form, and serves predictions from
+//! many threads while maintenance keeps running in the background.
+//!
+//! Three layers, composable but independently usable:
+//!
+//! 1. **Compiler** ([`compile`] → [`CompiledTree`]): flattens a
+//!    [`boat_tree::Tree`] into structure-of-arrays node tables in
+//!    preorder (left child adjacent at `i + 1`, only the right child
+//!    stored), with categorical splits as 64-bit subset masks. Scalar
+//!    [`CompiledTree::predict`] replicates `Tree::predict` exactly —
+//!    including the pinned NaN / unseen-category routing contract —
+//!    and [`CompiledTree::predict_batch`] scores a columnar
+//!    [`RecordBlock`] attribute-major via frontier partitioning.
+//! 2. **Publication** ([`ModelHandle`]): epoch-versioned atomic
+//!    snapshot swapping. Readers clone an `Arc` under a briefly-held
+//!    lock and score entirely outside it; [`publish_on_maintain`]
+//!    wires a [`boat_core::BoatModel`] so every maintenance cycle that
+//!    materializes a fresh exact tree compiles and publishes it.
+//! 3. **Serving** ([`ServeEngine`]): N scorer workers pulling
+//!    micro-batches from a bounded MPMC queue with backpressure and
+//!    graceful drain, recording `serve.*` metrics into `boat-obs`.
+//!
+//! The subsystem invariant mirrors BOAT's exact-tree guarantee on the
+//! write path: **every prediction is computed against one consistent
+//! compiled snapshot** — pre- or post-maintenance, never a torn mix —
+//! and compiled predictions are bit-identical to interpreted
+//! `Tree::predict` on every input.
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod compile;
+pub mod engine;
+pub mod handle;
+
+pub use block::{Column, RecordBlock};
+pub use compile::{compile, BatchScratch, CompiledTree, NodeOp};
+pub use engine::{ServeConfig, ServeEngine, Ticket};
+pub use handle::{publish_on_maintain, ModelHandle};

@@ -1,0 +1,88 @@
+//! Model-IO regression for the compiler: a tree that takes a round trip
+//! through the `BOATTREE` wire format must compile to **byte-identical**
+//! node tables. This pins two things at once — the serializer loses no
+//! information the compiler consumes (split attributes, bit-exact
+//! thresholds, category subsets, class counts), and the compiler is a
+//! pure function of the logical tree, not of incidental arena layout.
+
+use boat_core::reference_tree;
+use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_serve::compile;
+use boat_tree::{Gini, GrowthLimits, Tree};
+use proptest::prelude::*;
+
+fn assert_roundtrip_compiles_identically(tree: &Tree) {
+    let original = compile(tree);
+    let revived = Tree::from_bytes(&tree.to_bytes()).expect("roundtrip");
+    let recompiled = compile(&revived);
+    assert_eq!(
+        original.table_bytes(),
+        recompiled.table_bytes(),
+        "serialize → deserialize → compile changed the node tables"
+    );
+    assert_eq!(original.n_nodes(), recompiled.n_nodes());
+}
+
+/// Realistic trees from the paper's synthetic functions, including
+/// NaN-free numeric splits with fractional midpoints and categorical
+/// subset splits.
+#[test]
+fn synthetic_trees_compile_identically_after_roundtrip() {
+    for (function, seed) in [
+        (LabelFunction::F1, 61u64),
+        (LabelFunction::F6, 66),
+        (LabelFunction::F9, 69),
+    ] {
+        let gen = GeneratorConfig::new(function).with_seed(seed);
+        let ds = MemoryDataset::new(gen.schema(), gen.generate_vec(3_000));
+        let tree = reference_tree(&ds, Gini, GrowthLimits::default()).unwrap();
+        assert_roundtrip_compiles_identically(&tree);
+    }
+}
+
+/// A single leaf (smallest legal tree) survives the roundtrip too.
+#[test]
+fn leaf_tree_compiles_identically_after_roundtrip() {
+    assert_roundtrip_compiles_identically(&Tree::leaf(vec![3, 0, 7]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary discrete datasets (ties, degenerate splits, tiny
+    /// families) — the roundtrip-compile identity must hold for every
+    /// tree the reference builder can produce.
+    #[test]
+    fn random_trees_compile_identically_after_roundtrip(
+        raw in prop::collection::vec((0i64..20, 0u32..5, 0u16..3), 5..250),
+        depth in 1u32..=6,
+    ) {
+        let schema = Schema::shared(
+            vec![
+                Attribute::numeric("x"),
+                Attribute::categorical("c", 5),
+                Attribute::numeric("y"),
+            ],
+            3,
+        )
+        .unwrap();
+        let records: Vec<Record> = raw
+            .iter()
+            .map(|&(x, c, l)| {
+                Record::new(
+                    vec![
+                        Field::Num(x as f64),
+                        Field::Cat(c),
+                        Field::Num((x % 7) as f64),
+                    ],
+                    l,
+                )
+            })
+            .collect();
+        let ds = MemoryDataset::new(schema, records);
+        let limits = GrowthLimits { max_depth: Some(depth), ..GrowthLimits::default() };
+        let tree = reference_tree(&ds, Gini, limits).unwrap();
+        assert_roundtrip_compiles_identically(&tree);
+    }
+}

@@ -33,6 +33,30 @@ pub enum Predicate {
 
 impl Predicate {
     /// Evaluate the predicate on `record`'s attribute `attr`.
+    ///
+    /// # Prediction-time contract (pinned)
+    ///
+    /// Training data is validated ([`Record::validate`]), but *prediction*
+    /// accepts arbitrary field values, so the routing rule for values the
+    /// tree never saw at training time is part of the model's contract.
+    /// Every inference path in this workspace — [`Tree::predict`], the
+    /// serving compiler in `boat-serve`, and any future backend — must
+    /// replicate these rules bit-for-bit:
+    ///
+    /// * **Numeric `X ≤ x`** is evaluated with IEEE-754 `<=` on the stored
+    ///   split point. A **NaN** value therefore fails every numeric
+    ///   predicate and **routes right** at every numeric split (`NaN <= x`
+    ///   is false for all `x`). `-∞` always routes left; `+∞` always routes
+    ///   right (split points are finite: they are midpoints/values of
+    ///   validated, finite training data).
+    /// * **Categorical `X ∈ Y`** is a membership test in the splitting
+    ///   subset's 64-bit mask. A category code **not in the subset routes
+    ///   right — including codes that never occurred at training time**
+    ///   (such codes are never members: splitting subsets are built from
+    ///   observed categories only, and canonicalization complements within
+    ///   the *observed* universe, so unseen codes cannot enter the mask).
+    ///   Codes must be `< 64` (the schema bound); larger codes are outside
+    ///   the model's domain.
     #[inline]
     pub fn matches(&self, record: &Record, attr: usize) -> bool {
         match self {
@@ -349,7 +373,15 @@ impl Tree {
         id
     }
 
-    /// Predict the class label of `record`.
+    /// Predict the class label of `record`: route to a leaf and return its
+    /// majority label (ties break to the smaller class index).
+    ///
+    /// Unlike training, prediction performs **no validation**: NaN numeric
+    /// values route right at every numeric split, and category codes absent
+    /// from a splitting subset (including codes never seen at training
+    /// time) route right at every categorical split — see
+    /// [`Predicate::matches`] for the pinned contract that every compiled
+    /// or alternative inference path must replicate exactly.
     pub fn predict(&self, record: &Record) -> u16 {
         self.node(self.leaf_for(record)).majority_label()
     }
@@ -605,6 +637,53 @@ mod tests {
         assert!(text.contains("x <= 5"));
         assert!(text.contains("c in {1,3}"));
         assert!(text.contains("leaf: class"));
+    }
+
+    #[test]
+    fn nan_routes_right_at_every_numeric_split() {
+        // Pinned prediction-time contract: `NaN <= x` is false for every x,
+        // so a NaN numeric attribute must fall through the *right* child of
+        // every numeric split it meets.
+        let t = sample_tree();
+        // Root split is `x <= 5`; NaN must go right regardless of c.
+        for c in [0u32, 1, 3] {
+            let leaf = t.leaf_for(&rec(f64::NAN, c));
+            assert_eq!(
+                t.node(leaf).class_counts,
+                vec![2, 2],
+                "NaN must route right at the root numeric split"
+            );
+            // Right leaf [2,2] tie-breaks to class 0.
+            assert_eq!(t.predict(&rec(f64::NAN, c)), 0);
+        }
+        // Infinities: -inf <= x always holds (left); +inf never (right).
+        assert_eq!(
+            t.node(t.leaf_for(&rec(f64::NEG_INFINITY, 0))).class_counts,
+            vec![0, 2],
+            "-inf routes left at the root, then c=0 is outside {{1,3}}"
+        );
+        assert_eq!(
+            t.node(t.leaf_for(&rec(f64::INFINITY, 1))).class_counts,
+            vec![2, 2]
+        );
+    }
+
+    #[test]
+    fn unseen_category_routes_right_at_categorical_splits() {
+        // Pinned prediction-time contract: category codes outside the
+        // splitting subset — including codes never observed at training
+        // time — fail `X ∈ Y` and route right.
+        let t = sample_tree(); // left child splits on c ∈ {1,3}, universe {0..4}
+        for unseen in [2u32, 4, 63] {
+            // schema says card 4, but predict doesn't validate: anything < 64
+            let leaf = t.leaf_for(&rec(3.0, unseen));
+            assert_eq!(
+                t.node(leaf).class_counts,
+                vec![0, 2],
+                "code {unseen} is not in {{1,3}} and must route right"
+            );
+            assert_eq!(t.predict(&rec(3.0, unseen)), 1);
+        }
     }
 
     #[test]

@@ -227,4 +227,27 @@ mod tests {
             assert_eq!(tree.predict(&r), back.predict(&r));
         }
     }
+
+    #[test]
+    fn edge_value_predictions_survive_roundtrip() {
+        // The pinned prediction-time contract (NaN routes right at numeric
+        // splits, unseen category codes route right at categorical splits —
+        // see `model::Predicate::matches`) must hold identically for a
+        // deserialized tree: split points are restored bit-for-bit, and the
+        // routing rule depends only on those bits.
+        let tree = sample_tree();
+        let back = Tree::from_bytes(&tree.to_bytes()).unwrap();
+        let probes = [
+            Record::new(vec![Field::Num(f64::NAN), Field::Cat(0)], 0),
+            Record::new(vec![Field::Num(f64::INFINITY), Field::Cat(4)], 0),
+            Record::new(vec![Field::Num(f64::NEG_INFINITY), Field::Cat(2)], 0),
+            // Category codes the training data never contained (schema says
+            // cardinality 5; codes up to 63 are representable).
+            Record::new(vec![Field::Num(10.0), Field::Cat(37)], 0),
+            Record::new(vec![Field::Num(45.0), Field::Cat(63)], 0),
+        ];
+        for r in &probes {
+            assert_eq!(tree.predict(r), back.predict(r), "probe {r}");
+        }
+    }
 }

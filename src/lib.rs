@@ -13,6 +13,9 @@
 //!   and incremental maintenance.
 //! * [`rainforest`] — the RainForest baselines (RF-Hybrid, RF-Vertical) the
 //!   paper compares against.
+//! * [`serve`] — the read path: trees compiled to flat structure-of-arrays
+//!   tables, epoch-versioned snapshot publication, and a multi-worker
+//!   serving engine that scores while maintenance runs.
 //!
 //! ## Quickstart
 //!
@@ -35,4 +38,5 @@ pub use boat_core as boat;
 pub use boat_data as data;
 pub use boat_datagen as datagen;
 pub use boat_rainforest as rainforest;
+pub use boat_serve as serve;
 pub use boat_tree as tree;
