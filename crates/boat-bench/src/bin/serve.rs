@@ -1,17 +1,28 @@
 //! Serving-path benchmark: interpreted `Tree::predict` vs the compiled
-//! SoA tree, scalar and batched, plus the full [`boat_serve::ServeEngine`]
-//! and snapshot-swap latency under scoring load.
+//! SoA tree, scalar and batched, plus the sharded [`boat_serve::ServeEngine`]
+//! swept across worker counts, with end-to-end latency percentiles and
+//! snapshot-swap latency under scoring load.
 //!
 //! ```sh
 //! cargo run --release -p boat-bench --bin serve -- --tuples 16000
 //! ```
 //!
 //! Every variant scores the **same probe set against the same tree**, and
-//! the run aborts unless all four prediction vectors are identical — the
+//! the run aborts unless all prediction vectors are identical — the
 //! speedups below are only meaningful because the outputs are
-//! bit-identical. The `--min-speedup` gate (default 2.0) asserts the
-//! batched compiled path beats per-record interpreted scoring by at least
-//! that factor; CI runs it at a reduced grid as a regression tripwire.
+//! bit-identical. Gates:
+//!
+//! * `--min-speedup` (default 2.0): the batched compiled path must beat
+//!   per-record interpreted scoring by at least this factor.
+//! * `--min-engine-speedup` (default 0.0 = off): the **single-worker**
+//!   engine path (zero-copy `submit_shared`, engine reused across reps)
+//!   must beat interpreted by this factor — the regression tripwire for
+//!   the shard intake's hot-path cost.
+//! * `--max-p99-ns` (default 0 = off): ceiling on the single-worker
+//!   end-to-end p99 latency read from the `serve.latency_ns` histogram.
+//!
+//! CI runs a reduced grid with conservative floors; the dev-container
+//! reference run in `BENCH_serve.json` carries the honest numbers.
 
 use boat_bench::table::fmt_duration;
 use boat_bench::{materialize_cached, Args, BenchReport, Table};
@@ -45,6 +56,15 @@ fn rps(n: usize, d: Duration) -> f64 {
     n as f64 / d.as_secs_f64().max(1e-9)
 }
 
+/// One worker count's engine measurements.
+struct EngineRun {
+    workers: usize,
+    time: Duration,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();
     let n = args.get::<u64>("tuples", 16_000);
@@ -53,13 +73,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // data and then scored on traffic — the scored workload is `tuples`).
     let train = args.get::<u64>("train", n * 4);
     let batch = args.get::<usize>("batch", 8_000).max(1);
-    let workers = args.get::<usize>("workers", 0);
+    // Engine micro-batch: smaller than the offline batch so the latency
+    // histogram collects ~a hundred per-batch samples per sweep, but not
+    // so small that the batched scorer's per-batch fixed cost dominates
+    // (at 512-row chunks even the offline batched path loses ~40% of its
+    // throughput to per-batch setup).
+    let engine_batch = args.get::<usize>("engine-batch", 4_000).max(1);
+    let worker_counts: Vec<usize> = args
+        .get_str("worker-counts", "1,2,4")
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .expect("--worker-counts: usize list")
+        })
+        .map(|w| w.max(1))
+        .collect();
     let reps = args.get::<u64>("reps", 3);
     let seed = args.get::<u64>("seed", 424_242);
     let swaps = args.get::<u64>("swaps", 50);
     let noise = args.get::<f64>("noise", 0.08);
     let min_speedup = args.get::<f64>("min-speedup", 2.0);
+    let min_engine_speedup = args.get::<f64>("min-engine-speedup", 0.0);
+    let max_p99_ns = args.get::<u64>("max-p99-ns", 0);
     let out = args.get_str("out", "BENCH_serve.json");
+    assert!(
+        !worker_counts.is_empty(),
+        "--worker-counts must be non-empty"
+    );
 
     let metrics = boat_obs::Registry::global().clone();
 
@@ -100,13 +142,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fmt_duration(fit_time),
     );
 
-    // Probe set: fresh draw from the same distribution.
-    let probes: Vec<Record> = GeneratorConfig::new(LabelFunction::F1)
-        .with_seed(seed + 1)
-        .generate_vec(n as usize);
+    // Probe set: fresh draw from the same distribution, Arc'd so engine
+    // submissions can share it zero-copy.
+    let probes: Arc<Vec<Record>> = Arc::new(
+        GeneratorConfig::new(LabelFunction::F1)
+            .with_seed(seed + 1)
+            .generate_vec(n as usize),
+    );
     let n_probes = probes.len();
 
     let inner = args.get::<u64>("inner", 16);
+    let engine_inner = args.get::<u64>("engine-inner", 8);
 
     // --- 1. Interpreted per-record (the pre-PR serving story).
     let (t_interp, interp) = best_of(reps, inner, || {
@@ -144,52 +190,95 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         preds
     });
 
-    // --- 4. Full serving engine: N workers, bounded queue, one producer.
-    let config = ServeConfig {
-        workers,
-        queue_depth: 64,
-    };
-    let n_workers = config.effective_workers();
-    let (t_engine, engine_preds) = best_of(reps, 1, || {
-        let engine = ServeEngine::start(handle.clone(), schema.clone(), config);
-        let mut tickets = Vec::with_capacity(n_probes / batch + 1);
-        for chunk in probes.chunks(batch) {
-            tickets.push(engine.submit(chunk.to_vec()).expect("engine is running"));
-        }
-        let mut preds = Vec::with_capacity(n_probes);
-        for t in tickets {
-            preds.extend(t.wait());
-        }
+    // --- 4. Sharded serving engine, swept across worker counts. The
+    //        engine is created once per count (startup is not the thing
+    //        being measured) and batches go in via zero-copy
+    //        `submit_shared`, the replay-style hot path. Latency
+    //        percentiles come from the `serve.latency_ns` histogram
+    //        delta across the sweep (all reps — more samples, honest
+    //        tails).
+    let mut engine_runs: Vec<EngineRun> = Vec::new();
+    for &w in &worker_counts {
+        let engine = ServeEngine::start(
+            handle.clone(),
+            schema.clone(),
+            ServeConfig {
+                workers: w,
+                queue_depth: 64,
+            },
+        );
+        let snap_before = metrics.snapshot();
+        let (t_engine, engine_preds) = best_of(reps, engine_inner, || {
+            let mut tickets = Vec::with_capacity(n_probes / engine_batch + 1);
+            let mut start = 0usize;
+            while start < n_probes {
+                let end = (start + engine_batch).min(n_probes);
+                tickets.push(
+                    engine
+                        .submit_shared(Arc::clone(&probes), start..end)
+                        .expect("engine is running"),
+                );
+                start = end;
+            }
+            let mut preds = Vec::with_capacity(n_probes);
+            for t in tickets {
+                preds.extend(t.wait());
+            }
+            preds
+        });
+        let delta = metrics.snapshot().since(&snap_before);
         engine.shutdown();
-        preds
-    });
+        assert_eq!(
+            interp, engine_preds,
+            "serve engine ({w} workers) diverges from interpreted"
+        );
+        let hist = delta
+            .histogram("serve.latency_ns")
+            .expect("engine records serve.latency_ns");
+        engine_runs.push(EngineRun {
+            workers: w,
+            time: t_engine,
+            p50_ns: hist.quantile(0.50).unwrap_or(0),
+            p99_ns: hist.quantile(0.99).unwrap_or(0),
+            p999_ns: hist.quantile(0.999).unwrap_or(0),
+        });
+    }
 
-    // --- Differential gate: all four paths must agree exactly.
+    // --- Differential gate: the offline paths must agree exactly (the
+    //     per-worker-count engine sweeps asserted above, inline).
     assert_eq!(interp, scalar, "compiled scalar diverges from interpreted");
     assert_eq!(
         interp, batched,
         "compiled batched diverges from interpreted"
     );
-    assert_eq!(
-        interp, engine_preds,
-        "serve engine diverges from interpreted"
+    println!(
+        "all {n_probes} predictions identical across scalar/batched/engine \
+         at every worker count\n"
     );
-    println!("all {n_probes} predictions identical across the four paths\n");
 
     // --- 5. Snapshot swaps under load: publish repeatedly while an
     //        engine keeps scoring; measures publish latency (the write
-    //        side of the RCU swap) with readers hammering the lock.
+    //        side of the epoch swap) with a reader hammering the handle.
     let epoch_before = handle.epoch();
     let publish_time = {
-        let engine = ServeEngine::start(handle.clone(), schema.clone(), config);
+        let engine = ServeEngine::start(
+            handle.clone(),
+            schema.clone(),
+            ServeConfig {
+                workers: 1,
+                queue_depth: 64,
+            },
+        );
         let stop = std::sync::atomic::AtomicBool::new(false);
         let mut total = Duration::ZERO;
+        let feed_span = n_probes.saturating_sub(engine_batch).max(1);
         std::thread::scope(|s| {
             let feeder = s.spawn(|| {
                 let mut i = 0usize;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    let chunk = &probes[(i * batch) % (n_probes - batch)..][..batch];
-                    match engine.submit(chunk.to_vec()) {
+                    let start = (i * engine_batch) % feed_span;
+                    let end = (start + engine_batch).min(n_probes);
+                    match engine.submit_shared(Arc::clone(&probes), start..end) {
                         Ok(t) => drop(t.wait()),
                         Err(_) => break,
                     }
@@ -214,41 +303,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Report.
     let speedup_scalar = rps(n_probes, t_scalar) / rps(n_probes, t_interp);
     let speedup_batched = rps(n_probes, t_batched) / rps(n_probes, t_interp);
-    let speedup_engine = rps(n_probes, t_engine) / rps(n_probes, t_interp);
     let mut table = Table::new(&["path", "time", "records/s", "vs interpreted"]);
     for (name, t, s) in [
-        ("interpreted per-record", t_interp, 1.0),
-        ("compiled per-record", t_scalar, speedup_scalar),
+        ("interpreted per-record".to_string(), t_interp, 1.0),
+        ("compiled per-record".to_string(), t_scalar, speedup_scalar),
         (
-            "transpose only (diagnostic)",
+            "transpose only (diagnostic)".to_string(),
             t_transpose,
             rps(n_probes, t_transpose) / rps(n_probes, t_interp),
         ),
-        ("compiled batched", t_batched, speedup_batched),
-        (
-            &format!("serve engine ({n_workers} workers)") as &str,
-            t_engine,
-            speedup_engine,
-        ),
+        ("compiled batched".to_string(), t_batched, speedup_batched),
     ] {
         table.row(vec![
-            name.to_string(),
+            name,
             fmt_duration(t),
             format!("{:.0}", rps(n_probes, t)),
             format!("{s:.2}x"),
         ]);
     }
+    for run in &engine_runs {
+        table.row(vec![
+            format!("serve engine ({} workers)", run.workers),
+            fmt_duration(run.time),
+            format!("{:.0}", rps(n_probes, run.time)),
+            format!("{:.2}x", rps(n_probes, run.time) / rps(n_probes, t_interp)),
+        ]);
+    }
     table.print(false);
+
+    println!("\nend-to-end batch latency (engine intake -> ticket fulfilled):");
+    let mut lat = Table::new(&["workers", "p50", "p99", "p99.9"]);
+    for run in &engine_runs {
+        lat.row(vec![
+            run.workers.to_string(),
+            fmt_duration(Duration::from_nanos(run.p50_ns)),
+            fmt_duration(Duration::from_nanos(run.p99_ns)),
+            fmt_duration(Duration::from_nanos(run.p999_ns)),
+        ]);
+    }
+    lat.print(false);
     println!(
         "\nsnapshot swaps under load: {swaps} publishes, mean {} each",
         fmt_duration(publish_mean),
     );
 
+    // --- Gates.
     assert!(
         speedup_batched >= min_speedup,
         "batched compiled speedup {speedup_batched:.2}x is below the --min-speedup \
          gate of {min_speedup:.2}x"
     );
+    // The first requested worker count anchors the engine gates (the
+    // default sweep leads with 1, the honest number on a small host).
+    let lead = &engine_runs[0];
+    let lead_speedup = rps(n_probes, lead.time) / rps(n_probes, t_interp);
+    if min_engine_speedup > 0.0 {
+        assert!(
+            lead_speedup >= min_engine_speedup,
+            "engine speedup at {} workers is {lead_speedup:.2}x, below the \
+             --min-engine-speedup gate of {min_engine_speedup:.2}x",
+            lead.workers
+        );
+    }
+    if max_p99_ns > 0 {
+        assert!(
+            lead.p99_ns <= max_p99_ns,
+            "engine p99 latency at {} workers is {}ns, above the --max-p99-ns \
+             gate of {max_p99_ns}ns",
+            lead.workers,
+            lead.p99_ns
+        );
+    }
 
     let snapshot = metrics.snapshot();
     let mut report = BenchReport::new("serve");
@@ -256,7 +381,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field_u64("tuples", n)
         .field_u64("train_tuples", train)
         .field_u64("batch", batch as u64)
-        .field_u64("workers", n_workers as u64)
+        .field_u64("engine_batch", engine_batch as u64)
+        .field_str(
+            "worker_counts",
+            &worker_counts
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
         .field_u64("reps", reps)
         .field_u64("seed", seed)
         .field_u64("tree_nodes", tree.n_nodes() as u64)
@@ -265,10 +398,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field_f64("compiled_scalar_rps", rps(n_probes, t_scalar))
         .field_f64("transpose_rps", rps(n_probes, t_transpose))
         .field_f64("compiled_batched_rps", rps(n_probes, t_batched))
-        .field_f64("engine_rps", rps(n_probes, t_engine))
+        // Back-compat headline fields: the lead worker count's numbers.
+        .field_f64("engine_rps", rps(n_probes, lead.time))
         .field_f64("speedup_scalar", speedup_scalar)
         .field_f64("speedup_batched", speedup_batched)
-        .field_f64("speedup_engine", speedup_engine)
+        .field_f64("speedup_engine", lead_speedup)
+        .field_u64("latency_p50_ns", lead.p50_ns)
+        .field_u64("latency_p99_ns", lead.p99_ns)
+        .field_u64("latency_p999_ns", lead.p999_ns);
+    for run in &engine_runs {
+        let w = run.workers;
+        report
+            .field_f64(&format!("engine_rps_w{w}"), rps(n_probes, run.time))
+            .field_u64(&format!("latency_p50_ns_w{w}"), run.p50_ns)
+            .field_u64(&format!("latency_p99_ns_w{w}"), run.p99_ns)
+            .field_u64(&format!("latency_p999_ns_w{w}"), run.p999_ns);
+    }
+    report
         .field_u64("swaps", swaps)
         .field_f64("publish_mean_seconds", publish_mean.as_secs_f64())
         .field_bool("predictions_identical", true)

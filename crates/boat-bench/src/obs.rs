@@ -177,7 +177,14 @@ pub fn print_metrics_summary(snap: &Snapshot) {
             table.row(vec![name.to_string(), v.to_string()]);
         }
     }
-    for name in ["serve.epoch", "serve.model_bytes", "serve.workers"] {
+    for name in [
+        "serve.epoch",
+        "serve.model_bytes",
+        "serve.workers",
+        "serve.models",
+        "serve.queue_depth",
+        "serve.shard.depth_max",
+    ] {
         if let Some(v) = snap.gauge(name) {
             table.row(vec![name.to_string(), v.to_string()]);
         }

@@ -54,7 +54,7 @@ mod registry;
 mod snapshot;
 mod span;
 
-pub use metrics::{duration_bounds_ns, Counter, Gauge, Histogram};
+pub use metrics::{duration_bounds_ns, latency_bounds_ns, Counter, Gauge, Histogram};
 pub use registry::Registry;
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::Span;

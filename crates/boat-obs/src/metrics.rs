@@ -155,6 +155,18 @@ pub fn duration_bounds_ns() -> Vec<u64> {
     (0..16u32).map(|k| 1_000u64 * 4u64.pow(k)).collect()
 }
 
+/// Fine-grained histogram bounds for request latencies in nanoseconds.
+///
+/// Powers of two from 256 ns up past 17 s (27 bounds). Quantile
+/// estimates interpolate inside a bucket, so the relative error of a
+/// p50/p99/p999 read from this layout is bounded by one octave — tight
+/// enough for the serve bench's latency gates, while [`duration_bounds_ns`]
+/// stays the coarse default for phase spans.
+pub fn latency_bounds_ns() -> Vec<u64> {
+    // 256 ns * 2^k for k = 0..=34 → 256 ns .. ~17.6 s.
+    (8..=34u32).map(|k| 1u64 << k).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +213,14 @@ mod tests {
         assert!(b.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(b[0], 1_000);
         assert!(*b.last().unwrap() > 600_000_000_000); // > 10 min
+    }
+
+    #[test]
+    fn latency_bounds_are_sorted_octaves() {
+        let b = latency_bounds_ns();
+        assert_eq!(b[0], 256);
+        assert!(b.windows(2).all(|w| w[1] == w[0] * 2));
+        assert!(*b.last().unwrap() > 17_000_000_000); // > 17 s
     }
 
     #[test]

@@ -26,6 +26,45 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// or `None` when the histogram is empty.
+    ///
+    /// The target rank is located in its bucket and the value is linearly
+    /// interpolated between the bucket's lower and upper bound (the first
+    /// bucket interpolates from zero). The overflow bucket has no upper
+    /// bound, so ranks landing there report the last finite bound — a
+    /// deliberate under-estimate that callers gate on conservatively.
+    /// Resolution is therefore the bucket width at the quantile; latency
+    /// histograms use the fine-grained [`crate::latency_bounds_ns`]
+    /// layout so serving p99/p999 land in narrow buckets.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    return Some(self.bounds.last().copied().unwrap_or(0));
+                };
+                // Linear interpolation by rank position inside the bucket.
+                let into = (rank - seen) as f64 / c as f64;
+                return Some(lo + ((hi - lo) as f64 * into).round() as u64);
+            }
+            seen += c;
+        }
+        // Unreachable when counts are consistent with `count`; degrade to
+        // the largest bound rather than panicking on a torn snapshot.
+        Some(self.bounds.last().copied().unwrap_or(0))
+    }
+
     /// Monotone delta against an earlier snapshot of the same histogram.
     ///
     /// Saturates at zero so a mismatched/reset baseline degrades to "no
@@ -263,6 +302,45 @@ mod tests {
             sum,
             count,
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // Bounds [10, 100], 10 observations all in the first bucket.
+        let h = hist(100, 10);
+        assert_eq!(h.quantile(0.0), Some(1)); // rank 1 of 10 → 10% into 0..10
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(10));
+        // Spread across buckets: 5 in (0..10], 5 in (10..100].
+        let spread = HistogramSnapshot {
+            bounds: vec![10, 100],
+            counts: vec![5, 5, 0],
+            sum: 300,
+            count: 10,
+        };
+        assert_eq!(spread.quantile(0.5), Some(10));
+        assert_eq!(spread.quantile(0.9), Some(82)); // rank 9 → 4/5 into 10..100
+        assert_eq!(spread.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn quantile_empty_and_overflow() {
+        assert_eq!(Snapshot::default().histograms.len(), 0);
+        let empty = HistogramSnapshot {
+            bounds: vec![10],
+            counts: vec![0, 0],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+        // All mass in the overflow bucket → reports the last finite bound.
+        let over = HistogramSnapshot {
+            bounds: vec![10, 100],
+            counts: vec![0, 0, 3],
+            sum: 3_000,
+            count: 3,
+        };
+        assert_eq!(over.quantile(0.99), Some(100));
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct CompiledTree {
     num_attrs_used: Vec<u16>,
     /// Attributes referenced by at least one `Cat` node (sorted, deduped).
     cat_attrs_used: Vec<u16>,
+    /// Preorder index of the first leaf (every tree has one). Idle lanes
+    /// of the fixed-width finisher park here: a `Leaf` op loads no
+    /// column and advances nowhere, so a parked lane is a no-op that
+    /// keeps the lane loop's trip count fixed. Derived (not serialized
+    /// in [`CompiledTree::table_bytes`], like the `*_attrs_used` sets).
+    first_leaf: u32,
 }
 
 impl CompiledTree {
@@ -110,6 +116,7 @@ impl CompiledTree {
             label: Vec::with_capacity(n),
             num_attrs_used: Vec::new(),
             cat_attrs_used: Vec::new(),
+            first_leaf: 0,
         };
         for (i, id) in ids.iter().enumerate() {
             let node = tree.node(*id);
@@ -152,6 +159,11 @@ impl CompiledTree {
         out.num_attrs_used.dedup();
         out.cat_attrs_used.sort_unstable();
         out.cat_attrs_used.dedup();
+        out.first_leaf = out
+            .ops
+            .iter()
+            .position(|&op| op == NodeOp::Leaf)
+            .expect("every tree has at least one leaf") as u32;
         out
     }
 
@@ -209,12 +221,21 @@ impl CompiledTree {
     /// serializing one row's root-to-leaf chain before starting the
     /// next — the finisher for frontier ranges too small to be worth
     /// another partition pass.
+    ///
+    /// The lane loop is **fixed-width**: every sweep iterates all
+    /// `LANES` lanes with a compile-time trip count (no `m` bound, no
+    /// early exit inside the loop), which lets the compiler fully unroll
+    /// it and keep every lane's loads in flight. Short blocks pad their
+    /// idle lanes with [`CompiledTree::first_leaf`] — a parked lane hits
+    /// the `Leaf` arm, loads nothing, and stays put, so padding costs
+    /// one tag dispatch per sweep instead of a variable bound.
     /// # Safety
     /// Caller must guarantee what `predict_batch_into` validates up
     /// front: every attribute a `Num` node splits on indexes a
     /// `num_cols` slice (and `Cat` a `cat_cols` slice) at least as long
-    /// as `out`, and every `rows` value is `< out.len()`. Node indices
-    /// are in bounds by construction of [`CompiledTree::compile`].
+    /// as `out`, and every `rows` value is `< out.len()` (with
+    /// `out.len() >= 1`). Node indices are in bounds by construction of
+    /// [`CompiledTree::compile`].
     unsafe fn descend_interleaved(
         &self,
         num_cols: &[&[f64]],
@@ -223,13 +244,21 @@ impl CompiledTree {
         rows: &[u32],
         out: &mut [u16],
     ) {
-        const LANES: usize = 16;
+        const LANES: usize = 8;
         for block in rows.chunks(LANES) {
             let m = block.len();
-            let mut cur = [node as u32; LANES];
+            // Idle lanes park on the first leaf with row id 0 (never
+            // dereferenced — the Leaf arm loads no column; row 0 exists
+            // regardless, `out` is non-empty).
+            let mut cur = [self.first_leaf; LANES];
+            let mut row = [0u32; LANES];
+            for i in 0..m {
+                *cur.get_unchecked_mut(i) = node as u32;
+                *row.get_unchecked_mut(i) = *block.get_unchecked(i);
+            }
             loop {
                 let mut all_leaf = true;
-                for i in 0..m {
+                for i in 0..LANES {
                     let node = *cur.get_unchecked(i) as usize;
                     match *self.ops.get_unchecked(node) {
                         NodeOp::Leaf => {}
@@ -238,7 +267,7 @@ impl CompiledTree {
                             let a = *self.split_attr.get_unchecked(node) as usize;
                             let v = *num_cols
                                 .get_unchecked(a)
-                                .get_unchecked(*block.get_unchecked(i) as usize);
+                                .get_unchecked(*row.get_unchecked(i) as usize);
                             *cur.get_unchecked_mut(i) = if v <= *self.threshold.get_unchecked(node)
                             {
                                 node as u32 + 1
@@ -251,7 +280,7 @@ impl CompiledTree {
                             let a = *self.split_attr.get_unchecked(node) as usize;
                             let c = *cat_cols
                                 .get_unchecked(a)
-                                .get_unchecked(*block.get_unchecked(i) as usize);
+                                .get_unchecked(*row.get_unchecked(i) as usize);
                             *cur.get_unchecked_mut(i) =
                                 if (*self.cat_mask.get_unchecked(node) >> c) & 1 != 0 {
                                     node as u32 + 1
@@ -266,7 +295,7 @@ impl CompiledTree {
                 }
             }
             for i in 0..m {
-                *out.get_unchecked_mut(*block.get_unchecked(i) as usize) =
+                *out.get_unchecked_mut(*row.get_unchecked(i) as usize) =
                     *self.label.get_unchecked(*cur.get_unchecked(i) as usize);
             }
         }

@@ -1,46 +1,67 @@
-//! The serving harness: scorer worker threads pulling micro-batches off a
-//! bounded MPMC queue.
+//! The serving harness: shard-per-core scorer workers with lock-free
+//! intake rings and a multi-model registry.
 //!
-//! Shape: any number of producer threads [`ServeEngine::submit`]
-//! micro-batches of records; `workers` scorer threads pop batches, take a
-//! [`ModelHandle`] snapshot *per batch* (so one batch is always scored
-//! against one consistent tree, and a concurrently published tree is
-//! picked up at the next batch boundary), transpose the batch into a
-//! columnar [`RecordBlock`], run the compiled batched traversal, and
-//! fulfill the batch's [`Ticket`].
+//! Shape: N scorer workers each own one [`ShardQueue`] — a bounded
+//! lock-free ring plus a parking doorbell (see [`crate::shard`]).
+//! Producers [`ServeEngine::submit`] micro-batches; the submit path
+//! round-robins each batch to a shard with **no shared `Mutex` +
+//! `Condvar` queue on the hot path** (a push is one CAS + one release
+//! store). Each worker scores its batches against a per-thread
+//! [`SnapshotReader`], so picking up the current tree is **one atomic
+//! load** in steady state — a concurrently published tree takes effect
+//! at the next batch boundary, and one batch is always scored against
+//! one consistent snapshot (never torn across an epoch swap).
 //!
-//! Flow control is plain std synchronization — a `Mutex<VecDeque>` with
-//! two `Condvar`s:
+//! Many models can live behind one engine: a [`ModelRegistry`] maps keys
+//! to `(ModelHandle, Schema)` entries, [`ServeEngine::submit_to`] scores
+//! against a named model, and submits that disagree with the target
+//! schema are rejected up front with [`DataError::Schema`]. The default
+//! model (the one the engine was started with) is pinned outside the
+//! registry, so its submit path never takes the registry's read lock.
 //!
-//! * **Backpressure** — the queue is bounded by `queue_depth`; `submit`
-//!   blocks on `not_full` when the scorers fall behind, so an overloaded
-//!   engine slows producers down instead of growing without bound.
-//! * **Graceful drain** — [`ServeEngine::shutdown`] closes the intake and
-//!   wakes everyone; workers keep popping until the queue is **empty**
-//!   before exiting, so every accepted ticket is fulfilled. Submissions
-//!   after shutdown fail fast with an error.
+//! Flow control:
 //!
-//! Every stage records into `serve.*` metrics: accepted batches/records,
-//! batch-size and end-to-end latency histograms, queue-depth gauge, and
-//! per-batch scoring time.
+//! * **Backpressure** — each shard's ring is bounded (`queue_depth`
+//!   split across shards); `submit` parks on the shard's doorbell when
+//!   its scorer falls behind, so an overloaded engine slows producers
+//!   down instead of growing without bound.
+//! * **Graceful drain** — [`ServeEngine::drain`] blocks until every
+//!   accepted ticket has been fulfilled (event-driven: workers ring a
+//!   drain doorbell, no polling); [`ServeEngine::shutdown`] closes the
+//!   intake, lets workers drain their rings, joins them, and finally
+//!   sweeps any straggler ring items inline — **no accepted ticket is
+//!   ever dropped**. Submissions after shutdown fail fast.
+//!
+//! Every stage records into `serve.*` metrics: accepted/rejected
+//! batches, record counts, batch-size and end-to-end latency histograms
+//! (fine-grained [`boat_obs::latency_bounds_ns`] buckets, so
+//! p50/p99/p999 reads are meaningful), per-batch scoring time, and the
+//! per-shard intake depths (`serve.queue_depth` = sum over shards,
+//! `serve.shard.depth_max` = deepest shard).
 
 use crate::block::RecordBlock;
-use crate::handle::ModelHandle;
+use crate::compile::BatchScratch;
+use crate::handle::{ModelHandle, SnapshotReader};
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::shard::ShardQueue;
 use boat_data::{DataError, Record, Result, Schema};
-use boat_obs::Registry;
-use std::collections::VecDeque;
+use boat_obs::{latency_bounds_ns, Counter, Gauge, Histogram, Registry};
+use std::ops::Range;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`ServeEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Scorer worker threads. `0` resolves to the machine's available
-    /// parallelism.
+    /// Scorer worker threads (= intake shards). `0` resolves to the
+    /// machine's available parallelism.
     pub workers: usize,
-    /// Maximum queued (accepted, unscored) batches before `submit`
-    /// blocks. Must be ≥ 1.
+    /// Total queued (accepted, unscored) batches across all shards
+    /// before `submit` blocks. Split evenly across shards and rounded up
+    /// to a power of two per shard, so the effective bound can be
+    /// somewhat higher — see [`ServeEngine::queue_capacity`].
     pub queue_depth: usize,
 }
 
@@ -65,224 +86,474 @@ impl ServeConfig {
     }
 }
 
-/// One queued scoring request.
+/// A batch's record storage: owned rows, or a shared slice of a larger
+/// `Arc`'d buffer (zero-copy submission for replay/bench workloads).
+enum Payload {
+    Owned(Vec<Record>),
+    Shared(Arc<Vec<Record>>, Range<usize>),
+}
+
+impl Payload {
+    fn records(&self) -> &[Record] {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Shared(buf, range) => &buf[range.clone()],
+        }
+    }
+}
+
+/// One queued scoring request, pinned to the model entry it was
+/// validated against at submit time (an eviction cannot strand it).
 struct Job {
-    records: Vec<Record>,
+    payload: Payload,
+    entry: Arc<ModelEntry>,
     ticket: Arc<TicketState>,
-    /// Cell the scoring worker writes the snapshot epoch into (before
-    /// fulfilling the ticket), for [`Ticket::wait_with_epoch`].
-    epoch: Arc<Mutex<Option<u64>>>,
     enqueued: Instant,
 }
 
 struct TicketState {
-    slot: Mutex<Option<Vec<u16>>>,
+    slot: Mutex<TicketSlot>,
     done: Condvar,
+}
+
+/// `result` holds `(labels, epoch)` once fulfilled — written together so
+/// [`Ticket::wait_with_epoch`] never observes a torn pair. `waiting` is
+/// set (under the same mutex) before a waiter parks, so fulfillment only
+/// pays the condvar-notify syscall when someone is actually parked — on
+/// a busy engine most tickets are fulfilled before anyone waits on them.
+#[derive(Default)]
+struct TicketSlot {
+    result: Option<(Vec<u16>, u64)>,
+    waiting: bool,
 }
 
 /// A handle to one submitted batch's eventual predictions.
 ///
 /// Returned by [`ServeEngine::submit`]; [`Ticket::wait`] blocks until a
-/// scorer fulfills the batch (shutdown drains the queue, so every issued
+/// scorer fulfills the batch (shutdown drains the rings, so every issued
 /// ticket is eventually fulfilled).
 pub struct Ticket {
     state: Arc<TicketState>,
-    /// The epoch the batch was scored under, once fulfilled (telemetry
-    /// for swap-under-load tests; set before `wait` returns).
-    epoch: Arc<Mutex<Option<u64>>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fulfilled = self.state.slot.lock().unwrap().result.is_some();
+        f.debug_struct("Ticket")
+            .field("fulfilled", &fulfilled)
+            .finish()
+    }
 }
 
 impl Ticket {
     /// Block until the batch is scored; returns one label per submitted
     /// record, in submission order.
     pub fn wait(self) -> Vec<u16> {
-        let mut slot = self.state.slot.lock().unwrap();
-        while slot.is_none() {
-            slot = self.state.done.wait(slot).unwrap();
-        }
-        slot.take().expect("fulfilled above")
+        self.wait_with_epoch().0
     }
 
     /// Like [`Ticket::wait`], additionally returning the publication
     /// epoch of the snapshot the batch was scored against.
     pub fn wait_with_epoch(self) -> (Vec<u16>, u64) {
-        let labels = {
-            let mut slot = self.state.slot.lock().unwrap();
-            while slot.is_none() {
-                slot = self.state.done.wait(slot).unwrap();
-            }
-            slot.take().expect("fulfilled above")
-        };
-        let epoch = self.epoch.lock().unwrap().expect("set before fulfill");
-        (labels, epoch)
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.result.is_none() {
+            slot.waiting = true;
+            slot = self.state.done.wait(slot).unwrap();
+        }
+        slot.result.take().expect("fulfilled above")
     }
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
+/// Metric handles resolved once (registry lookups take a lock; updates
+/// on these handles are lock-free).
+struct EngineMetrics {
+    batches_submitted: Counter,
+    rejected: Counter,
+    batches: Counter,
+    records: Counter,
+    batch_size: Histogram,
+    latency_ns: Histogram,
+    score_ns: Histogram,
+    depth_sum: Gauge,
+    depth_max: Gauge,
+}
+
+impl EngineMetrics {
+    fn resolve(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            batches_submitted: registry.counter("serve.batches_submitted"),
+            rejected: registry.counter("serve.rejected"),
+            batches: registry.counter("serve.batches"),
+            records: registry.counter("serve.records"),
+            batch_size: registry.histogram_with("serve.batch_size", &batch_size_bounds()),
+            latency_ns: registry.histogram_with("serve.latency_ns", &latency_bounds_ns()),
+            score_ns: registry.histogram_with("serve.score_ns", &latency_bounds_ns()),
+            depth_sum: registry.gauge("serve.queue_depth"),
+            depth_max: registry.gauge("serve.shard.depth_max"),
+        }
+    }
 }
 
 struct Shared {
-    queue: Mutex<QueueState>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    queue_depth: usize,
-    handle: ModelHandle,
-    schema: Arc<Schema>,
+    shards: Vec<ShardQueue<Job>>,
+    closed: AtomicBool,
+    /// Round-robin cursor for shard selection.
+    next_shard: AtomicUsize,
+    /// Tickets accepted (incremented before the ring push; rolled back
+    /// if the push is refused because the engine closed).
+    accepted: AtomicU64,
+    /// Tickets fulfilled. `drain` waits for `completed == accepted`.
+    completed: AtomicU64,
+    /// Drain doorbell (same fence protocol as the shard doorbells).
+    drain_gate: Mutex<()>,
+    drain_cv: Condvar,
+    drain_parked: AtomicUsize,
+    registry: ModelRegistry,
+    /// The model the engine was started with; its submit path skips the
+    /// registry's read lock entirely.
+    default_entry: Arc<ModelEntry>,
     metrics: Registry,
+    m: EngineMetrics,
 }
 
-/// A running serving engine: scorer threads + bounded intake queue.
+impl Shared {
+    fn update_depth_gauges(&self) {
+        let mut sum = 0usize;
+        let mut max = 0usize;
+        for s in &self.shards {
+            let d = s.len();
+            sum += d;
+            max = max.max(d);
+        }
+        self.m.depth_sum.set(sum as u64);
+        self.m.depth_max.set(max as u64);
+    }
+
+    fn notify_drain(&self) {
+        // Pairs with the SeqCst fence in `drain`: either we see its
+        // parked count, or its re-check sees our `completed` bump.
+        fence(Ordering::SeqCst);
+        if self.drain_parked.load(Ordering::Relaxed) > 0 {
+            let _guard = self.drain_gate.lock().unwrap();
+            self.drain_cv.notify_all();
+        }
+    }
+}
+
+/// A running serving engine: shard-per-core scorer threads + lock-free
+/// intake rings + multi-model registry.
 ///
 /// Dropping the engine without calling [`ServeEngine::shutdown`] also
 /// drains gracefully (shutdown is invoked from `Drop`).
 pub struct ServeEngine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServeEngine {
-    /// Spawn the scorer pool. `schema` types the columnar transposition
-    /// of every batch; `handle` supplies per-batch tree snapshots.
-    /// Metrics go to the handle's registry.
+    /// Spawn the scorer pool with `handle`/`schema` as the **default
+    /// model** (also registered under the key `"default"`). Metrics go
+    /// to the handle's registry.
     pub fn start(handle: ModelHandle, schema: Arc<Schema>, config: ServeConfig) -> ServeEngine {
-        let workers = config.effective_workers();
+        let workers = config.effective_workers().max(1);
         let metrics = handle.metrics().clone();
         metrics.gauge("serve.workers").set(workers as u64);
+        let per_shard = config.queue_depth.max(1).div_ceil(workers);
+        let registry = ModelRegistry::new();
+        let default_entry = registry.register("default", handle, schema);
+        let m = EngineMetrics::resolve(&metrics);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            queue_depth: config.queue_depth.max(1),
-            handle,
-            schema,
+            shards: (0..workers)
+                .map(|_| ShardQueue::with_capacity(per_shard))
+                .collect(),
+            closed: AtomicBool::new(false),
+            next_shard: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            drain_gate: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            drain_parked: AtomicUsize::new(0),
+            registry,
+            default_entry,
             metrics,
+            m,
         });
         let threads = (0..workers)
-            .map(|_| {
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, i))
             })
             .collect();
         ServeEngine {
             shared,
-            workers: threads,
+            workers: Mutex::new(threads),
         }
     }
 
-    /// Submit one micro-batch for scoring. Blocks while the queue is at
-    /// `queue_depth` (backpressure); fails fast once the engine is shut
-    /// down. The returned [`Ticket`] resolves to one label per record.
+    /// Submit one micro-batch against the default model. Blocks while
+    /// the target shard's ring is full (backpressure); fails fast once
+    /// the engine is shut down. The returned [`Ticket`] resolves to one
+    /// label per record.
     pub fn submit(&self, records: Vec<Record>) -> Result<Ticket> {
+        let entry = Arc::clone(&self.shared.default_entry);
+        self.submit_job(entry, Payload::Owned(records))
+    }
+
+    /// Zero-copy submit against the default model: score `buf[range]`
+    /// without cloning the records. The engine holds the `Arc` until the
+    /// batch is fulfilled; the caller keeps ownership of the buffer.
+    pub fn submit_shared(&self, buf: Arc<Vec<Record>>, range: Range<usize>) -> Result<Ticket> {
+        if range.start > range.end || range.end > buf.len() {
+            return Err(DataError::Invalid(format!(
+                "batch range {}..{} out of bounds for buffer of {} records",
+                range.start,
+                range.end,
+                buf.len()
+            )));
+        }
+        let entry = Arc::clone(&self.shared.default_entry);
+        self.submit_job(entry, Payload::Shared(buf, range))
+    }
+
+    /// Submit one micro-batch against the model registered under `key`.
+    /// Unknown keys fail with [`DataError::Invalid`]; batches that do
+    /// not conform to the model's schema fail with [`DataError::Schema`].
+    pub fn submit_to(&self, key: &str, records: Vec<Record>) -> Result<Ticket> {
+        let entry = self.shared.registry.resolve(key)?;
+        self.submit_job(entry, Payload::Owned(records))
+    }
+
+    fn submit_job(&self, entry: Arc<ModelEntry>, payload: Payload) -> Result<Ticket> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            self.shared.m.rejected.inc();
+            return Err(DataError::Invalid("serve engine is shut down".into()));
+        }
+        if let Err(e) = entry.validate(payload.records()) {
+            self.shared.m.rejected.inc();
+            return Err(e);
+        }
         let ticket_state = Arc::new(TicketState {
-            slot: Mutex::new(None),
+            slot: Mutex::new(TicketSlot::default()),
             done: Condvar::new(),
         });
-        let epoch = Arc::new(Mutex::new(None));
         let job = Job {
-            records,
+            payload,
+            entry,
             ticket: Arc::clone(&ticket_state),
-            epoch: Arc::clone(&epoch),
             enqueued: Instant::now(),
         };
+        // Count the ticket as accepted *before* it becomes visible to a
+        // worker, so `drain` can never observe `completed > accepted`;
+        // rolled back below if the push is refused.
+        self.shared.accepted.fetch_add(1, Ordering::AcqRel);
+        let shard =
+            self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        if self.shared.shards[shard]
+            .push_or_park(job, &self.shared.closed)
+            .is_err()
         {
-            let mut q = self.shared.queue.lock().unwrap();
-            while q.jobs.len() >= self.shared.queue_depth && !q.closed {
-                q = self.shared.not_full.wait(q).unwrap();
-            }
-            if q.closed {
-                return Err(DataError::Invalid("serve engine is shut down".into()));
-            }
-            q.jobs.push_back(job);
-            self.shared
-                .metrics
-                .gauge("serve.queue_depth")
-                .set(q.jobs.len() as u64);
+            self.shared.accepted.fetch_sub(1, Ordering::AcqRel);
+            self.shared.m.rejected.inc();
+            self.shared.notify_drain();
+            return Err(DataError::Invalid("serve engine is shut down".into()));
         }
-        self.shared.not_empty.notify_one();
-        self.shared.metrics.counter("serve.batches_submitted").inc();
+        self.shared.m.batches_submitted.inc();
+        self.shared.update_depth_gauges();
         Ok(Ticket {
             state: ticket_state,
-            epoch,
         })
     }
 
-    /// Close the intake, wait for the queue to drain, and join every
-    /// scorer thread. All accepted tickets are fulfilled before return.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    /// Register a model under `key` (replacing any previous entry —
+    /// in-flight tickets against the old entry still complete). Keyed
+    /// submits via [`ServeEngine::submit_to`] become visible
+    /// immediately.
+    pub fn register_model(&self, key: &str, handle: ModelHandle, schema: Arc<Schema>) {
+        self.shared.registry.register(key, handle, schema);
+        self.shared
+            .metrics
+            .gauge("serve.models")
+            .set(self.shared.registry.len() as u64);
     }
 
-    fn shutdown_inner(&mut self) {
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.closed = true;
+    /// Evict the model registered under `key`; returns whether it
+    /// existed. Accepted tickets against it still complete (the job
+    /// pinned the entry); subsequent keyed submits fail.
+    pub fn evict_model(&self, key: &str) -> bool {
+        let existed = self.shared.registry.evict(key).is_some();
+        self.shared
+            .metrics
+            .gauge("serve.models")
+            .set(self.shared.registry.len() as u64);
+        existed
+    }
+
+    /// The publication epoch of the model under `key`, if registered.
+    pub fn model_epoch(&self, key: &str) -> Option<u64> {
+        self.shared.registry.get(key).map(|e| e.handle().epoch())
+    }
+
+    /// Registered model keys, sorted.
+    pub fn model_keys(&self) -> Vec<String> {
+        self.shared.registry.keys()
+    }
+
+    /// Total live occupancy across all shard rings (approximate under
+    /// concurrency).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Total ring capacity across shards — the effective backpressure
+    /// bound (per-shard capacities round up to powers of two).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Block until every accepted ticket has been fulfilled. Event
+    /// driven: workers ring a doorbell per completion; no polling loop.
+    /// Does **not** close the intake — concurrent submitters can keep
+    /// the engine busy past this call's snapshot of `accepted`.
+    pub fn drain(&self) {
+        loop {
+            let accepted = self.shared.accepted.load(Ordering::Acquire);
+            let completed = self.shared.completed.load(Ordering::Acquire);
+            if completed >= accepted {
+                break;
+            }
+            let guard = self.shared.drain_gate.lock().unwrap();
+            self.shared.drain_parked.fetch_add(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let accepted = self.shared.accepted.load(Ordering::Acquire);
+            let completed = self.shared.completed.load(Ordering::Acquire);
+            if completed < accepted {
+                // Bounded wait is defense-in-depth; the fence protocol
+                // already forbids a lost wakeup.
+                let (guard, _) = self
+                    .shared
+                    .drain_cv
+                    .wait_timeout(guard, Duration::from_millis(2))
+                    .unwrap();
+                drop(guard);
+            } else {
+                drop(guard);
+            }
+            self.shared.drain_parked.fetch_sub(1, Ordering::Relaxed);
         }
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
-        for t in self.workers.drain(..) {
+        self.shared.update_depth_gauges();
+    }
+
+    /// Close the intake, wait for the rings to drain, and join every
+    /// scorer thread. All accepted tickets are fulfilled before return;
+    /// idempotent (later calls are no-ops). Submissions after shutdown
+    /// fail fast with a typed error.
+    pub fn shutdown(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            shard.wake_all();
+        }
+        let threads: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        for t in threads {
             let _ = t.join();
         }
+        // Final sweep: score any straggler that raced into a ring as it
+        // closed. A submitter that passed the closed check may still be
+        // mid-push, so sweep until the accepted/completed ledger
+        // balances (every in-flight submit either lands its job — we
+        // score it — or observes `closed` and rolls its count back).
+        // No accepted ticket is ever dropped.
+        let mut scratch = BatchScratch::default();
+        let mut readers: Vec<(u64, SnapshotReader)> = Vec::new();
+        loop {
+            for shard in &self.shared.shards {
+                while let Some(job) = shard.try_pop() {
+                    score_job(&self.shared, &mut scratch, &mut readers, job);
+                }
+            }
+            let accepted = self.shared.accepted.load(Ordering::Acquire);
+            let completed = self.shared.completed.load(Ordering::Acquire);
+            if completed >= accepted {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        self.shared.update_depth_gauges();
     }
 }
 
 impl Drop for ServeEngine {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.shutdown_inner();
+        self.shutdown();
+    }
+}
+
+/// Cap on per-worker cached snapshot readers: enough for every live
+/// tenant of a realistic engine; overflowing (a register/evict churn
+/// test) just resets the cache.
+const READER_CACHE_CAP: usize = 16;
+
+fn reader_for<'a>(
+    readers: &'a mut Vec<(u64, SnapshotReader)>,
+    entry: &ModelEntry,
+) -> &'a mut SnapshotReader {
+    match readers.iter().position(|(id, _)| *id == entry.id()) {
+        Some(pos) => &mut readers[pos].1,
+        None => {
+            if readers.len() >= READER_CACHE_CAP {
+                readers.clear();
+            }
+            readers.push((entry.id(), entry.handle().reader()));
+            &mut readers.last_mut().expect("just pushed").1
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    // Per-worker scoring buffers, reused across every batch this worker
-    // ever scores (allocation-free steady state).
-    let mut scratch = crate::compile::BatchScratch::default();
-    // Resolve metric handles once; updates are lock-free afterwards.
-    let batches = shared.metrics.counter("serve.batches");
-    let records_total = shared.metrics.counter("serve.records");
-    let batch_size_hist = shared
-        .metrics
-        .histogram_with("serve.batch_size", &batch_size_bounds());
-    let latency_hist = shared.metrics.histogram("serve.latency_ns");
-    let score_hist = shared.metrics.histogram("serve.score_ns");
-    let depth_gauge = shared.metrics.gauge("serve.queue_depth");
-    loop {
-        let job = {
-            let mut q = shared.queue.lock().unwrap();
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    depth_gauge.set(q.jobs.len() as u64);
-                    break job;
-                }
-                if q.closed {
-                    return; // queue drained and intake closed
-                }
-                q = shared.not_empty.wait(q).unwrap();
-            }
-        };
-        shared.not_full.notify_one();
-        // One snapshot per batch: the whole batch scores against one
-        // consistent tree; a concurrent publish takes effect at the next
-        // batch boundary.
-        let (tree, epoch) = shared.handle.snapshot_with_epoch();
-        let t0 = Instant::now();
-        let block = RecordBlock::from_records(&shared.schema, &job.records);
-        let mut labels = Vec::new();
-        tree.predict_batch_into(&block, &mut scratch, &mut labels);
-        score_hist.record(t0.elapsed().as_nanos() as u64);
-        batches.inc();
-        records_total.add(job.records.len() as u64);
-        batch_size_hist.record(job.records.len() as u64);
-        latency_hist.record(job.enqueued.elapsed().as_nanos() as u64);
-        *job.epoch.lock().unwrap() = Some(epoch);
+/// Score one job and fulfill its ticket. Shared between the worker loop
+/// and shutdown's final straggler sweep.
+fn score_job(
+    shared: &Shared,
+    scratch: &mut BatchScratch,
+    readers: &mut Vec<(u64, SnapshotReader)>,
+    job: Job,
+) {
+    let records = job.payload.records();
+    // One reader refresh per batch: the whole batch scores against one
+    // consistent snapshot; a concurrent publish takes effect at the next
+    // batch boundary. Steady state, this is a single atomic load.
+    let (tree, epoch) = reader_for(readers, &job.entry).current();
+    let t0 = Instant::now();
+    let block = RecordBlock::from_records(job.entry.schema(), records);
+    let mut labels = Vec::new();
+    tree.predict_batch_into(&block, scratch, &mut labels);
+    shared.m.score_ns.record(t0.elapsed().as_nanos() as u64);
+    shared.m.batches.inc();
+    shared.m.records.add(records.len() as u64);
+    shared.m.batch_size.record(records.len() as u64);
+    shared
+        .m
+        .latency_ns
+        .record(job.enqueued.elapsed().as_nanos() as u64);
+    {
         let mut slot = job.ticket.slot.lock().unwrap();
-        *slot = Some(labels);
-        job.ticket.done.notify_all();
+        slot.result = Some((labels, epoch));
+        if slot.waiting {
+            job.ticket.done.notify_all();
+        }
+    }
+    shared.completed.fetch_add(1, Ordering::AcqRel);
+    shared.notify_drain();
+}
+
+fn worker_loop(shared: &Shared, shard_idx: usize) {
+    // Per-worker scoring buffers and snapshot readers, reused across
+    // every batch this worker ever scores (allocation-free steady state
+    // apart from the label vector each ticket takes ownership of).
+    let mut scratch = BatchScratch::default();
+    let mut readers: Vec<(u64, SnapshotReader)> = Vec::new();
+    let shard = &shared.shards[shard_idx];
+    while let Some(job) = shard.pop_or_park(&shared.closed) {
+        score_job(shared, &mut scratch, &mut readers, job);
+        shared.update_depth_gauges();
     }
 }
 
@@ -353,45 +624,60 @@ mod tests {
         let tickets: Vec<Ticket> = (0..16)
             .map(|i| engine.submit(vec![rec(i as f64)]).unwrap())
             .collect();
-        let shared = Arc::clone(&engine.shared);
         engine.shutdown();
         for (i, t) in tickets.into_iter().enumerate() {
             assert_eq!(t.wait(), vec![u16::from(i as f64 > 5.0)]);
         }
-        // Post-shutdown submissions fail fast (reconstruct a throwaway
-        // engine handle view via the shared state: queue is closed).
-        assert!(shared.queue.lock().unwrap().closed);
+        // Post-shutdown submissions fail fast with a typed error.
+        let err = engine.submit(vec![rec(0.0)]).unwrap_err();
+        assert!(matches!(err, DataError::Invalid(_)));
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    #[test]
+    fn submit_shared_scores_without_cloning() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(handle, schema(), ServeConfig::default());
+        let buf = Arc::new((0..10).map(|i| rec(i as f64)).collect::<Vec<_>>());
+        let t1 = engine.submit_shared(Arc::clone(&buf), 0..4).unwrap();
+        let t2 = engine.submit_shared(Arc::clone(&buf), 4..10).unwrap();
+        assert_eq!(t1.wait(), vec![0, 0, 0, 0]);
+        assert_eq!(t2.wait(), vec![0, 0, 1, 1, 1, 1]);
+        // Out-of-bounds ranges are rejected up front.
+        assert!(engine.submit_shared(Arc::clone(&buf), 4..11).is_err());
+        engine.shutdown();
+        // The engine released its clones of the buffer.
+        assert_eq!(Arc::strong_count(&buf), 1);
     }
 
     #[test]
     fn backpressure_bounds_the_queue() {
-        // Queue depth 1 with zero workers-like behavior is impossible (a
-        // worker always runs), so instead verify the invariant directly:
-        // while submitting many one-record batches from several producer
-        // threads, the observed queue length never exceeds the bound.
+        // While submitting many one-record batches from several producer
+        // threads, the observed total ring occupancy never exceeds the
+        // engine's capacity bound.
         let handle = ModelHandle::new(compile(&threshold_tree()));
-        let depth = 4usize;
-        let engine = Arc::new(ServeEngine::start(
+        let engine = ServeEngine::start(
             handle,
             schema(),
             ServeConfig {
                 workers: 1,
-                queue_depth: depth,
+                queue_depth: 4,
             },
-        ));
+        );
+        let cap = engine.queue_capacity();
+        assert!(cap >= 4);
         std::thread::scope(|s| {
             for p in 0..3 {
-                let engine = Arc::clone(&engine);
+                let engine = &engine;
                 s.spawn(move || {
                     for i in 0..50 {
                         let t = engine.submit(vec![rec((p * 50 + i) as f64)]).unwrap();
                         let _ = t.wait();
-                        assert!(engine.shared.queue.lock().unwrap().jobs.len() <= depth);
+                        assert!(engine.queue_depth() <= cap);
                     }
                 });
             }
         });
-        let engine = Arc::into_inner(engine).expect("producers joined");
         engine.shutdown();
     }
 
@@ -445,10 +731,36 @@ mod tests {
         assert_eq!(snap.counter("serve.batches"), 5);
         assert_eq!(snap.counter("serve.batches_submitted"), 5);
         assert_eq!(snap.counter("serve.records"), 10);
+        assert_eq!(snap.counter("serve.rejected"), 0);
         let h = snap.histogram("serve.batch_size").unwrap();
         assert_eq!((h.count, h.sum), (5, 10));
         assert_eq!(snap.histogram("serve.latency_ns").unwrap().count, 5);
         assert_eq!(snap.gauge("serve.workers"), Some(2));
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+        assert_eq!(snap.gauge("serve.shard.depth_max"), Some(0));
+    }
+
+    #[test]
+    fn drain_waits_for_accepted_tickets() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 2,
+                queue_depth: 16,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|i| engine.submit(vec![rec(i as f64)]).unwrap())
+            .collect();
+        engine.drain();
+        assert_eq!(engine.queue_depth(), 0);
+        // Every ticket is already fulfilled: waits return immediately.
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), vec![u16::from(i as f64 > 5.0)]);
+        }
+        engine.shutdown();
     }
 
     #[test]
@@ -465,5 +777,28 @@ mod tests {
         let t = engine.submit(vec![rec(2.0)]).unwrap();
         drop(engine); // Drop impl drains and joins
         assert_eq!(t.wait(), vec![0]);
+    }
+
+    #[test]
+    fn keyed_submit_and_wrong_schema_rejection() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(handle, schema(), ServeConfig::default());
+        // "default" is pre-registered.
+        assert_eq!(engine.model_keys(), vec!["default".to_string()]);
+        let t = engine.submit_to("default", vec![rec(9.0)]).unwrap();
+        assert_eq!(t.wait(), vec![1]);
+        // Unknown key.
+        assert!(matches!(
+            engine.submit_to("nope", vec![rec(1.0)]).unwrap_err(),
+            DataError::Invalid(_)
+        ));
+        // Wrong schema: two fields into a one-attribute model.
+        assert!(matches!(
+            engine
+                .submit(vec![Record::new(vec![Field::Num(1.0), Field::Num(2.0)], 0)])
+                .unwrap_err(),
+            DataError::Schema(_)
+        ));
+        engine.shutdown();
     }
 }

@@ -1,4 +1,4 @@
-//! Snapshot publication: epoch-versioned atomic swapping of compiled
+//! Snapshot publication: epoch-stamped atomic swapping of compiled
 //! trees between one maintainer and any number of scorer threads.
 //!
 //! The serving invariant is the read-path mirror of BOAT's exact-tree
@@ -7,27 +7,48 @@
 //! snapshot, never a torn mix — while `BoatModel::maintain` runs
 //! concurrently and publishes its result the instant it materializes.
 //!
-//! The mechanism is deliberately boring (std-only, no epoch GC, no
-//! hazard pointers): the current snapshot is an `Arc<CompiledTree>`
-//! behind a `Mutex`. Readers take the lock only long enough to clone the
-//! `Arc` (one refcount increment — nanoseconds; no reader ever waits on
-//! compilation, maintenance, or another reader's scoring), then score
-//! entirely outside the lock. Writers swap the `Arc` and bump a
-//! monotonically increasing **epoch** under the same lock, so
-//! `(snapshot, epoch)` pairs read under the lock are always mutually
-//! consistent. Old snapshots stay alive exactly as long as some reader
-//! still holds them and are freed by the last `Arc` drop — the classic
-//! RCU shape with reference counting as the grace period.
+//! ## Publication protocol
+//!
+//! The handle keeps two pieces of state:
+//!
+//! * `current: Mutex<(Arc<CompiledTree>, u64)>` — the **publication
+//!   record**: the snapshot and its epoch, swapped together under the
+//!   lock so the pair is never torn. Only writers and *refreshing*
+//!   readers touch it.
+//! * `epoch_hint: AtomicU64` — a monotone mirror of the published epoch,
+//!   stored (release) while the publication lock is still held, so
+//!   `hint == N` implies the epoch-`N` record is already visible to
+//!   anyone who subsequently takes the lock.
+//!
+//! The steady-state read path never touches the lock: a
+//! [`SnapshotReader`] caches `(Arc<CompiledTree>, epoch)` per reader
+//! thread and its [`SnapshotReader::current`] is **one atomic load** of
+//! `epoch_hint` — no `Arc` refcount traffic, no shared cache-line writes
+//! at all while the model is stable. Only when the hint moves past the
+//! cached epoch does the reader briefly take the lock to re-read the
+//! publication record (one `Arc` clone per *publication*, not per
+//! batch). Epochs a reader observes are monotone: the hint only grows,
+//! and a refresh always lands on a record at least as new as the hint
+//! that triggered it.
+//!
+//! Old snapshots stay alive exactly as long as some reader still holds
+//! them and are freed by the last `Arc` drop — the classic RCU shape
+//! with reference counting as the grace period.
 
 use crate::compile::{compile, CompiledTree};
 use boat_core::BoatModel;
 use boat_obs::Registry;
 use boat_tree::Impurity;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 struct HandleInner {
-    /// The current snapshot plus its epoch, swapped together.
+    /// The publication record: current snapshot plus its epoch, swapped
+    /// together. Writers and refreshing readers only.
     current: Mutex<(Arc<CompiledTree>, u64)>,
+    /// Monotone mirror of the published epoch; the lock-free fast path.
+    /// Stored (release) while `current`'s lock is held.
+    epoch_hint: AtomicU64,
     /// Metrics sink (`serve.snapshot_swaps`, `serve.epoch`,
     /// `serve.model_bytes`, `serve.compile` span).
     metrics: Registry,
@@ -37,6 +58,8 @@ struct HandleInner {
 ///
 /// Clone freely into scorer threads, the serving engine, and the
 /// maintenance thread — all clones observe the same publication state.
+/// Hot read loops should attach a per-thread [`SnapshotReader`] instead
+/// of calling [`ModelHandle::snapshot`] per batch.
 #[derive(Clone)]
 pub struct ModelHandle {
     inner: Arc<HandleInner>,
@@ -69,13 +92,15 @@ impl ModelHandle {
         ModelHandle {
             inner: Arc::new(HandleInner {
                 current: Mutex::new((Arc::new(initial), 0)),
+                epoch_hint: AtomicU64::new(0),
                 metrics,
             }),
         }
     }
 
-    /// The current snapshot. The lock is held for one `Arc` clone only;
-    /// scoring against the returned tree happens entirely outside it.
+    /// The current snapshot. Takes the publication lock for one `Arc`
+    /// clone; scoring against the returned tree happens entirely outside
+    /// it. Per-batch callers should use a [`SnapshotReader`] instead.
     #[inline]
     pub fn snapshot(&self) -> Arc<CompiledTree> {
         self.inner.current.lock().unwrap().0.clone()
@@ -90,14 +115,27 @@ impl ModelHandle {
     }
 
     /// The current epoch: 0 at creation, +1 per [`ModelHandle::publish`].
+    /// Lock-free (reads the epoch mirror).
+    #[inline]
     pub fn epoch(&self) -> u64 {
-        self.inner.current.lock().unwrap().1
+        self.inner.epoch_hint.load(Ordering::Acquire)
+    }
+
+    /// Attach a per-thread [`SnapshotReader`] whose steady-state read is
+    /// one atomic load (no lock, no refcount traffic).
+    pub fn reader(&self) -> SnapshotReader {
+        let (cached, epoch) = self.snapshot_with_epoch();
+        SnapshotReader {
+            handle: self.clone(),
+            cached,
+            epoch,
+        }
     }
 
     /// Atomically publish `tree` as the new snapshot; returns the new
     /// epoch. Readers that already hold the previous snapshot keep
-    /// scoring against it; every subsequent [`ModelHandle::snapshot`]
-    /// observes the new tree.
+    /// scoring against it; every subsequent [`ModelHandle::snapshot`] or
+    /// [`SnapshotReader::current`] observes the new tree.
     pub fn publish(&self, tree: CompiledTree) -> u64 {
         let bytes = tree.table_size_bytes() as u64;
         let fresh = Arc::new(tree);
@@ -105,6 +143,10 @@ impl ModelHandle {
             let mut guard = self.inner.current.lock().unwrap();
             guard.0 = fresh;
             guard.1 += 1;
+            // Mirror the epoch while still holding the lock: a reader
+            // that observes the new hint and refreshes is guaranteed to
+            // find a record at least this new.
+            self.inner.epoch_hint.store(guard.1, Ordering::Release);
             guard.1
         };
         self.inner.metrics.counter("serve.snapshot_swaps").inc();
@@ -119,6 +161,50 @@ impl ModelHandle {
     }
 }
 
+/// A per-thread cached view of a [`ModelHandle`]'s publication state.
+///
+/// [`SnapshotReader::current`] costs one atomic load while the published
+/// epoch is unchanged and re-reads the publication record (under the
+/// briefly-held lock) only when a publish happened — so a scorer thread
+/// in steady state shares **no** mutable cache lines with other readers
+/// or the publisher. Epochs returned by one reader are monotone, and
+/// causally ordered work observes monotone epochs across readers too:
+/// if ticket B is submitted after ticket A's result was received, B's
+/// scorer reads the hint after A's scorer did (the ticket hand-off
+/// synchronizes), so coherence forbids it from reading an older value.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    handle: ModelHandle,
+    cached: Arc<CompiledTree>,
+    epoch: u64,
+}
+
+impl SnapshotReader {
+    /// The current `(snapshot, epoch)` pair. One atomic load on the fast
+    /// path; refreshes from the publication record when the epoch moved.
+    #[inline]
+    pub fn current(&mut self) -> (&Arc<CompiledTree>, u64) {
+        let hint = self.handle.inner.epoch_hint.load(Ordering::Acquire);
+        if hint != self.epoch {
+            let (tree, epoch) = self.handle.snapshot_with_epoch();
+            debug_assert!(epoch >= hint, "publication record older than its hint");
+            self.cached = tree;
+            self.epoch = epoch;
+        }
+        (&self.cached, self.epoch)
+    }
+
+    /// The epoch of the cached snapshot (no refresh).
+    pub fn cached_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The handle this reader is attached to.
+    pub fn handle(&self) -> &ModelHandle {
+        &self.handle
+    }
+}
+
 /// Wire a maintained [`BoatModel`] to a [`ModelHandle`]: compile and
 /// publish the model's *current* exact tree immediately (running any
 /// pending maintenance first), then install a publish hook so every
@@ -127,7 +213,7 @@ impl ModelHandle {
 /// publishes it to the handle.
 ///
 /// After this call, reader threads holding clones of `handle` always
-/// observe either the pre- or post-maintenance tree while `maintain`
+/// observe either the pre- or the post-maintenance tree while `maintain`
 /// runs — never an intermediate state — because publication happens in
 /// one swap after the exact tree is fully materialized.
 pub fn publish_on_maintain<I: Impurity + Clone>(
@@ -188,6 +274,52 @@ mod tests {
         let b = a.clone();
         a.publish(leaf(vec![0, 1]));
         assert_eq!(b.epoch(), 1);
+    }
+
+    #[test]
+    fn reader_fast_path_tracks_publishes() {
+        let handle = ModelHandle::new(leaf(vec![1, 0]));
+        let mut reader = handle.reader();
+        let r = boat_data::Record::new(vec![boat_data::Field::Num(0.0)], 0);
+        {
+            let (tree, epoch) = reader.current();
+            assert_eq!((tree.predict(&r), epoch), (0, 0));
+        }
+        // Unchanged hint: repeated reads stay on the cached snapshot.
+        assert_eq!(reader.current().1, 0);
+        handle.publish(leaf(vec![0, 1]));
+        let (tree, epoch) = reader.current();
+        assert_eq!((tree.predict(&r), epoch), (1, 1));
+        assert_eq!(reader.cached_epoch(), 1);
+    }
+
+    #[test]
+    fn reader_epochs_are_monotone_under_concurrent_publishes() {
+        let handle = ModelHandle::new(leaf(vec![1, 0]));
+        std::thread::scope(|s| {
+            let publisher = {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        handle.publish(leaf(vec![i % 3, 1]));
+                    }
+                })
+            };
+            for _ in 0..4 {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    let mut reader = handle.reader();
+                    let mut last = 0u64;
+                    for _ in 0..2_000 {
+                        let (_, epoch) = reader.current();
+                        assert!(epoch >= last, "reader epoch went backwards");
+                        last = epoch;
+                    }
+                });
+            }
+            publisher.join().unwrap();
+        });
+        assert_eq!(handle.epoch(), 500);
     }
 
     #[test]

@@ -15,14 +15,17 @@
 //!    including the pinned NaN / unseen-category routing contract —
 //!    and [`CompiledTree::predict_batch`] scores a columnar
 //!    [`RecordBlock`] attribute-major via frontier partitioning.
-//! 2. **Publication** ([`ModelHandle`]): epoch-versioned atomic
-//!    snapshot swapping. Readers clone an `Arc` under a briefly-held
-//!    lock and score entirely outside it; [`publish_on_maintain`]
-//!    wires a [`boat_core::BoatModel`] so every maintenance cycle that
-//!    materializes a fresh exact tree compiles and publishes it.
-//! 3. **Serving** ([`ServeEngine`]): N scorer workers pulling
-//!    micro-batches from a bounded MPMC queue with backpressure and
-//!    graceful drain, recording `serve.*` metrics into `boat-obs`.
+//! 2. **Publication** ([`ModelHandle`]): epoch-stamped atomic snapshot
+//!    swapping. A per-thread [`SnapshotReader`]'s steady-state read is
+//!    **one atomic load** — no lock, no refcount traffic;
+//!    [`publish_on_maintain`] wires a [`boat_core::BoatModel`] so every
+//!    maintenance cycle that materializes a fresh exact tree compiles
+//!    and publishes it.
+//! 3. **Serving** ([`ServeEngine`]): shard-per-core scorer workers,
+//!    each owning a bounded lock-free intake ring (submits round-robin
+//!    across shards — no shared queue lock on the hot path), with
+//!    backpressure, graceful drain, a multi-model [`ModelRegistry`]
+//!    for keyed submits, and `serve.*` metrics into `boat-obs`.
 //!
 //! The subsystem invariant mirrors BOAT's exact-tree guarantee on the
 //! write path: **every prediction is computed against one consistent
@@ -35,8 +38,11 @@ pub mod block;
 pub mod compile;
 pub mod engine;
 pub mod handle;
+pub mod registry;
+mod shard;
 
 pub use block::{Column, RecordBlock};
 pub use compile::{compile, BatchScratch, CompiledTree, NodeOp};
 pub use engine::{ServeConfig, ServeEngine, Ticket};
-pub use handle::{publish_on_maintain, ModelHandle};
+pub use handle::{publish_on_maintain, ModelHandle, SnapshotReader};
+pub use registry::{ModelEntry, ModelRegistry};

@@ -1,0 +1,434 @@
+//! Per-shard intake: a bounded lock-free ring buffer plus a parking
+//! doorbell.
+//!
+//! Each scorer worker owns exactly one [`ShardQueue`]; producers
+//! round-robin (or key-hash) batches across shards, so the hot path
+//! never crosses a shared `Mutex` + `Condvar` queue — a push is a CAS on
+//! the shard's tail plus one release store, a pop is the mirror image.
+//! The ring is Dmitry Vyukov's bounded MPMC queue (per-slot sequence
+//! numbers arbitrate producers and the consumer without locks); here it
+//! runs in MPSC mode — any thread may push, only the owning worker pops.
+//!
+//! Blocking (an *empty* ring for the consumer, a *full* ring for
+//! backpressured producers) is handled by a [`Doorbell`]: a
+//! `Mutex`/`Condvar` pair that is only touched on the slow path, with
+//! `SeqCst` fences closing the classic sleep/wakeup race (either the
+//! producer observes the parked flag and rings, or the parked side's
+//! re-check observes the push — the store-load pattern needs the fences;
+//! plain release/acquire would allow both sides to miss each other). A
+//! short bounded timeout on the waits is defense-in-depth only; no
+//! correctness property relies on it.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Pad-to-cache-line wrapper so the producer and consumer cursors do not
+/// false-share one line.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    /// Vyukov sequence number: `index` when writable at lap 0, `pos + 1`
+    /// after a push at `pos`, `pos + capacity` after the matching pop.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC ring (used MPSC: one consumer per shard).
+pub(crate) struct RingQueue<T> {
+    buf: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring hands each `T` from exactly one pushing thread to
+// exactly one popping thread; slots are never aliased thanks to the
+// per-slot sequence protocol. `T: Send` is required and sufficient.
+unsafe impl<T: Send> Send for RingQueue<T> {}
+unsafe impl<T: Send> Sync for RingQueue<T> {}
+
+impl<T> RingQueue<T> {
+    /// A ring holding at most `capacity` items (rounded **up** to a
+    /// power of two, minimum 2).
+    pub(crate) fn with_capacity(capacity: usize) -> RingQueue<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RingQueue {
+            buf,
+            mask: cap - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Usable capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Approximate live occupancy (exact when quiescent).
+    pub(crate) fn len(&self) -> usize {
+        let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Try to enqueue; returns the value back when the ring is full.
+    pub(crate) fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot is writable at this lap; claim it.
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made this thread the only
+                        // writer of slot `pos`; the consumer will not read
+                        // it until the `seq` release-store below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The slot still holds an unconsumed lap — ring is full.
+                return Err(value);
+            } else {
+                // Another producer claimed `pos`; chase the tail.
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Try to dequeue; `None` when the ring is empty.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the producer's release-store of `seq =
+                        // pos + 1` happens-before our acquire-load above,
+                        // so the value is fully written; the CAS made us
+                        // its only reader.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.buf.len(), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for RingQueue<T> {
+    fn drop(&mut self) {
+        // Drain whatever was never popped so `T`'s destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+/// One worker's intake: ring + doorbell + parked-side flags.
+pub(crate) struct ShardQueue<T> {
+    ring: RingQueue<T>,
+    gate: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// The consumer is (about to be) parked on `not_empty`.
+    consumer_parked: AtomicBool,
+    /// Producers (count) parked on `not_full`.
+    producers_parked: AtomicUsize,
+}
+
+/// How long a parked side waits per doorbell round. Purely
+/// defense-in-depth: the fence protocol already forbids lost wakeups, so
+/// this bounds the damage of any future regression to a latency blip
+/// instead of a deadlock.
+const PARK_TIMEOUT: Duration = Duration::from_millis(2);
+
+/// Optimistic spins before parking. Small on purpose: an empty intake
+/// should release the core quickly (the box may be single-core), while a
+/// briefly-contended one avoids two futex round-trips.
+const SPINS: u32 = 48;
+
+impl<T> ShardQueue<T> {
+    pub(crate) fn with_capacity(capacity: usize) -> ShardQueue<T> {
+        ShardQueue {
+            ring: RingQueue::with_capacity(capacity),
+            gate: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            consumer_parked: AtomicBool::new(false),
+            producers_parked: AtomicUsize::new(0),
+        }
+    }
+
+    /// Live occupancy (approximate under concurrency).
+    pub(crate) fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Non-blocking enqueue; rings the consumer's doorbell on success.
+    pub(crate) fn try_push(&self, value: T) -> Result<(), T> {
+        self.ring.push(value)?;
+        self.ring_doorbell();
+        Ok(())
+    }
+
+    /// Enqueue, parking (backpressure) while the ring is full. Returns
+    /// `Err(value)` only when `closed` becomes set before space frees up
+    /// or the value was accepted.
+    pub(crate) fn push_or_park(&self, mut value: T, closed: &AtomicBool) -> Result<(), T> {
+        loop {
+            if closed.load(Ordering::Acquire) {
+                return Err(value);
+            }
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(v) => value = v,
+            }
+            // Full: park until the consumer frees a slot. The fence
+            // pairs with the consumer's post-pop fence — either it sees
+            // our parked count, or our re-check sees its pop.
+            let guard = self.gate.lock().unwrap();
+            self.producers_parked.fetch_add(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            if self.ring.len() < self.ring.capacity() || closed.load(Ordering::Relaxed) {
+                self.producers_parked.fetch_sub(1, Ordering::Relaxed);
+                continue; // space freed (or closing) between the failed push and now
+            }
+            let (guard, _) = self.not_full.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+            drop(guard);
+            self.producers_parked.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Dequeue, parking while the ring is empty. Returns `None` once
+    /// `closed` is set **and** the ring is drained — the graceful-drain
+    /// contract: every item pushed before close is popped first.
+    pub(crate) fn pop_or_park(&self, closed: &AtomicBool) -> Option<T> {
+        loop {
+            for _ in 0..SPINS {
+                if let Some(v) = self.ring.pop() {
+                    self.wake_producers();
+                    return Some(v);
+                }
+                if closed.load(Ordering::Acquire) {
+                    // Closed: hand out the stragglers, then signal done.
+                    return self.ring.pop().inspect(|_| self.wake_producers());
+                }
+                std::hint::spin_loop();
+            }
+            let guard = self.gate.lock().unwrap();
+            self.consumer_parked.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            // Re-check under the parked flag: pairs with the producer's
+            // post-push fence.
+            if let Some(v) = self.ring.pop() {
+                self.consumer_parked.store(false, Ordering::Relaxed);
+                drop(guard);
+                self.wake_producers();
+                return Some(v);
+            }
+            if closed.load(Ordering::Relaxed) {
+                self.consumer_parked.store(false, Ordering::Relaxed);
+                return None;
+            }
+            let (guard, _) = self.not_empty.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+            drop(guard);
+            self.consumer_parked.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Wake both sides unconditionally (shutdown path).
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.gate.lock().unwrap();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Drain without blocking (the engine's post-join final sweep).
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let v = self.ring.pop();
+        if v.is_some() {
+            self.wake_producers();
+        }
+        v
+    }
+
+    fn ring_doorbell(&self) {
+        fence(Ordering::SeqCst);
+        if self.consumer_parked.load(Ordering::Relaxed) {
+            let _guard = self.gate.lock().unwrap();
+            self.not_empty.notify_one();
+        }
+    }
+
+    fn wake_producers(&self) {
+        fence(Ordering::SeqCst);
+        if self.producers_parked.load(Ordering::Relaxed) > 0 {
+            let _guard = self.gate.lock().unwrap();
+            self.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_capacity_rounds_up_to_power_of_two() {
+        assert_eq!(RingQueue::<u32>::with_capacity(0).capacity(), 2);
+        assert_eq!(RingQueue::<u32>::with_capacity(3).capacity(), 4);
+        assert_eq!(RingQueue::<u32>::with_capacity(64).capacity(), 64);
+    }
+
+    #[test]
+    fn ring_fifo_and_full_empty_edges() {
+        let q = RingQueue::with_capacity(4);
+        assert_eq!(q.pop(), None);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99)); // full
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        // Wraps across laps.
+        for lap in 0..3 {
+            for i in 0..3 {
+                q.push(lap * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(q.pop(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_drops_unpopped_values() {
+        let token = Arc::new(());
+        let q = RingQueue::with_capacity(8);
+        for _ in 0..5 {
+            q.push(Arc::clone(&token)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&token), 6);
+        drop(q);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn mpsc_stress_delivers_every_item_once() {
+        let q = Arc::new(RingQueue::with_capacity(16));
+        let producers = 4usize;
+        let per = 5_000usize;
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let mut v = p * per + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    // Yield, don't spin: on a single
+                                    // hardware thread a spinning
+                                    // producer starves the consumer for
+                                    // its whole timeslice.
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let q = Arc::clone(&q);
+            let consumer = s.spawn(move || {
+                let mut seen = vec![false; producers * per];
+                let mut got = 0usize;
+                while got < producers * per {
+                    if let Some(v) = q.pop() {
+                        assert!(!seen[v], "item {v} delivered twice");
+                        seen[v] = true;
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                assert!(seen.iter().all(|&b| b));
+            });
+            consumer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn shard_parks_and_drains_on_close() {
+        let shard = Arc::new(ShardQueue::with_capacity(4));
+        let closed = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let consumer = {
+                let shard = Arc::clone(&shard);
+                let closed = Arc::clone(&closed);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = shard.pop_or_park(&closed) {
+                        got.push(v);
+                    }
+                    got
+                })
+            };
+            // Push more than capacity so producers exercise backpressure.
+            for i in 0..32 {
+                shard.push_or_park(i, &closed).unwrap();
+            }
+            closed.store(true, Ordering::Release);
+            shard.wake_all();
+            let got = consumer.join().unwrap();
+            assert_eq!(got, (0..32).collect::<Vec<_>>());
+        });
+        // Post-close pushes fail fast with the value handed back.
+        assert_eq!(shard.push_or_park(77, &closed), Err(77));
+        assert_eq!(shard.len(), 0);
+    }
+}

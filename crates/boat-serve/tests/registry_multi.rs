@@ -1,0 +1,209 @@
+//! Multi-model registry coverage: register/evict under serving load,
+//! wrong-schema submits rejected with a typed error, and per-model epoch
+//! isolation (publishing model A never moves model B's epoch).
+
+use boat_data::{Attribute, DataError, Field, Record, Schema};
+use boat_serve::{compile, ModelHandle, ServeConfig, ServeEngine};
+use boat_tree::{Predicate, Split, Tree};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn num_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![Attribute::numeric("x")], 2).unwrap())
+}
+
+fn cat_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![Attribute::categorical("c", 8)], 2).unwrap())
+}
+
+/// x <= 5 → class 0 else class 1.
+fn num_tree() -> Tree {
+    let mut t = Tree::leaf(vec![5, 5]);
+    t.split_node(
+        t.root(),
+        Split {
+            attr: 0,
+            predicate: Predicate::NumLe(5.0),
+        },
+        vec![5, 0],
+        vec![0, 5],
+    );
+    t
+}
+
+/// c ∈ {0,1,2,3} → class 0 else class 1.
+fn cat_tree() -> Tree {
+    let mut t = Tree::leaf(vec![5, 5]);
+    t.split_node(
+        t.root(),
+        Split {
+            attr: 0,
+            predicate: Predicate::CatIn(boat_tree::CatSet::from_iter([0, 1, 2, 3])),
+        },
+        vec![5, 0],
+        vec![0, 5],
+    );
+    t
+}
+
+fn nrec(x: f64) -> Record {
+    Record::new(vec![Field::Num(x)], 0)
+}
+
+fn crec(c: u32) -> Record {
+    Record::new(vec![Field::Cat(c)], 0)
+}
+
+#[test]
+fn wrong_schema_keyed_submit_is_typed_error() {
+    let engine = ServeEngine::start(
+        ModelHandle::new(compile(&num_tree())),
+        num_schema(),
+        ServeConfig::default(),
+    );
+    engine.register_model("cats", ModelHandle::new(compile(&cat_tree())), cat_schema());
+    // Right schema per model works.
+    assert_eq!(
+        engine.submit_to("default", vec![nrec(9.0)]).unwrap().wait(),
+        vec![1]
+    );
+    assert_eq!(
+        engine.submit_to("cats", vec![crec(2)]).unwrap().wait(),
+        vec![0]
+    );
+    // Cross-wired schemas are rejected with DataError::Schema, not a
+    // worker panic.
+    assert!(matches!(
+        engine.submit_to("cats", vec![nrec(1.0)]).unwrap_err(),
+        DataError::Schema(_)
+    ));
+    assert!(matches!(
+        engine.submit_to("default", vec![crec(1)]).unwrap_err(),
+        DataError::Schema(_)
+    ));
+    // And the engine keeps serving correctly afterwards.
+    assert_eq!(
+        engine.submit_to("default", vec![nrec(1.0)]).unwrap().wait(),
+        vec![0]
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn per_model_epochs_are_isolated() {
+    let handle_a = ModelHandle::new(compile(&num_tree()));
+    let handle_b = ModelHandle::new(compile(&cat_tree()));
+    let engine = ServeEngine::start(handle_a.clone(), num_schema(), ServeConfig::default());
+    engine.register_model("b", handle_b.clone(), cat_schema());
+
+    // Publish to A repeatedly; B's epoch must not move.
+    for i in 0..5u64 {
+        // Alternate the split point so every publish is a fresh tree.
+        let mut t = Tree::leaf(vec![5, 5]);
+        t.split_node(
+            t.root(),
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(5.0 + i as f64),
+            },
+            vec![5, 0],
+            vec![0, 5],
+        );
+        handle_a.publish(compile(&t));
+    }
+    assert_eq!(engine.model_epoch("default"), Some(5));
+    assert_eq!(engine.model_epoch("b"), Some(0));
+
+    // Tickets report their own model's epoch.
+    let (_, epoch_a) = engine
+        .submit_to("default", vec![nrec(1.0)])
+        .unwrap()
+        .wait_with_epoch();
+    let (_, epoch_b) = engine
+        .submit_to("b", vec![crec(1)])
+        .unwrap()
+        .wait_with_epoch();
+    assert_eq!((epoch_a, epoch_b), (5, 0));
+
+    // And the mirror image: publishing to B leaves A alone.
+    handle_b.publish(compile(&cat_tree()));
+    assert_eq!(engine.model_epoch("default"), Some(5));
+    assert_eq!(engine.model_epoch("b"), Some(1));
+    engine.shutdown();
+}
+
+#[test]
+fn register_and_evict_under_serving_load() {
+    let engine = Arc::new(ServeEngine::start(
+        ModelHandle::new(compile(&num_tree())),
+        num_schema(),
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+        },
+    ));
+    engine.register_model(
+        "stable",
+        ModelHandle::new(compile(&cat_tree())),
+        cat_schema(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Churn thread: register/evict a third model continuously.
+        let churn = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut cycles = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    engine.register_model(
+                        "churny",
+                        ModelHandle::new(compile(&num_tree())),
+                        num_schema(),
+                    );
+                    engine.evict_model("churny");
+                    cycles += 1;
+                }
+                cycles
+            })
+        };
+        // Producers: keyed submits to the stable models stay exact the
+        // whole time; submits to the churning key either score exactly
+        // or fail with the unknown-key error, never anything else.
+        let mut joins = Vec::new();
+        for p in 0..2 {
+            let engine = Arc::clone(&engine);
+            joins.push(s.spawn(move || {
+                for i in 0..500u64 {
+                    let x = ((p * 500 + i) % 11) as f64;
+                    let labels = engine.submit_to("default", vec![nrec(x)]).unwrap().wait();
+                    assert_eq!(labels, vec![u16::from(x > 5.0)]);
+                    let c = (i % 8) as u32;
+                    let labels = engine.submit_to("stable", vec![crec(c)]).unwrap().wait();
+                    assert_eq!(labels, vec![u16::from(c > 3)]);
+                    match engine.submit_to("churny", vec![nrec(x)]) {
+                        Ok(t) => assert_eq!(t.wait(), vec![u16::from(x > 5.0)]),
+                        Err(DataError::Invalid(msg)) => {
+                            assert!(msg.contains("churny"), "unexpected error: {msg}")
+                        }
+                        Err(e) => panic!("unexpected error kind: {e:?}"),
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let cycles = churn.join().unwrap();
+        assert!(cycles > 0, "churn thread never cycled");
+    });
+
+    // Registry state is coherent after the storm.
+    assert_eq!(
+        engine.model_keys(),
+        vec!["default".to_string(), "stable".to_string()]
+    );
+    engine.shutdown();
+}

@@ -1,0 +1,304 @@
+//! Stress battery: maintain-while-serving across worker counts, with a
+//! randomized publish cadence driven by *completed batches* (no sleeps
+//! anywhere — every wait in this file is a condvar ticket wait, an
+//! epoch/counter observation, or a yield loop on one).
+//!
+//! The model family is constructed so the battery's assertions are
+//! airtight: the tree published at epoch `e` labels `x <= 5` rows as
+//! class `e % 8` and the rest as `(e + 3) % 8`, so a batch's reported
+//! epoch fully determines every expected label. That turns the three
+//! serving invariants into exact checks:
+//!
+//! * **(a) no torn batches** — every label in a batch must match the
+//!   single epoch the ticket reports; one record scored against a
+//!   different snapshot is an immediate mismatch.
+//! * **(b) monotone epochs per ticket** — a producer that submits ticket
+//!   B after ticket A resolved must never observe B's epoch below A's.
+//! * **(c) publication exactness** — any `(snapshot, epoch)` pair read
+//!   concurrently from the handle must be byte-identical
+//!   ([`CompiledTree::table_bytes`]) to a fresh `compile` of that
+//!   epoch's source tree.
+//!
+//! Scaled up by the `BOAT_SERVE_SOAK` env var for CI's multi-vCPU
+//! soak job.
+
+use boat_data::{Attribute, Field, Record, Schema};
+use boat_serve::{compile, ModelHandle, ServeConfig, ServeEngine};
+use boat_tree::{Predicate, Split, Tree};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const N_CLASSES: u16 = 8;
+
+/// The epoch-`e` model: `x <= 5` → class `e % 8`, else `(e + 3) % 8`.
+fn tree_for(e: u64) -> Tree {
+    let left = (e % u64::from(N_CLASSES)) as usize;
+    let right = ((e + 3) % u64::from(N_CLASSES)) as usize;
+    let one_hot = |class: usize| {
+        let mut counts = vec![0u64; N_CLASSES as usize];
+        counts[class] = 1;
+        counts
+    };
+    let mut root = vec![1u64; N_CLASSES as usize];
+    root[left] += 1; // deterministic majority, irrelevant post-split
+    let mut t = Tree::leaf(root);
+    t.split_node(
+        t.root(),
+        Split {
+            attr: 0,
+            predicate: Predicate::NumLe(5.0),
+        },
+        one_hot(left),
+        one_hot(right),
+    );
+    t
+}
+
+/// The label the epoch-`e` model must produce for `x` — same IEEE `<=`
+/// as the tree itself (NaN and `+inf` fail the predicate and go right).
+fn expected(e: u64, x: f64) -> u16 {
+    if x <= 5.0 {
+        (e % u64::from(N_CLASSES)) as u16
+    } else {
+        ((e + 3) % u64::from(N_CLASSES)) as u16
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![Attribute::numeric("x")], N_CLASSES).unwrap())
+}
+
+/// Deterministic split-mix style generator; no external crates, no
+/// wall-clock seeding (runs must be reproducible).
+fn rng_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut z = *state;
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xff51afd7ed558ccd);
+    z ^ (z >> 33)
+}
+
+/// A probe value: mostly finite around the split point, with NaN and
+/// ±inf mixed in so edge routing stays under concurrent fire.
+fn probe_x(state: &mut u64) -> f64 {
+    match rng_next(state) % 16 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        r => (r % 11) as f64,
+    }
+}
+
+struct BatteryScale {
+    publishes: u64,
+    batches_per_producer: usize,
+}
+
+fn scale() -> BatteryScale {
+    if std::env::var("BOAT_SERVE_SOAK").is_ok_and(|v| !v.is_empty() && v != "0") {
+        BatteryScale {
+            publishes: 300,
+            batches_per_producer: 3_000,
+        }
+    } else {
+        BatteryScale {
+            publishes: 30,
+            batches_per_producer: 200,
+        }
+    }
+}
+
+/// Run the battery at one worker count.
+fn run_battery(workers: usize) {
+    let BatteryScale {
+        publishes,
+        batches_per_producer,
+    } = scale();
+    const PRODUCERS: usize = 2;
+
+    // Precompute every epoch's expected compiled bytes for check (c).
+    let expected_bytes: Vec<Vec<u8>> = (0..=publishes)
+        .map(|e| compile(&tree_for(e)).table_bytes())
+        .collect();
+
+    let handle = ModelHandle::new(compile(&tree_for(0)));
+    let engine = ServeEngine::start(
+        handle.clone(),
+        schema(),
+        ServeConfig {
+            workers,
+            queue_depth: 32,
+        },
+    );
+    let batches_done = handle.metrics().counter("serve.batches");
+    let producers_done = AtomicBool::new(false);
+    let checker_stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Publisher: swap in epoch e after a pseudo-random number of
+        // *completed* batches — cadence is event-driven, and once the
+        // producers finish, the remaining epochs publish immediately so
+        // every run ends at the same final epoch.
+        let publisher = {
+            let handle = handle.clone();
+            let batches_done = batches_done.clone();
+            let producers_done = &producers_done;
+            s.spawn(move || {
+                let mut rng = 0x5eed_0000 + workers as u64;
+                let mut threshold = 0u64;
+                for e in 1..=publishes {
+                    threshold += 1 + rng_next(&mut rng) % 7;
+                    while batches_done.get() < threshold && !producers_done.load(Ordering::Acquire)
+                    {
+                        std::thread::yield_now();
+                    }
+                    let published = handle.publish(compile(&tree_for(e)));
+                    assert_eq!(published, e, "publisher epochs must be dense");
+                }
+            })
+        };
+
+        // Checker: any (snapshot, epoch) pair read mid-flight must be
+        // byte-identical to a fresh compile of that epoch's tree.
+        let checker = {
+            let handle = handle.clone();
+            let checker_stop = &checker_stop;
+            let expected_bytes = &expected_bytes;
+            s.spawn(move || {
+                let mut observed = 0u64;
+                while !checker_stop.load(Ordering::Acquire) {
+                    let (snap, e) = handle.snapshot_with_epoch();
+                    assert_eq!(
+                        snap.table_bytes(),
+                        expected_bytes[e as usize],
+                        "epoch-{e} snapshot diverges from compile(fresh rebuild)"
+                    );
+                    observed += 1;
+                }
+                observed
+            })
+        };
+
+        let mut producer_joins = Vec::new();
+        for p in 0..PRODUCERS {
+            let engine = &engine;
+            producer_joins.push(s.spawn(move || {
+                let mut rng = 0xabcd_ef00 + (workers * 31 + p) as u64;
+                let mut last_epoch = 0u64;
+                for _ in 0..batches_per_producer {
+                    let size = 1 + (rng_next(&mut rng) % 40) as usize;
+                    let xs: Vec<f64> = (0..size).map(|_| probe_x(&mut rng)).collect();
+                    let records: Vec<Record> = xs
+                        .iter()
+                        .map(|&x| Record::new(vec![Field::Num(x)], 0))
+                        .collect();
+                    let (labels, epoch) = engine.submit(records).unwrap().wait_with_epoch();
+                    // (b) Monotone epochs per ticket stream.
+                    assert!(
+                        epoch >= last_epoch,
+                        "producer {p}: ticket epoch went backwards ({epoch} < {last_epoch})"
+                    );
+                    assert!(epoch <= publishes, "impossible epoch {epoch}");
+                    last_epoch = epoch;
+                    // (a) No torn batch: every label must agree with the
+                    // single epoch the ticket reports.
+                    assert_eq!(labels.len(), xs.len());
+                    for (i, (&x, &label)) in xs.iter().zip(&labels).enumerate() {
+                        assert_eq!(
+                            label,
+                            expected(epoch, x),
+                            "torn batch: row {i} (x={x}) disagrees with epoch {epoch}"
+                        );
+                    }
+                }
+            }));
+        }
+        for j in producer_joins {
+            j.join().unwrap();
+        }
+        producers_done.store(true, Ordering::Release);
+        publisher.join().unwrap();
+        checker_stop.store(true, Ordering::Release);
+        let observed = checker.join().unwrap();
+        assert!(observed > 0, "checker never observed a snapshot");
+    });
+
+    // Drain and verify the queue-depth gauges return to zero.
+    engine.drain();
+    assert_eq!(engine.queue_depth(), 0, "rings not empty after drain");
+    let snap = handle.metrics().snapshot();
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+    assert_eq!(snap.gauge("serve.shard.depth_max"), Some(0));
+
+    // Terminal state: the last published epoch, byte-exact.
+    let (final_tree, final_epoch) = handle.snapshot_with_epoch();
+    assert_eq!(final_epoch, publishes);
+    assert_eq!(final_tree.table_bytes(), expected_bytes[publishes as usize]);
+    engine.shutdown();
+}
+
+#[test]
+fn battery_one_worker() {
+    run_battery(1);
+}
+
+#[test]
+fn battery_two_workers() {
+    run_battery(2);
+}
+
+#[test]
+fn battery_four_workers() {
+    run_battery(4);
+}
+
+#[test]
+fn battery_eight_workers() {
+    run_battery(8);
+}
+
+/// Drain never drops an accepted ticket, even when shutdown races the
+/// submissions: every ticket whose submit returned `Ok` must resolve.
+#[test]
+fn accepted_tickets_always_resolve_across_shutdown() {
+    let handle = ModelHandle::new(compile(&tree_for(0)));
+    let engine = Arc::new(ServeEngine::start(
+        handle,
+        schema(),
+        ServeConfig {
+            workers: 2,
+            queue_depth: 4,
+        },
+    ));
+    let accepted: Vec<_> = std::thread::scope(|s| {
+        let submitter = {
+            let engine = Arc::clone(&engine);
+            s.spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..10_000u64 {
+                    match engine.submit(vec![Record::new(vec![Field::Num((i % 9) as f64)], 0)]) {
+                        Ok(t) => tickets.push((i, t)),
+                        Err(_) => break, // engine closed underneath us
+                    }
+                }
+                tickets
+            })
+        };
+        // Shut down mid-stream: the submitter keeps going until it sees
+        // the closed error; everything accepted before that must score.
+        let engine2 = Arc::clone(&engine);
+        s.spawn(move || engine2.shutdown());
+        submitter.join().unwrap()
+    });
+    for (i, ticket) in accepted {
+        let (labels, _) = ticket.wait_with_epoch();
+        assert_eq!(
+            labels,
+            vec![expected(0, (i % 9) as f64)],
+            "ticket {i} dropped or wrong"
+        );
+    }
+    assert_eq!(engine.queue_depth(), 0);
+}
