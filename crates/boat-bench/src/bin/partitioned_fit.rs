@@ -1,0 +1,262 @@
+//! Sharded out-of-core fit: wall time of the full BOAT fit as `fit_shards`
+//! grows, swept across dataset sizes, on a materialized on-disk dataset.
+//!
+//! The partitioned fit is bit-exact at every shard count (per-shard
+//! samples only change the optimistic guess; the cleanup reduction is an
+//! exact merge), so the sweep asserts identical serialized trees — any
+//! mismatch aborts with a non-zero exit — while measuring per-K fit
+//! throughput and the prefetch stall time the double-buffered readers
+//! could not hide. `--min-speedup X` turns the run into a perf gate: the
+//! best sharded speedup on the largest dataset must reach `X` or the
+//! process exits non-zero.
+//!
+//! ```sh
+//! cargo run --release -p boat-bench --bin partitioned_fit -- \
+//!     --sizes 100000,400000 --shards 1,2,4,8 --reps 3 --min-speedup 1.0
+//! ```
+
+use boat_bench::obs::json_array;
+use boat_bench::run::paper_limits;
+use boat_bench::table::fmt_duration;
+use boat_bench::{materialize_cached, print_metrics_summary, Args, BenchReport, Table};
+use boat_core::{Boat, BoatConfig};
+use boat_data::IoStats;
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_obs::Registry;
+use std::time::Duration;
+
+struct Row {
+    tuples: u64,
+    /// 0 = the serial `fit()` baseline.
+    shards: usize,
+    total: Duration,
+    scans: u64,
+    nodes: usize,
+    /// Sum of per-shard prefetch stall time (ns), sharded path only.
+    stall_ns: Option<u64>,
+    /// Worst single shard's stall (ns), sharded path only.
+    max_stall_ns: Option<u64>,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        self.tuples as f64 / self.total.as_secs_f64()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let sizes: Vec<u64> = args.get_list("sizes", &[100_000, 400_000]);
+    let function = args.get::<u32>("function", 6);
+    let seed = args.get::<u64>("seed", 77_001);
+    let reps = args.get::<usize>("reps", 3);
+    let shards_list: Vec<usize> = args
+        .get_list("shards", &[1, 2, 4, 8])
+        .into_iter()
+        .map(|s| s as usize)
+        .collect();
+    let min_speedup = args.get::<f64>("min-speedup", 0.0);
+    let out = args.get_str("out", "BENCH_partitioned_fit.json");
+    let csv = args.flag("csv");
+
+    let func = LabelFunction::from_number(function).expect("--function must be 1..=10");
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "# Partitioned-fit shard scaling — F{function}, sizes {sizes:?}, shards {shards_list:?}, \
+         reps={reps}, machine parallelism={cores}\n"
+    );
+    if cores < *shards_list.iter().max().unwrap_or(&1) {
+        println!(
+            "WARNING: this machine exposes only {cores} hardware thread(s); \
+             speedups above 1x are not expected for larger shard counts.\n"
+        );
+    }
+
+    let config_for = |n: u64| {
+        let limits = paper_limits(n);
+        let mut config = BoatConfig::scaled_for(n).with_seed(seed ^ 0xFEED);
+        config.limits = limits;
+        if let Some(stop) = limits.stop_family_size {
+            config.in_memory_threshold = stop;
+        }
+        // Isolate shard scaling from the fan-out parallel cleanup: the
+        // baseline is the plain sequential two-scan fit.
+        config.cleanup_threads = 1;
+        config
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut largest_speedup = 0.0f64;
+    for &n in &sizes {
+        let gen = GeneratorConfig::new(func).with_seed(seed);
+        let data = materialize_cached(
+            &gen,
+            n,
+            &format!("partfit-f{function}-{seed}"),
+            IoStats::new(),
+        )?;
+
+        // Serial baseline: plain `fit()`, best of `reps`.
+        let mut baseline_tree = None;
+        let mut serial_best: Option<Row> = None;
+        for _ in 0..reps {
+            let fit = Boat::new(config_for(n))
+                .with_metrics(Registry::global().clone())
+                .fit(&data)?;
+            match &baseline_tree {
+                None => baseline_tree = Some(fit.tree.clone()),
+                Some(t) => assert_eq!(&fit.tree, t, "serial fit must be deterministic"),
+            }
+            let row = Row {
+                tuples: n,
+                shards: 0,
+                total: fit.stats.total_time(),
+                scans: fit.stats.scans_over_input,
+                nodes: fit.tree.n_nodes(),
+                stall_ns: None,
+                max_stall_ns: None,
+            };
+            if serial_best.as_ref().is_none_or(|b| row.total < b.total) {
+                serial_best = Some(row);
+            }
+        }
+        let serial_best = serial_best.expect("reps >= 1");
+        let serial_total = serial_best.total;
+        rows.push(serial_best);
+        let baseline_tree = baseline_tree.expect("baseline fit ran");
+
+        for &shards in &shards_list {
+            let mut best: Option<Row> = None;
+            for _ in 0..reps {
+                let config = config_for(n).with_fit_shards(shards);
+                let fit = Boat::new(config)
+                    .with_metrics(Registry::global().clone())
+                    .fit_sharded(&data)?;
+                if fit.tree.to_bytes() != baseline_tree.to_bytes() {
+                    eprintln!(
+                        "FAIL: shards={shards} tuples={n}: serialized model diverges \
+                         from the serial fit"
+                    );
+                    std::process::exit(1);
+                }
+                let stall = fit
+                    .stats
+                    .metrics
+                    .histogram("boat.partition.prefetch_stall")
+                    .map(|h| h.sum);
+                // The max-stall gauge is registry-global state: only read it
+                // when this run actually recorded stall samples, otherwise a
+                // single-shard (serial-path) run reports the previous run's
+                // leftover value.
+                let max_stall = stall
+                    .filter(|&s| s > 0)
+                    .and_then(|_| fit.stats.metrics.gauge("boat.partition.max_stall_ns"));
+                let row = Row {
+                    tuples: n,
+                    shards,
+                    total: fit.stats.total_time(),
+                    scans: fit.stats.scans_over_input,
+                    nodes: fit.tree.n_nodes(),
+                    stall_ns: stall,
+                    max_stall_ns: max_stall,
+                };
+                if best.as_ref().is_none_or(|b| row.total < b.total) {
+                    best = Some(row);
+                }
+            }
+            let best = best.expect("reps >= 1");
+            let speedup = serial_total.as_secs_f64() / best.total.as_secs_f64();
+            if n == *sizes.iter().max().unwrap_or(&n) {
+                largest_speedup = largest_speedup.max(speedup);
+            }
+            rows.push(best);
+        }
+    }
+
+    let fmt_stall = |ns: Option<u64>| match ns {
+        Some(v) => format!("{:.1}ms", v as f64 / 1e6),
+        None => "-".to_string(),
+    };
+    let mut table = Table::new(&[
+        "tuples",
+        "shards",
+        "fit",
+        "speedup",
+        "Mrows/s",
+        "scans",
+        "nodes",
+        "stall",
+        "max shard stall",
+    ]);
+    let serial_of = |tuples: u64| {
+        rows.iter()
+            .find(|r| r.tuples == tuples && r.shards == 0)
+            .map(|r| r.total)
+            .expect("serial row exists")
+    };
+    for r in &rows {
+        table.row(vec![
+            r.tuples.to_string(),
+            if r.shards == 0 {
+                "serial".into()
+            } else {
+                r.shards.to_string()
+            },
+            fmt_duration(r.total),
+            format!(
+                "{:.2}x",
+                serial_of(r.tuples).as_secs_f64() / r.total.as_secs_f64()
+            ),
+            format!("{:.2}", r.throughput() / 1e6),
+            r.scans.to_string(),
+            r.nodes.to_string(),
+            fmt_stall(r.stall_ns),
+            fmt_stall(r.max_stall_ns),
+        ]);
+    }
+    table.print(csv);
+
+    let snapshot = Registry::global().snapshot();
+    print_metrics_summary(&snapshot);
+
+    let results: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let speedup = serial_of(r.tuples).as_secs_f64() / r.total.as_secs_f64();
+            format!(
+                "{{\"tuples\": {}, \"shards\": {}, \"fit_seconds\": {:.6}, \
+                 \"speedup\": {:.3}, \"throughput_rows_per_s\": {:.0}, \"scans\": {}, \
+                 \"tree_nodes\": {}, \"prefetch_stall_ns\": {}, \"max_shard_stall_ns\": {}}}",
+                r.tuples,
+                r.shards,
+                r.total.as_secs_f64(),
+                speedup,
+                r.throughput(),
+                r.scans,
+                r.nodes,
+                r.stall_ns.map_or("null".into(), |v| v.to_string()),
+                r.max_stall_ns.map_or("null".into(), |v| v.to_string()),
+            )
+        })
+        .collect();
+    let mut report = BenchReport::new("partitioned_fit");
+    report
+        .field_str("function", &format!("F{function}"))
+        .field_u64("reps", reps as u64)
+        .field_u64("machine_parallelism", cores as u64)
+        .field_bool("identical_trees_asserted", true)
+        .field_raw("results", json_array(&results))
+        .metrics(&snapshot);
+    report.write(&out)?;
+
+    if min_speedup > 0.0 && largest_speedup < min_speedup {
+        eprintln!(
+            "FAIL: best sharded speedup {largest_speedup:.2}x on the largest dataset is \
+             below the required {min_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -133,6 +133,22 @@ pub struct BoatConfig {
     /// Bit-identical output either way; [`SampleEngine::Columnar`] is the
     /// fast default, [`SampleEngine::Rows`] the legacy reference path.
     pub sample_engine: SampleEngine,
+    /// Shards for the partitioned fit (`Boat::fit_sharded`): the source is
+    /// split into this many chunk-aligned row ranges, each scanned by its
+    /// own reader/router thread pair with statistics merged at the
+    /// coordinator. `0` means "use the machine's available parallelism";
+    /// `1` is an unsharded scan. The final model is byte-identical at every
+    /// shard count (enforced by the partitioned differential oracle), so
+    /// this is purely a performance knob.
+    pub fit_shards: usize,
+    /// Chunks each shard's reader thread may decode ahead of its router
+    /// (bounded-channel capacity). `2` is classic double buffering; must be
+    /// at least 1.
+    pub prefetch_depth: usize,
+    /// Directory for spill and rebuild temporary files. `None` (default)
+    /// uses [`std::env::temp_dir`]. The first spill into a directory also
+    /// sweeps temp files orphaned there by dead processes.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for BoatConfig {
@@ -153,6 +169,9 @@ impl Default for BoatConfig {
             cleanup_threads: 0,
             cleanup_chunk_size: 8_192,
             sample_engine: SampleEngine::default(),
+            fit_shards: 1,
+            prefetch_depth: 2,
+            spill_dir: None,
         }
     }
 }
@@ -202,6 +221,36 @@ impl BoatConfig {
         self
     }
 
+    /// Builder-style shard-count override (`0` = auto-detect).
+    pub fn with_fit_shards(mut self, shards: usize) -> Self {
+        self.fit_shards = shards;
+        self
+    }
+
+    /// Builder-style prefetch-depth override.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Builder-style spill-directory override.
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// The shard count a partitioned fit will actually use: the configured
+    /// `fit_shards`, with `0` resolved to the machine's available
+    /// parallelism (and `1` if even that is unknown).
+    pub fn effective_fit_shards(&self) -> usize {
+        match self.fit_shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            s => s,
+        }
+    }
+
     /// The worker count the cleanup scan will actually use: the configured
     /// `cleanup_threads`, with `0` resolved to the machine's available
     /// parallelism (and `1` if even that is unknown).
@@ -249,6 +298,9 @@ impl BoatConfig {
         }
         if self.cleanup_chunk_size == 0 {
             return Err("cleanup_chunk_size must be positive".into());
+        }
+        if self.prefetch_depth == 0 {
+            return Err("prefetch_depth must be at least 1".into());
         }
         Ok(())
     }
@@ -309,6 +361,10 @@ mod tests {
                 cleanup_chunk_size: 0,
                 ..Default::default()
             },
+            BoatConfig {
+                prefetch_depth: 0,
+                ..Default::default()
+            },
         ];
         for c in cases {
             assert!(c.validate().is_err(), "{c:?} should be rejected");
@@ -326,6 +382,25 @@ mod tests {
         let legacy = BoatConfig::default().with_sample_engine(SampleEngine::Rows);
         assert_eq!(legacy.sample_engine, SampleEngine::Rows);
         legacy.validate().unwrap();
+    }
+
+    #[test]
+    fn partitioned_fit_knobs_default_and_build() {
+        let c = BoatConfig::default();
+        assert_eq!(c.fit_shards, 1);
+        assert_eq!(c.prefetch_depth, 2);
+        assert!(c.spill_dir.is_none());
+        let c = BoatConfig::default()
+            .with_fit_shards(0)
+            .with_prefetch_depth(3)
+            .with_spill_dir("/tmp/boat-spills");
+        assert!(c.effective_fit_shards() >= 1);
+        assert_eq!(c.prefetch_depth, 3);
+        assert_eq!(
+            c.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/boat-spills"))
+        );
+        c.validate().unwrap();
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::config::BoatConfig;
 use crate::stats::BoatRunStats;
 use crate::work::{Resolution, WorkTree};
 use boat_data::dataset::RecordSource;
-use boat_data::{DataError, Result};
+use boat_data::{DataError, Record, Result};
 use boat_tree::{Gini, Impurity, Tree};
 use std::time::{Duration, Instant};
 
@@ -134,25 +134,44 @@ impl<I: Impurity + Clone> BoatModel<I> {
         let t0 = Instant::now();
         let mut report = UpdateReport::default();
         let mut err: Option<DataError> = None;
-        for r in chunk.scan()? {
-            let rec = match r {
-                Ok(rec) => rec,
-                Err(e) => {
-                    err = Some(e);
-                    break;
-                }
-            };
-            match self.work.absorb(&rec, delete) {
-                Ok(()) => {
-                    if delete {
-                        report.deleted += 1;
-                    } else {
-                        report.inserted += 1;
+        if delete {
+            // Deletions go through the batched path: per-record validation
+            // and counter updates are unchanged, but every touched spill
+            // buffer is rewritten once (`remove_many`) instead of once per
+            // deleted record — O(n) instead of O(D·n) spill traffic for a
+            // D-record chunk.
+            let mut victims: Vec<Record> = Vec::new();
+            for r in chunk.scan()? {
+                match r {
+                    Ok(rec) => victims.push(rec),
+                    Err(e) => {
+                        err = Some(e);
+                        break;
                     }
                 }
-                Err(e) => {
-                    err = Some(e);
-                    break;
+            }
+            let (applied, batch_err) = self.work.absorb_delete_batch(&victims);
+            report.deleted = applied;
+            // A batch error happened on an earlier record than any scan
+            // error (the scan stopped collecting there), so it wins —
+            // matching the serial loop, which never reaches the scan error
+            // once an absorb fails.
+            err = batch_err.or(err);
+        } else {
+            for r in chunk.scan()? {
+                let rec = match r {
+                    Ok(rec) => rec,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                };
+                match self.work.absorb(&rec, false) {
+                    Ok(()) => report.inserted += 1,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
                 }
             }
         }

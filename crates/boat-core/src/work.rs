@@ -18,12 +18,15 @@ use crate::coarse::{CoarseCriterion, CoarseTree, FrontierReason};
 use crate::config::BoatConfig;
 use crate::verify::bucket_passes;
 use boat_data::spill::SpillBuffer;
-use boat_data::{AttrType, DataError, IoStats, Record, RecordSource, Result, Schema};
+use boat_data::{
+    spawn_prefetch, AttrType, DataError, IoStats, Record, RecordSource, Result, RowRange, Schema,
+};
 use boat_obs::Registry;
 use boat_tree::split::{best_categorical_split, cmp_splits, sweep_numeric};
 use boat_tree::{AvcGroup, CatAvc, GrowthLimits, Impurity, NumAvc, SplitEval, Tree};
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
@@ -378,10 +381,11 @@ impl WorkTree {
                         }
                     }
                     let parked = match &crit {
-                        Some(CoarseCriterion::Num { .. }) => Some(SpillBuffer::new(
+                        Some(CoarseCriterion::Num { .. }) => Some(SpillBuffer::new_in(
                             schema.clone(),
                             config.spill_budget,
                             spill_stats.clone(),
+                            config.spill_dir.clone(),
                         )),
                         _ => None,
                     };
@@ -408,10 +412,11 @@ impl WorkTree {
                         edge_left: vec![0; k],
                         parked: None,
                         family: keep.then(|| {
-                            SpillBuffer::new(
+                            SpillBuffer::new_in(
                                 schema.clone(),
                                 config.spill_budget,
                                 spill_stats.clone(),
+                                config.spill_dir.clone(),
                             )
                         }),
                         dirty: false,
@@ -627,6 +632,221 @@ impl WorkTree {
         }
     }
 
+    /// Stream a whole chunk of deletions down the tree, deferring every
+    /// spill-buffer removal so each buffer is rewritten **once** instead of
+    /// once per deleted record.
+    ///
+    /// Semantically identical to calling [`WorkTree::absorb`] with `delete =
+    /// true` on every record in order — counters are validated and mutated
+    /// per record, and [`SpillBuffer::remove_many`] replicates the exact
+    /// sequential `remove_one` ordering — but a D-record chunk rewrites each
+    /// touched spilled buffer once (`O(n)`) instead of `D` times (`O(D·n)`).
+    ///
+    /// Returns how many records were fully applied, plus the error that
+    /// stopped the batch (if any). On an error the prefix before the failing
+    /// record is still applied, exactly like the serial loop.
+    pub fn absorb_delete_batch(&mut self, records: &[Record]) -> (u64, Option<DataError>) {
+        let mut pending: BTreeMap<usize, Vec<Record>> = BTreeMap::new();
+        let mut applied = 0u64;
+        let mut err: Option<DataError> = None;
+        for r in records {
+            match self.absorb_delete_deferred(r, &mut pending) {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Apply the deferred removals even after a mid-batch error: the
+        // records before the failure already had their counters decremented,
+        // so their buffer entries must go too (serial equivalence).
+        if let Err(e) = self.apply_pending_removals(pending) {
+            if err.is_none() {
+                err = Some(e);
+            }
+        }
+        (applied, err)
+    }
+
+    /// One deletion of [`WorkTree::absorb_delete_batch`]: validate the whole
+    /// routing path (buffer membership is checked net of already-`pending`
+    /// removals), then decrement counters, pushing spill-buffer removals
+    /// into `pending` instead of performing them.
+    fn absorb_delete_deferred(
+        &mut self,
+        r: &Record,
+        pending: &mut BTreeMap<usize, Vec<Record>>,
+    ) -> Result<()> {
+        self.validate_delete_pending(r, pending)?;
+        let mut idx = 0usize;
+        loop {
+            let node = &mut self.nodes[idx];
+            node.state.dirty = true;
+            let label = r.label() as usize;
+            if node.state.class_totals[label] == 0 {
+                return Err(DataError::Invalid(
+                    "deletion of a record not present at a node".into(),
+                ));
+            }
+            node.state.class_totals[label] -= 1;
+            match node.crit.clone() {
+                None => {
+                    if node.state.family.is_some() {
+                        pending.entry(idx).or_default().push(r.clone());
+                    }
+                    return Ok(());
+                }
+                Some(crit) => {
+                    for (a, slot) in node.state.cat.iter_mut().enumerate() {
+                        if let Some(avc) = slot {
+                            avc.sub(r.cat(a), r.label());
+                        }
+                    }
+                    for (a, slot) in node.state.buckets.iter_mut().enumerate() {
+                        if let Some(b) = slot {
+                            b.sub(r.num(a), r.label());
+                        }
+                    }
+                    match crit {
+                        CoarseCriterion::Num { attr, lo, hi } => {
+                            let v = r.num(attr);
+                            if v < lo {
+                                node.state.edge_left[label] -= 1;
+                                idx = node.left.expect("internal");
+                            } else if v <= hi {
+                                pending.entry(idx).or_default().push(r.clone());
+                                return Ok(());
+                            } else {
+                                idx = node.right.expect("internal");
+                            }
+                        }
+                        CoarseCriterion::Cat { attr, subset } => {
+                            idx = if subset.contains(r.cat(attr)) {
+                                node.left.expect("internal")
+                            } else {
+                                node.right.expect("internal")
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`WorkTree::validate_delete`], aware of removals already queued in
+    /// `pending`: where the serial path checks `contains`, the batched path
+    /// must check that the buffer holds **more** copies than are already
+    /// earmarked for removal, or a duplicate deletion in one chunk would
+    /// validate against the same stored record twice.
+    fn validate_delete_pending(
+        &mut self,
+        r: &Record,
+        pending: &BTreeMap<usize, Vec<Record>>,
+    ) -> Result<()> {
+        let label = r.label() as usize;
+        let held = |idx: usize| {
+            pending
+                .get(&idx)
+                .map(|v| v.iter().filter(|p| *p == r).count() as u64)
+                .unwrap_or(0)
+        };
+        let mut idx = 0usize;
+        loop {
+            let crit = self.nodes[idx].crit.clone();
+            let node = &mut self.nodes[idx];
+            if node.state.class_totals.get(label).copied().unwrap_or(0) == 0 {
+                return Err(DataError::Invalid(
+                    "deletion of a record not present at a node".into(),
+                ));
+            }
+            let Some(crit) = crit else {
+                if let Some(family) = node.state.family.as_mut() {
+                    if family.count_matching(r)? <= held(idx) {
+                        return Err(DataError::Invalid(
+                            "deletion of a record missing from a frontier family".into(),
+                        ));
+                    }
+                }
+                return Ok(());
+            };
+            for (a, slot) in node.state.cat.iter().enumerate() {
+                if let Some(avc) = slot {
+                    if avc.counts_for(r.cat(a))[label] == 0 {
+                        return Err(DataError::Invalid(
+                            "deletion of a record not counted in a node's AVC-set".into(),
+                        ));
+                    }
+                }
+            }
+            for (a, slot) in node.state.buckets.iter().enumerate() {
+                if let Some(b) = slot {
+                    if !b.can_sub(r.num(a), r.label()) {
+                        return Err(DataError::Invalid(
+                            "deletion of a record not counted in a node's buckets".into(),
+                        ));
+                    }
+                }
+            }
+            match crit {
+                CoarseCriterion::Num { attr, lo, hi } => {
+                    let v = r.num(attr);
+                    if v < lo {
+                        if node.state.edge_left[label] == 0 {
+                            return Err(DataError::Invalid(
+                                "deletion of a record not counted at a node's left edge".into(),
+                            ));
+                        }
+                        idx = node.left.expect("internal");
+                    } else if v <= hi {
+                        let parked = node.state.parked.as_mut().expect("numeric node parks");
+                        if parked.count_matching(r)? <= held(idx) {
+                            return Err(DataError::Invalid(
+                                "deletion of a record missing from S_n".into(),
+                            ));
+                        }
+                        return Ok(());
+                    } else {
+                        idx = node.right.expect("internal");
+                    }
+                }
+                CoarseCriterion::Cat { attr, subset } => {
+                    idx = if subset.contains(r.cat(attr)) {
+                        node.left.expect("internal")
+                    } else {
+                        node.right.expect("internal")
+                    };
+                }
+            }
+        }
+    }
+
+    /// Flush the removals a delete batch queued up: one
+    /// [`SpillBuffer::remove_many`] per touched buffer.
+    fn apply_pending_removals(&mut self, pending: BTreeMap<usize, Vec<Record>>) -> Result<()> {
+        for (idx, targets) in pending {
+            let node = &mut self.nodes[idx];
+            let buf = match &node.crit {
+                Some(CoarseCriterion::Num { .. }) => {
+                    node.state.parked.as_mut().expect("numeric node parks")
+                }
+                None => node
+                    .state
+                    .family
+                    .as_mut()
+                    .expect("family-less frontier queued removals"),
+                Some(_) => unreachable!("categorical nodes hold no removable buffers"),
+            };
+            let removed = buf.remove_many(&targets)?;
+            if removed != targets.len() as u64 {
+                return Err(DataError::Invalid(
+                    "batch delete failed to remove a validated record".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// A fresh thread-local shard for the parallel cleanup scan: the node
     /// routing structure plus zeroed clones of every mergeable statistic.
     pub fn new_shard(&self) -> CleanupShard {
@@ -838,6 +1058,140 @@ impl WorkTree {
         }
         // Reduce. Shard order is fixed for good measure, though any order
         // produces identical counts; chunk order is the serial scan order.
+        let merge_span = self.metrics.span("boat.cleanup.merge");
+        for shard in &shards {
+            self.merge_shard(shard);
+        }
+        routed.sort_unstable_by_key(|c| c.index);
+        for chunk in routed {
+            self.apply_deposits(chunk.deposits)?;
+        }
+        merge_span.finish();
+        Ok(())
+    }
+
+    /// The sharded (partitioned) cleanup scan: one reader/router thread
+    /// pair per row-range shard.
+    ///
+    /// Where [`WorkTree::parallel_cleanup`] keeps a single sequential scan
+    /// and fans chunks out to routing workers, this variant gives every
+    /// shard its **own** scan over its row range, double-buffered by a
+    /// dedicated prefetch reader ([`boat_data::spawn_prefetch`]) so routing
+    /// is never I/O-stalled. Ranges come from a
+    /// [`boat_data::Partitioner`] and are chunk-aligned, so shard-local
+    /// chunks keep their global indices; the reduction is then identical to
+    /// the parallel path — shard statistics merge in any order, deposits
+    /// apply in ascending global chunk index — and the resulting state is
+    /// bit-identical to a serial [`WorkTree::absorb`] loop at every shard
+    /// count.
+    ///
+    /// Records per-shard route time (`boat.cleanup.shard_route`) and
+    /// prefetch stall time (`boat.partition.prefetch_stall` histogram,
+    /// `boat.partition.max_stall_ns` gauge).
+    pub fn partitioned_cleanup(
+        &mut self,
+        source: &(dyn RecordSource + Sync),
+        ranges: &[RowRange],
+        chunk_size: usize,
+        prefetch_depth: usize,
+    ) -> Result<()> {
+        let active: Vec<RowRange> = ranges.iter().copied().filter(|r| !r.is_empty()).collect();
+        if active.len() <= 1 {
+            // Zero or one populated shard: the serial absorb loop is the
+            // exact semantics, with nothing to overlap. Empty shards spawn
+            // nothing by construction.
+            let mut n_routed = 0u64;
+            if let Some(range) = active.first() {
+                for r in source.scan_range(*range)? {
+                    self.absorb(&r?, false)?;
+                    n_routed += 1;
+                }
+            }
+            self.metrics
+                .counter("boat.cleanup.records_routed")
+                .add(n_routed);
+            return Ok(());
+        }
+        let route_hist = self.metrics.histogram("boat.cleanup.shard_route");
+        let stall_hist = self.metrics.histogram("boat.partition.prefetch_stall");
+        let chunks_counter = self.metrics.counter("boat.cleanup.chunks");
+        let routed_counter = self.metrics.counter("boat.cleanup.records_routed");
+        let mut shards: Vec<CleanupShard> = (0..active.len()).map(|_| self.new_shard()).collect();
+        let mut routed: Vec<RoutedChunk> = Vec::new();
+        let mut first_err: Option<DataError> = None;
+        let mut max_stall = 0u64;
+        {
+            let (out_tx, out_rx) = std::sync::mpsc::channel::<RoutedChunk>();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(active.len());
+                for (shard, range) in shards.iter_mut().zip(active.iter().copied()) {
+                    let tx = out_tx.clone();
+                    let route_hist = route_hist.clone();
+                    let stall_hist = stall_hist.clone();
+                    let chunks_counter = chunks_counter.clone();
+                    let routed_counter = routed_counter.clone();
+                    handles.push(scope.spawn(move || -> (u64, Result<()>) {
+                        // The router spawns its own reader on the same
+                        // scope; dropping the consumer (early exit below)
+                        // hangs up the channel and cancels the reader.
+                        let mut scan =
+                            spawn_prefetch(scope, source, range, chunk_size, prefetch_depth);
+                        let mut route_ns = 0u64;
+                        let (mut n_chunks, mut n_routed) = (0u64, 0u64);
+                        let mut res: Result<()> = Ok(());
+                        for item in &mut scan {
+                            let chunk = match item {
+                                Ok(c) => c,
+                                Err(e) => {
+                                    res = Err(e);
+                                    break;
+                                }
+                            };
+                            let index = chunk.index;
+                            let t_route = Instant::now();
+                            n_routed += chunk.records.len() as u64;
+                            let mut deposits = Vec::new();
+                            for r in chunk.records {
+                                shard.route(r, &mut deposits);
+                            }
+                            route_ns = route_ns.saturating_add(
+                                t_route.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                            );
+                            n_chunks += 1;
+                            if tx.send(RoutedChunk { index, deposits }).is_err() {
+                                break;
+                            }
+                        }
+                        route_hist.record(route_ns);
+                        stall_hist.record(scan.stall_ns());
+                        chunks_counter.add(n_chunks);
+                        routed_counter.add(n_routed);
+                        (scan.stall_ns(), res)
+                    }));
+                }
+                drop(out_tx);
+                // The out channel is unbounded, so routers never block on
+                // it; draining it here ends when the last router exits.
+                for r in out_rx {
+                    routed.push(r);
+                }
+                for h in handles {
+                    let (stall, res) = h.join().expect("partitioned cleanup shard panicked");
+                    max_stall = max_stall.max(stall);
+                    if let Err(e) = res {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            });
+        }
+        self.metrics
+            .gauge("boat.partition.max_stall_ns")
+            .set(max_stall);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Reduce, exactly as the parallel path does: shard merges commute,
+        // deposits replay in global (= serial) chunk order.
         let merge_span = self.metrics.span("boat.cleanup.merge");
         for shard in &shards {
             self.merge_shard(shard);
@@ -1365,10 +1719,11 @@ fn build_exact_node(
 
     let Some(eval) = eval else {
         // Frontier leaf: retain the family so future growth never rescans.
-        let mut family = SpillBuffer::new(
+        let mut family = SpillBuffer::new_in(
             schema.clone(),
             config.spill_budget,
             work.spill_stats.clone(),
+            config.spill_dir.clone(),
         );
         family.extend(records)?;
         work.nodes.push(WorkNode {
@@ -1651,6 +2006,7 @@ fn widen_interval(
 mod tests {
     use super::*;
     use crate::coarse::build_coarse_tree;
+    use boat_data::Partitioner;
     use boat_data::{Attribute, Field, MemoryDataset, RecordSource};
     use boat_tree::{Gini, ImpuritySelector};
     use rand::rngs::StdRng;
@@ -1846,6 +2202,131 @@ mod tests {
                 .unwrap();
             assert_same_state(&mut serial, &mut parallel);
         }
+    }
+
+    #[test]
+    fn partitioned_cleanup_state_matches_serial_exactly() {
+        // Same richness as the parallel oracle, but sharded row ranges with
+        // prefetch readers instead of a single fanned-out scan.
+        let gen = boat_datagen::GeneratorConfig::new(boat_datagen::LabelFunction::F6).with_seed(78);
+        let records = gen.generate_vec(4_000);
+        let ds = MemoryDataset::new(gen.schema(), records.clone());
+        let cfg = BoatConfig {
+            sample_size: 800,
+            bootstrap_reps: 8,
+            bootstrap_sample_size: 400,
+            in_memory_threshold: 100,
+            spill_budget: 16,
+            cleanup_chunk_size: 123, // odd size → ragged final chunk
+            seed: 7,
+            ..BoatConfig::default()
+        };
+        let prepare = || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let sample =
+                boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
+            let selector = ImpuritySelector::new(Gini);
+            let coarse = build_coarse_tree(
+                &gen.schema(),
+                &sample,
+                &selector,
+                &cfg,
+                ds.len(),
+                &mut rng,
+                &Registry::new(),
+            );
+            WorkTree::prepare(
+                &coarse,
+                gen.schema(),
+                &sample,
+                &Gini,
+                &cfg,
+                ds.len(),
+                false,
+                boat_data::IoStats::new(),
+                boat_obs::Registry::new(),
+            )
+        };
+        let mut serial = prepare();
+        for r in &records {
+            serial.absorb(r, false).unwrap();
+        }
+        for shards in [1usize, 2, 4, 8, 64] {
+            let ranges =
+                boat_data::RowRangePartitioner.partition(ds.len(), cfg.cleanup_chunk_size, shards);
+            let mut partitioned = prepare();
+            partitioned
+                .partitioned_cleanup(&ds, &ranges, cfg.cleanup_chunk_size, 2)
+                .unwrap();
+            assert_same_state(&mut serial, &mut partitioned);
+        }
+    }
+
+    #[test]
+    fn batch_delete_matches_serial_deletes_exactly() {
+        let gen = boat_datagen::GeneratorConfig::new(boat_datagen::LabelFunction::F6).with_seed(79);
+        let records = gen.generate_vec(3_000);
+        let ds = MemoryDataset::new(gen.schema(), records.clone());
+        let cfg = BoatConfig {
+            sample_size: 600,
+            bootstrap_reps: 8,
+            bootstrap_sample_size: 300,
+            in_memory_threshold: 100,
+            spill_budget: 16,
+            seed: 11,
+            ..BoatConfig::default()
+        };
+        let prepare = || {
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let sample =
+                boat_data::sample::reservoir_sample(&ds, cfg.sample_size, &mut rng).unwrap();
+            let selector = ImpuritySelector::new(Gini);
+            let coarse = build_coarse_tree(
+                &gen.schema(),
+                &sample,
+                &selector,
+                &cfg,
+                ds.len(),
+                &mut rng,
+                &Registry::new(),
+            );
+            let mut work = WorkTree::prepare(
+                &coarse,
+                gen.schema(),
+                &sample,
+                &Gini,
+                &cfg,
+                ds.len(),
+                true, // retain families so deletes touch family buffers too
+                boat_data::IoStats::new(),
+                boat_obs::Registry::new(),
+            );
+            for r in &records {
+                work.absorb(r, false).unwrap();
+            }
+            work
+        };
+        // Delete every 7th record, including a duplicated prefix so the
+        // batch validator must account for already-pending removals.
+        let mut victims: Vec<Record> = records.iter().step_by(7).cloned().collect();
+        victims.extend(records.iter().step_by(7).take(3).cloned());
+        let mut serial = prepare();
+        let mut serial_applied = 0u64;
+        let mut serial_err: Option<DataError> = None;
+        for v in &victims {
+            match serial.absorb(v, true) {
+                Ok(()) => serial_applied += 1,
+                Err(e) => {
+                    serial_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut batched = prepare();
+        let (batch_applied, batch_err) = batched.absorb_delete_batch(&victims);
+        assert_eq!(serial_applied, batch_applied);
+        assert_eq!(serial_err.is_some(), batch_err.is_some());
+        assert_same_state(&mut serial, &mut batched);
     }
 
     #[test]

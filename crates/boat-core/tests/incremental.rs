@@ -401,3 +401,60 @@ fn many_small_chunks_match_one_big_chunk() {
     let reference = reference_tree(&mem(&schema, all), Gini, GrowthLimits::default()).unwrap();
     assert_eq!(small_chunks.tree().unwrap(), &reference);
 }
+
+/// Batched-deletion regression (the `remove_many` fix): deleting a chunk
+/// rewrites each touched spill buffer **once**, not once per deleted
+/// record, so the `data.spill.*` write counters must shrink dramatically
+/// versus issuing the same deletions one record at a time — while both
+/// paths leave byte-identical maintained trees.
+#[test]
+fn batch_delete_shrinks_spill_write_traffic() {
+    let gen = GeneratorConfig::new(LabelFunction::F6).with_seed(31);
+    let schema = gen.schema();
+    let all = gen.generate_vec(6_000);
+    // Tight spill budget so parked sets and families genuinely hit disk.
+    let cfg = BoatConfig {
+        spill_budget: 8,
+        ..config(3100)
+    };
+    let victims = &all[4_500..];
+
+    let deletion_io = |chunks: Vec<Vec<Record>>| {
+        let registry = boat_obs::Registry::new();
+        let algo = Boat::new(cfg.clone()).with_metrics(registry.clone());
+        let (mut model, _) = algo.fit_model(&mem(&schema, all.clone())).unwrap();
+        let before = registry.snapshot();
+        for chunk in chunks {
+            model.delete(&mem(&schema, chunk)).unwrap();
+        }
+        let delta = registry.snapshot().since(&before);
+        let tree = model.tree().unwrap().clone();
+        (
+            delta.counter("data.spill.records_written"),
+            delta.counter("data.spill.bytes_written"),
+            tree,
+        )
+    };
+
+    // One record per chunk: every deletion pays its own buffer rewrite —
+    // the old O(D·n) spill traffic.
+    let (serial_records, serial_bytes, serial_tree) =
+        deletion_io(victims.iter().map(|r| vec![r.clone()]).collect());
+    // One chunk: every touched buffer is rewritten once.
+    let (batch_records, batch_bytes, batch_tree) = deletion_io(vec![victims.to_vec()]);
+
+    assert_eq!(serial_tree, batch_tree, "delete batching changed the tree");
+    let reference = reference_tree(
+        &mem(&schema, all[..4_500].to_vec()),
+        Gini,
+        GrowthLimits::default(),
+    )
+    .unwrap();
+    assert_eq!(batch_tree, reference);
+    assert!(
+        batch_records * 4 <= serial_records && batch_bytes * 4 <= serial_bytes,
+        "batched deletes must shrink spill writes by at least 4x: \
+         batch wrote {batch_records} records / {batch_bytes} bytes, \
+         per-record wrote {serial_records} records / {serial_bytes} bytes"
+    );
+}

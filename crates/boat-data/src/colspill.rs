@@ -1,0 +1,260 @@
+//! Columnar spill segments.
+//!
+//! The row codec ([`crate::codec`]) writes one record at a time —
+//! `encode_into` + `write_all` per record — which is exactly the wrong
+//! shape for the cleanup scan's parked `S_n` sets: thousands of small
+//! appends, each paying the encode/dispatch cost. This module batches
+//! spilled records into *segments* laid out the way the columnar sample
+//! engine (`boat_tree::ColumnarSample`) holds them in memory: dense
+//! per-attribute columns, then dense labels.
+//!
+//! Segment layout (all little-endian):
+//!
+//! ```text
+//! [u32 n_records]
+//! [attr 0 column: n × 8 bytes f64   (numeric)  | n × 4 bytes u32 (categorical)]
+//! [attr 1 column: …]
+//! …
+//! [labels: n × 2 bytes u16]
+//! ```
+//!
+//! The payload is byte-for-byte the same size as `n` row-codec records —
+//! only the order differs — so spill byte accounting is unchanged, and a
+//! segment transposes into column vectors with a straight `chunks_exact`
+//! pass per attribute.
+
+use crate::record::{Field, Record};
+use crate::schema::{AttrType, Schema};
+use crate::{DataError, Result};
+use std::io::{Read, Write};
+
+/// Records staged per segment before it is flushed to disk. 256 records of
+/// a typical 40-byte schema is a ~10 KiB write — large enough to amortize
+/// the syscall, small enough to keep the staging footprint trivial.
+pub const SEGMENT_CAPACITY: usize = 256;
+
+/// Encoded size of a segment holding `n` records: the 4-byte count header
+/// plus the same payload bytes the row codec would use.
+pub fn segment_bytes(schema: &Schema, n: usize) -> u64 {
+    4 + (n * schema.record_width()) as u64
+}
+
+/// Append one columnar segment holding `records` to `w`. Returns the bytes
+/// written. Fails (without writing) if a record's field types do not match
+/// `schema` or the segment exceeds the `u32` count header.
+pub fn write_segment(w: &mut impl Write, schema: &Schema, records: &[Record]) -> Result<u64> {
+    if records.len() > u32::MAX as usize {
+        return Err(DataError::Invalid(format!(
+            "segment of {} records exceeds the u32 count header",
+            records.len()
+        )));
+    }
+    let mut buf = Vec::with_capacity(segment_bytes(schema, records.len()) as usize);
+    buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for (a, attr) in schema.attributes().iter().enumerate() {
+        for r in records {
+            if r.fields().len() != schema.n_attributes() {
+                return Err(DataError::Schema(format!(
+                    "record has {} fields, schema has {}",
+                    r.fields().len(),
+                    schema.n_attributes()
+                )));
+            }
+            match (attr.ty(), r.field(a)) {
+                (AttrType::Numeric, Field::Num(v)) => buf.extend_from_slice(&v.to_le_bytes()),
+                (AttrType::Categorical { .. }, Field::Cat(c)) => {
+                    buf.extend_from_slice(&c.to_le_bytes())
+                }
+                _ => {
+                    return Err(DataError::Schema(format!(
+                        "attribute {a} field type does not match schema"
+                    )))
+                }
+            }
+        }
+    }
+    for r in records {
+        buf.extend_from_slice(&r.label().to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    Ok(buf.len() as u64)
+}
+
+/// Read the next segment from `r`, reconstructing records in row form.
+/// Returns `Ok(None)` at a clean end of stream, the records plus the bytes
+/// consumed otherwise. A partial header or truncated payload is
+/// [`DataError::Corrupt`].
+pub fn read_segment(r: &mut impl Read, schema: &Schema) -> Result<Option<(Vec<Record>, u64)>> {
+    let mut header = [0u8; 4];
+    match read_header(r, &mut header)? {
+        HeaderRead::Eof => return Ok(None),
+        HeaderRead::Full => {}
+    }
+    let n = u32::from_le_bytes(header) as usize;
+    let payload_len = n * schema.record_width();
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)
+        .map_err(|e| DataError::Corrupt(format!("truncated spill segment of {n} records: {e}")))?;
+
+    let mut fields: Vec<Vec<Field>> = vec![Vec::with_capacity(schema.n_attributes()); n];
+    let mut at = 0usize;
+    for attr in schema.attributes() {
+        match attr.ty() {
+            AttrType::Numeric => {
+                for row in fields.iter_mut() {
+                    let v = f64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+                    row.push(Field::Num(v));
+                    at += 8;
+                }
+            }
+            AttrType::Categorical { .. } => {
+                for row in fields.iter_mut() {
+                    let c = u32::from_le_bytes(payload[at..at + 4].try_into().expect("4 bytes"));
+                    row.push(Field::Cat(c));
+                    at += 4;
+                }
+            }
+        }
+    }
+    let records = fields
+        .into_iter()
+        .map(|f| {
+            let label = u16::from_le_bytes(payload[at..at + 2].try_into().expect("2 bytes"));
+            at += 2;
+            Record::new(f, label)
+        })
+        .collect();
+    Ok(Some((records, 4 + payload_len as u64)))
+}
+
+enum HeaderRead {
+    Eof,
+    Full,
+}
+
+/// Read exactly 4 header bytes, distinguishing a clean EOF (zero bytes
+/// available) from a torn header (1–3 bytes).
+fn read_header(r: &mut impl Read, buf: &mut [u8; 4]) -> Result<HeaderRead> {
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(HeaderRead::Eof)
+            } else {
+                Err(DataError::Corrupt(
+                    "torn spill segment header at end of file".into(),
+                ))
+            };
+        }
+        filled += n;
+    }
+    Ok(HeaderRead::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use std::io::Cursor;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::numeric("x"),
+                Attribute::categorical("c", 4),
+                Attribute::numeric("y"),
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    vec![
+                        Field::Num(i as f64 * 0.25),
+                        Field::Cat((i % 4) as u32),
+                        Field::Num(-(i as f64)),
+                    ],
+                    (i % 3) as u16,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_multiple_segments_in_order() {
+        let schema = schema();
+        let mut buf = Vec::new();
+        let a = write_segment(&mut buf, &schema, &records(5)).unwrap();
+        let b = write_segment(&mut buf, &schema, &records(3)).unwrap();
+        assert_eq!(a, segment_bytes(&schema, 5));
+        assert_eq!(b, segment_bytes(&schema, 3));
+        assert_eq!(buf.len() as u64, a + b);
+
+        let mut cur = Cursor::new(buf);
+        let (r1, n1) = read_segment(&mut cur, &schema).unwrap().unwrap();
+        assert_eq!(r1, records(5));
+        assert_eq!(n1, a);
+        let (r2, n2) = read_segment(&mut cur, &schema).unwrap().unwrap();
+        assert_eq!(r2, records(3));
+        assert_eq!(n2, b);
+        assert!(read_segment(&mut cur, &schema).unwrap().is_none());
+    }
+
+    #[test]
+    fn payload_matches_row_codec_size() {
+        let schema = schema();
+        let mut buf = Vec::new();
+        write_segment(&mut buf, &schema, &records(7)).unwrap();
+        assert_eq!(buf.len(), 4 + 7 * schema.record_width());
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let schema = schema();
+        let mut buf = Vec::new();
+        write_segment(&mut buf, &schema, &[]).unwrap();
+        let mut cur = Cursor::new(buf);
+        let (r, _) = read_segment(&mut cur, &schema).unwrap().unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt() {
+        let schema = schema();
+        let mut buf = Vec::new();
+        write_segment(&mut buf, &schema, &records(4)).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_segment(&mut cur, &schema),
+            Err(DataError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn torn_header_is_corrupt() {
+        let schema = schema();
+        let mut cur = Cursor::new(vec![1u8, 0]);
+        assert!(matches!(
+            read_segment(&mut cur, &schema),
+            Err(DataError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_is_a_schema_error() {
+        let schema = schema();
+        let bad = Record::new(vec![Field::Cat(1), Field::Cat(1), Field::Num(0.0)], 0);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_segment(&mut buf, &schema, &[bad]),
+            Err(DataError::Schema(_))
+        ));
+        assert!(buf.is_empty(), "failed writes must not emit bytes");
+    }
+}

@@ -15,8 +15,14 @@
 //!   counters so the same numbers feed registry snapshots; every experiment
 //!   in the bench harness reports these alongside wall time.
 //! * [`sample`] — reservoir sampling over a stream and bootstrap resampling.
+//! * [`partition`] — row-range partitioning of a source into shard-owned,
+//!   chunk-aligned ranges for the sharded out-of-core fit.
+//! * [`prefetch`] — double-buffered chunk prefetch: a dedicated reader
+//!   thread per shard staging decoded chunks ahead of the consumer.
 //! * [`spill`] — memory-budgeted record buffers that transparently spill to
-//!   temporary files (the paper's `S_n` files).
+//!   temporary files (the paper's `S_n` files), batched as columnar
+//!   segments.
+//! * [`colspill`] — the columnar segment codec behind [`spill`].
 //! * [`log`] — a base-plus-delta *dataset log* modelling a dynamically
 //!   changing training database (insertions and deletions).
 //! * [`csv`] — CSV import (in-memory or streamed to disk) with per-column
@@ -25,11 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod colspill;
 pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod iostats;
 pub mod log;
+pub mod partition;
+pub mod prefetch;
 pub mod record;
 pub mod sample;
 pub mod schema;
@@ -41,5 +50,8 @@ pub use dataset::{
 };
 pub use error::{DataError, Result};
 pub use iostats::{IoSnapshot, IoStats};
+pub use partition::{Partitioner, RowRange, RowRangePartitioner};
+pub use prefetch::{spawn_prefetch, PrefetchScan};
 pub use record::{Field, Record};
 pub use schema::{AttrType, Attribute, Schema};
+pub use spill::{sweep_stale_spill_files, SpillBuffer};

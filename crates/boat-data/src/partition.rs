@@ -1,0 +1,146 @@
+//! Row-range partitioning for sharded out-of-core fits.
+//!
+//! A partitioned fit splits the training database into `K` shards, scans
+//! each shard on its own reader/router thread pair, and merges per-shard
+//! node statistics at a coordinator. The partitioner decides *which rows*
+//! each shard owns. [`RowRangePartitioner`] — the only strategy a
+//! single-file [`RecordSource`] needs — hands out contiguous, chunk-aligned
+//! row ranges; the [`Partitioner`] trait keeps the policy pluggable for
+//! future file-per-shard or key-hashed sources.
+//!
+//! Chunk alignment is load-bearing: a shard's chunks keep the *global*
+//! chunk indices they would have had under a single serial
+//! [`RecordSource::scan_chunks`], so order-sensitive per-node deposits can
+//! be merged in ascending chunk index and replay exactly like a serial
+//! scan.
+//!
+//! [`RecordSource`]: crate::dataset::RecordSource
+//! [`RecordSource::scan_chunks`]: crate::dataset::RecordSource::scan_chunks
+
+/// A half-open range of scan-order row positions, `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First row (inclusive).
+    pub start: u64,
+    /// One past the last row (exclusive).
+    pub end: u64,
+}
+
+impl RowRange {
+    /// Number of rows in the range.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A strategy for splitting `n_records` scan-order rows into shard-owned
+/// ranges.
+pub trait Partitioner {
+    /// Split `n_records` rows into exactly `shards` ranges (some possibly
+    /// empty) that tile `0..n_records` in order. Implementations must keep
+    /// every range aligned to `chunk_size` boundaries (except the final
+    /// range end, which is `n_records`) so shard-local chunk indices match
+    /// the serial scan.
+    fn partition(&self, n_records: u64, chunk_size: usize, shards: usize) -> Vec<RowRange>;
+}
+
+/// Contiguous chunk-aligned row ranges, balanced to within one chunk.
+///
+/// With `C = ceil(n_records / chunk_size)` chunks total, shard `i` owns the
+/// chunk range `[i·C/K, (i+1)·C/K)` — the classic balanced integer split.
+/// When `K > C`, trailing shards own empty ranges (and spawn no scan).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowRangePartitioner;
+
+impl Partitioner for RowRangePartitioner {
+    fn partition(&self, n_records: u64, chunk_size: usize, shards: usize) -> Vec<RowRange> {
+        let shards = shards.max(1);
+        let chunk = chunk_size.max(1) as u64;
+        let n_chunks = n_records.div_ceil(chunk);
+        (0..shards as u64)
+            .map(|i| {
+                let lo = i * n_chunks / shards as u64;
+                let hi = (i + 1) * n_chunks / shards as u64;
+                RowRange {
+                    start: (lo * chunk).min(n_records),
+                    end: (hi * chunk).min(n_records),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(n: u64, chunk: usize, k: usize) -> Vec<RowRange> {
+        RowRangePartitioner.partition(n, chunk, k)
+    }
+
+    fn assert_tiles(ranges: &[RowRange], n: u64) {
+        let mut cursor = 0;
+        for r in ranges {
+            assert_eq!(r.start, cursor, "ranges must tile without gaps");
+            assert!(r.end >= r.start);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, n, "ranges must cover every row");
+    }
+
+    #[test]
+    fn tiles_and_aligns_to_chunks() {
+        let rs = ranges(100, 8, 4);
+        assert_eq!(rs.len(), 4);
+        assert_tiles(&rs, 100);
+        for r in &rs[..3] {
+            assert_eq!(r.start % 8, 0);
+            assert_eq!(r.end % 8, 0);
+        }
+        // 13 chunks over 4 shards: 3/3/3/4 chunks.
+        let chunks: Vec<u64> = rs.iter().map(|r| r.len().div_ceil(8)).collect();
+        assert_eq!(chunks.iter().sum::<u64>(), 13);
+        assert!(chunks.iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn more_shards_than_chunks_leaves_trailing_empties() {
+        let rs = ranges(10, 8, 4); // 2 chunks, 4 shards
+        assert_eq!(rs.len(), 4);
+        assert_tiles(&rs, 10);
+        assert_eq!(rs.iter().filter(|r| !r.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn chunk_larger_than_dataset_gives_one_owner() {
+        let rs = ranges(5, 1000, 3);
+        assert_tiles(&rs, 5);
+        assert_eq!(rs.iter().filter(|r| !r.is_empty()).count(), 1);
+        assert_eq!(rs.iter().map(|r| r.len()).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_empty_ranges() {
+        let rs = ranges(0, 8, 3);
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let rs = ranges(77, 8, 1);
+        assert_eq!(rs, vec![RowRange { start: 0, end: 77 }]);
+    }
+
+    #[test]
+    fn zero_inputs_are_clamped() {
+        let rs = RowRangePartitioner.partition(4, 0, 0);
+        assert_eq!(rs.len(), 1);
+        assert_tiles(&rs, 4);
+    }
+}

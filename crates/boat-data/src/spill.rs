@@ -4,36 +4,121 @@
 //! inside the node's confidence interval (the paper's set `S_n`). These sets
 //! are usually small, but the paper notes its implementation "writes
 //! temporary files to disk to be truly scalable" (§3.3). [`SpillBuffer`]
-//! reproduces that: records are kept in memory up to a budget and appended to
+//! reproduces that: records are kept in memory up to a budget and staged to
 //! a private temporary file beyond it; iteration is transparent either way.
+//!
+//! Overflowed records are not appended row-at-a-time: they accumulate in a
+//! small staging buffer and are flushed as *columnar segments* (see
+//! [`crate::colspill`]) of up to [`SEGMENT_CAPACITY`] records — the same
+//! dense column layout the sample engine uses in memory — turning thousands
+//! of tiny writes into a few batched ones.
+//!
+//! Temporary files live in [`std::env::temp_dir`] by default; callers can
+//! redirect them with [`SpillBuffer::new_in`] (the `BoatConfig::spill_dir`
+//! knob). The first spill into a directory also runs a best-effort
+//! [`sweep_stale_spill_files`] pass so files orphaned by a crashed process
+//! do not pile up forever.
 
-use crate::codec;
+use crate::colspill::{self, SEGMENT_CAPACITY};
 use crate::iostats::IoStats;
 use crate::record::Record;
 use crate::schema::Schema;
-use crate::{DataError, Result};
+use crate::Result;
+use std::collections::BTreeSet;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-fn fresh_temp_path() -> PathBuf {
+/// File-name prefixes this module considers its own when sweeping. The
+/// rebuild partition files written by `boat-core` share the temp directory
+/// and the crash-orphaning problem, so the sweep covers both.
+const STALE_PREFIXES: [&str; 2] = ["boat-spill-", "boat-rebuild-"];
+
+fn fresh_temp_path(dir: &Path) -> PathBuf {
     let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!("boat-spill-{}-{id}.tmp", std::process::id()))
+    dir.join(format!("boat-spill-{}-{id}.tmp", std::process::id()))
+}
+
+/// Extract the owning pid from a `boat-spill-<pid>-<id>.tmp` /
+/// `boat-rebuild-<pid>-<id>.boat` file name; `None` for anything else.
+fn stale_candidate_pid(name: &str) -> Option<u32> {
+    let rest = STALE_PREFIXES.iter().find_map(|p| name.strip_prefix(p))?;
+    let (pid, rest) = rest.split_once('-')?;
+    if !rest.ends_with(".tmp") && !rest.ends_with(".boat") {
+        return None;
+    }
+    pid.parse().ok()
+}
+
+/// Whether a process with `pid` is (conservatively) still alive. On
+/// non-Linux platforms this always answers `true`, disabling the sweep
+/// rather than risking a live process's files.
+fn process_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
+/// Best-effort removal of spill/rebuild temp files in `dir` left behind by
+/// processes that no longer exist. Files owned by live pids (including this
+/// process) and files that do not match the `boat-spill-*`/`boat-rebuild-*`
+/// naming are untouched; I/O errors are swallowed (another process may be
+/// sweeping concurrently). Returns the number of files removed.
+pub fn sweep_stale_spill_files(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let me = std::process::id();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = stale_candidate_pid(name) else {
+            continue;
+        };
+        if pid == me || process_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Run the stale sweep at most once per directory per process, the first
+/// time a spill file is created there ("on startup" of spilling).
+fn sweep_once(dir: &Path) {
+    static SWEPT: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    let swept = SWEPT.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = swept.lock().expect("sweep registry poisoned");
+    if guard.insert(dir.to_path_buf()) {
+        drop(guard); // don't hold the lock across filesystem I/O
+        sweep_stale_spill_files(dir);
+    }
 }
 
 struct SpillFile {
     path: PathBuf,
     writer: Option<BufWriter<File>>,
+    /// Records in fully written segments (excludes the staging buffer).
     n_records: u64,
 }
 
 impl SpillFile {
-    fn create() -> Result<Self> {
-        let path = fresh_temp_path();
+    fn create(dir: &Path) -> Result<Self> {
+        sweep_once(dir);
+        let path = fresh_temp_path(dir);
         let writer = BufWriter::with_capacity(1 << 16, File::create(&path)?);
         Ok(SpillFile {
             path,
@@ -63,26 +148,45 @@ pub struct SpillBuffer {
     schema: Arc<Schema>,
     mem_budget: usize,
     in_mem: Vec<Record>,
+    /// Overflowed records not yet flushed as a segment. Logically these sit
+    /// *after* the on-disk records: spilled order is disk segments, then
+    /// staging, matching append order.
+    staged: Vec<Record>,
     spill: Option<SpillFile>,
+    dir: Option<PathBuf>,
     stats: IoStats,
 }
 
 impl SpillBuffer {
-    /// Create a buffer holding at most `mem_budget` records in memory.
-    /// A budget of 0 spills every record.
+    /// Create a buffer holding at most `mem_budget` records in memory,
+    /// spilling to [`std::env::temp_dir`]. A budget of 0 spills every
+    /// record.
     pub fn new(schema: Arc<Schema>, mem_budget: usize, stats: IoStats) -> Self {
+        Self::new_in(schema, mem_budget, stats, None)
+    }
+
+    /// Like [`SpillBuffer::new`] but spilling into `dir` when given
+    /// (`None` keeps the [`std::env::temp_dir`] default).
+    pub fn new_in(
+        schema: Arc<Schema>,
+        mem_budget: usize,
+        stats: IoStats,
+        dir: Option<PathBuf>,
+    ) -> Self {
         SpillBuffer {
             schema,
             mem_budget,
             in_mem: Vec::new(),
+            staged: Vec::new(),
             spill: None,
+            dir,
             stats,
         }
     }
 
     /// Total records held (in memory + spilled).
     pub fn len(&self) -> u64 {
-        self.in_mem.len() as u64 + self.spill.as_ref().map_or(0, |s| s.n_records)
+        self.in_mem.len() as u64 + self.spilled_len()
     }
 
     /// Whether the buffer holds no records.
@@ -90,14 +194,36 @@ impl SpillBuffer {
         self.len() == 0
     }
 
-    /// Number of records that have overflowed to disk.
+    /// Number of records that have overflowed the in-memory budget
+    /// (flushed segments plus the staging buffer).
     pub fn spilled_len(&self) -> u64 {
-        self.spill.as_ref().map_or(0, |s| s.n_records)
+        self.staged.len() as u64 + self.spill.as_ref().map_or(0, |s| s.n_records)
     }
 
     /// The schema of the buffered records.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    fn spill_dir(&self) -> PathBuf {
+        self.dir.clone().unwrap_or_else(std::env::temp_dir)
+    }
+
+    /// Write the staging buffer out as one columnar segment.
+    fn flush_staged(&mut self) -> Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let spill = self.spill.as_mut().expect("staged records imply a file");
+        let writer = spill
+            .writer
+            .as_mut()
+            .expect("writer open while buffer is live");
+        let bytes = colspill::write_segment(writer, &self.schema, &self.staged)?;
+        spill.n_records += self.staged.len() as u64;
+        self.stats.record_write(self.staged.len() as u64, bytes);
+        self.staged.clear();
+        Ok(())
     }
 
     /// Append one record.
@@ -107,19 +233,13 @@ impl SpillBuffer {
             return Ok(());
         }
         if self.spill.is_none() {
-            self.spill = Some(SpillFile::create()?);
+            self.spill = Some(SpillFile::create(&self.spill_dir())?);
             self.stats.record_spill_event();
         }
-        let spill = self.spill.as_mut().expect("just created");
-        let writer = spill
-            .writer
-            .as_mut()
-            .expect("writer open while buffer is live");
-        let mut buf = Vec::with_capacity(self.schema.record_width());
-        codec::encode_into(&self.schema, &record, &mut buf)?;
-        writer.write_all(&buf)?;
-        spill.n_records += 1;
-        self.stats.record_write(1, buf.len() as u64);
+        self.staged.push(record);
+        if self.staged.len() >= SEGMENT_CAPACITY {
+            self.flush_staged()?;
+        }
         Ok(())
     }
 
@@ -132,8 +252,10 @@ impl SpillBuffer {
     }
 
     /// Iterate over all records: the in-memory prefix first, then the
-    /// spilled suffix (read back from the temporary file).
+    /// spilled suffix (read back from the temporary file a segment at a
+    /// time).
     pub fn iter(&mut self) -> Result<impl Iterator<Item = Result<Record>> + '_> {
+        self.flush_staged()?;
         let spilled: Option<(BufReader<File>, u64)> = match self.spill.as_mut() {
             Some(s) => {
                 s.flush()?;
@@ -144,17 +266,14 @@ impl SpillBuffer {
             }
             None => None,
         };
-        let schema = self.schema.clone();
-        let stats = self.stats.clone();
-        let width = schema.record_width();
         let mem_iter = self.in_mem.iter().map(|r| Ok(r.clone()));
-        let spill_iter = SpillIter {
+        let seg_iter = SegmentIter {
             reader: spilled,
-            schema,
-            buf: vec![0u8; width],
-            stats,
+            schema: self.schema.clone(),
+            pending: std::collections::VecDeque::new(),
+            stats: self.stats.clone(),
         };
-        Ok(mem_iter.chain(spill_iter))
+        Ok(mem_iter.chain(seg_iter))
     }
 
     /// Materialize every record into a vector.
@@ -166,59 +285,117 @@ impl SpillBuffer {
         Ok(out)
     }
 
-    /// Remove one record equal to `target` (by value), if present. Returns
-    /// whether a record was removed. Used by incremental *deletions*: a
-    /// deleted tuple that was parked in `S_n` must leave the buffer.
-    ///
-    /// Removal from the spilled region rewrites the temporary file; parked
-    /// sets are small by construction, so this stays cheap.
-    pub fn remove_one(&mut self, target: &Record) -> Result<bool> {
-        if let Some(pos) = self.in_mem.iter().position(|r| r == target) {
-            self.in_mem.swap_remove(pos);
-            return Ok(true);
+    /// Read the on-disk segments back into a vector (disk order), without
+    /// touching `in_mem` or the staging buffer.
+    fn read_disk(&mut self) -> Result<Vec<Record>> {
+        let Some(s) = self.spill.as_mut() else {
+            return Ok(Vec::new());
+        };
+        s.flush()?;
+        let mut reader = BufReader::with_capacity(1 << 16, File::open(&s.path)?);
+        let mut out = Vec::with_capacity(s.n_records as usize);
+        while let Some((records, bytes)) = colspill::read_segment(&mut reader, &self.schema)? {
+            self.stats.record_read(records.len() as u64, bytes);
+            out.extend(records);
         }
-        if self.spill.is_none() {
-            return Ok(false);
+        Ok(out)
+    }
+
+    /// Replace the on-disk tier with `records` (the staging buffer must
+    /// already be folded in by the caller), rewriting the file once.
+    fn rewrite_disk(&mut self, records: &[Record]) -> Result<()> {
+        self.spill = None; // drops + deletes the old file
+        self.staged.clear();
+        if records.is_empty() {
+            return Ok(());
         }
-        let mut all: Vec<Record> = Vec::with_capacity(self.spilled_len() as usize);
+        let mut fresh = SpillFile::create(&self.spill_dir())?;
         {
-            let s = self.spill.as_mut().expect("checked above");
+            let writer = fresh.writer.as_mut().expect("writer open");
+            for seg in records.chunks(SEGMENT_CAPACITY) {
+                let bytes = colspill::write_segment(writer, &self.schema, seg)?;
+                self.stats.record_write(seg.len() as u64, bytes);
+            }
+        }
+        fresh.n_records = records.len() as u64;
+        fresh.flush()?;
+        self.spill = Some(fresh);
+        Ok(())
+    }
+
+    /// Remove one record equal to `target` (by value), if present. Returns
+    /// whether a record was removed. Equivalent to a one-element
+    /// [`SpillBuffer::remove_many`].
+    pub fn remove_one(&mut self, target: &Record) -> Result<bool> {
+        Ok(self.remove_many(std::slice::from_ref(target))? == 1)
+    }
+
+    /// Remove one occurrence per entry of `targets` (multiset semantics:
+    /// a record listed twice is removed twice, if present twice). Returns
+    /// how many records were actually removed.
+    ///
+    /// This is the batched form incremental *deletions* go through: a
+    /// maintain cycle with `D` deletes used to rewrite the spilled file `D`
+    /// times (O(D·n) I/O); `remove_many` materializes the spilled tier at
+    /// most once and rewrites it at most once, regardless of `D`. The
+    /// result — contents and order — is identical to `D` sequential
+    /// [`SpillBuffer::remove_one`] calls.
+    pub fn remove_many(&mut self, targets: &[Record]) -> Result<u64> {
+        let mut removed = 0u64;
+        // Lazily materialized spilled tier: disk segments then staging,
+        // i.e. append order.
+        let mut spilled: Option<Vec<Record>> = None;
+        let mut spilled_dirty = false;
+        for target in targets {
+            if let Some(pos) = self.in_mem.iter().position(|r| r == target) {
+                self.in_mem.swap_remove(pos);
+                removed += 1;
+                continue;
+            }
+            if self.spill.is_none() && self.staged.is_empty() {
+                continue;
+            }
+            if spilled.is_none() {
+                let mut all = self.read_disk()?;
+                all.extend(self.staged.iter().cloned());
+                spilled = Some(all);
+            }
+            let tier = spilled.as_mut().expect("materialized above");
+            if let Some(pos) = tier.iter().position(|r| r == target) {
+                tier.swap_remove(pos);
+                removed += 1;
+                spilled_dirty = true;
+            }
+        }
+        if spilled_dirty {
+            let tier = spilled.expect("dirty implies materialized");
+            self.rewrite_disk(&tier)?;
+        }
+        Ok(removed)
+    }
+
+    /// How many records equal to `target` (by value) the buffer holds,
+    /// without mutating it. Used by incremental deletions to *validate* a
+    /// batch of deletes — which may name the same tuple several times —
+    /// before any counter is decremented anywhere in the tree.
+    pub fn count_matching(&mut self, target: &Record) -> Result<u64> {
+        let mut n = self.in_mem.iter().filter(|r| *r == target).count() as u64;
+        n += self.staged.iter().filter(|r| *r == target).count() as u64;
+        if let Some(s) = self.spill.as_mut() {
             s.flush()?;
             let mut reader = BufReader::with_capacity(1 << 16, File::open(&s.path)?);
-            let mut buf = vec![0u8; self.schema.record_width()];
-            for _ in 0..s.n_records {
-                reader.read_exact(&mut buf)?;
-                all.push(codec::decode(&self.schema, &buf)?);
+            while let Some((records, bytes)) = colspill::read_segment(&mut reader, &self.schema)? {
+                self.stats.record_read(records.len() as u64, bytes);
+                n += records.iter().filter(|r| *r == target).count() as u64;
             }
         }
-        let Some(pos) = all.iter().position(|r| r == target) else {
-            return Ok(false);
-        };
-        all.swap_remove(pos);
-        self.spill = None; // drops + deletes the old file
-        if !all.is_empty() {
-            let mut fresh = SpillFile::create()?;
-            {
-                let writer = fresh.writer.as_mut().expect("writer open");
-                let mut buf = Vec::with_capacity(self.schema.record_width());
-                for r in &all {
-                    buf.clear();
-                    codec::encode_into(&self.schema, r, &mut buf)?;
-                    writer.write_all(&buf)?;
-                }
-            }
-            fresh.n_records = all.len() as u64;
-            fresh.flush()?;
-            self.spill = Some(fresh);
-        }
-        Ok(true)
+        Ok(n)
     }
 
     /// Whether a record equal to `target` (by value) is present, without
-    /// mutating the buffer. Used by incremental deletions to *validate* a
-    /// delete before any counter is decremented anywhere in the tree.
+    /// mutating the buffer.
     pub fn contains(&mut self, target: &Record) -> Result<bool> {
-        if self.in_mem.iter().any(|r| r == target) {
+        if self.in_mem.iter().any(|r| r == target) || self.staged.iter().any(|r| r == target) {
             return Ok(true);
         }
         let Some(s) = self.spill.as_mut() else {
@@ -226,10 +403,9 @@ impl SpillBuffer {
         };
         s.flush()?;
         let mut reader = BufReader::with_capacity(1 << 16, File::open(&s.path)?);
-        let mut buf = vec![0u8; self.schema.record_width()];
-        for _ in 0..s.n_records {
-            reader.read_exact(&mut buf)?;
-            if codec::decode(&self.schema, &buf)? == *target {
+        while let Some((records, bytes)) = colspill::read_segment(&mut reader, &self.schema)? {
+            self.stats.record_read(records.len() as u64, bytes);
+            if records.iter().any(|r| r == target) {
                 return Ok(true);
             }
         }
@@ -239,6 +415,7 @@ impl SpillBuffer {
     /// Drop all contents (and the temporary file, if any).
     pub fn clear(&mut self) {
         self.in_mem.clear();
+        self.staged.clear();
         self.spill = None;
     }
 }
@@ -254,28 +431,42 @@ impl std::fmt::Debug for SpillBuffer {
     }
 }
 
-struct SpillIter {
+struct SegmentIter {
     reader: Option<(BufReader<File>, u64)>,
     schema: Arc<Schema>,
-    buf: Vec<u8>,
+    pending: std::collections::VecDeque<Record>,
     stats: IoStats,
 }
 
-impl Iterator for SpillIter {
+impl Iterator for SegmentIter {
     type Item = Result<Record>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let (reader, remaining) = self.reader.as_mut()?;
-        if *remaining == 0 {
-            return None;
+        loop {
+            if let Some(r) = self.pending.pop_front() {
+                return Some(Ok(r));
+            }
+            let (reader, remaining) = self.reader.as_mut()?;
+            if *remaining == 0 {
+                self.reader = None;
+                return None;
+            }
+            match colspill::read_segment(reader, &self.schema) {
+                Ok(Some((records, bytes))) => {
+                    *remaining = remaining.saturating_sub(records.len() as u64);
+                    self.stats.record_read(records.len() as u64, bytes);
+                    self.pending.extend(records);
+                }
+                Ok(None) => {
+                    self.reader = None;
+                    return None;
+                }
+                Err(e) => {
+                    self.reader = None;
+                    return Some(Err(e));
+                }
+            }
         }
-        *remaining -= 1;
-        if let Err(e) = reader.read_exact(&mut self.buf) {
-            *remaining = 0;
-            return Some(Err(DataError::Io(e)));
-        }
-        self.stats.record_read(1, self.buf.len() as u64);
-        Some(codec::decode(&self.schema, &self.buf))
     }
 }
 
@@ -317,6 +508,17 @@ mod tests {
         let v = b.to_vec().unwrap();
         let xs: Vec<f64> = v.iter().map(|r| r.num(0)).collect();
         assert_eq!(xs, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_survives_multiple_segment_flushes() {
+        let n = SEGMENT_CAPACITY * 3 + 17;
+        let mut b = SpillBuffer::new(schema(), 2, IoStats::new());
+        for i in 0..n {
+            b.push(rec(i as f64)).unwrap();
+        }
+        let xs: Vec<f64> = b.to_vec().unwrap().iter().map(|r| r.num(0)).collect();
+        assert_eq!(xs, (0..n).map(|i| i as f64).collect::<Vec<_>>());
     }
 
     #[test]
@@ -370,6 +572,76 @@ mod tests {
         b.push(rec(7.0)).unwrap();
         assert!(b.remove_one(&rec(7.0)).unwrap());
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn remove_many_matches_sequential_remove_one() {
+        let targets: Vec<Record> = [9.0, 2.0, 9.0, 77.0, 0.0, 5.0].map(rec).to_vec();
+        let mut batched = SpillBuffer::new(schema(), 3, IoStats::new());
+        let mut serial = SpillBuffer::new(schema(), 3, IoStats::new());
+        for i in 0..12 {
+            batched.push(rec(i as f64)).unwrap();
+            serial.push(rec(i as f64)).unwrap();
+        }
+        batched.push(rec(9.0)).unwrap(); // a duplicate, so 9.0 exists twice
+        serial.push(rec(9.0)).unwrap();
+        let n = batched.remove_many(&targets).unwrap();
+        let mut m = 0;
+        for t in &targets {
+            m += u64::from(serial.remove_one(t).unwrap());
+        }
+        assert_eq!(n, m);
+        assert_eq!(n, 5, "77.0 is absent, everything else present");
+        assert_eq!(
+            batched.to_vec().unwrap(),
+            serial.to_vec().unwrap(),
+            "batched removal must leave the identical buffer (order included)"
+        );
+    }
+
+    #[test]
+    fn remove_many_rewrites_once() {
+        let stats = IoStats::new();
+        let mut b = SpillBuffer::new(schema(), 0, stats.clone());
+        for i in 0..40 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        b.iter().unwrap().for_each(drop); // force the segment flush
+        let before = stats.snapshot();
+        let targets: Vec<Record> = (0..8).map(|i| rec(i as f64 * 4.0)).collect();
+        assert_eq!(b.remove_many(&targets).unwrap(), 8);
+        let delta = stats.snapshot() - before;
+        // One materialization (40 reads) + one rewrite of the 32 survivors;
+        // eight remove_one calls would have rewritten 39+38+…+32 records.
+        assert_eq!(delta.records_read, 40);
+        assert_eq!(delta.records_written, 32);
+        assert_eq!(b.len(), 32);
+    }
+
+    #[test]
+    fn remove_many_in_memory_only_does_no_io() {
+        let stats = IoStats::new();
+        let mut b = SpillBuffer::new(schema(), 10, stats.clone());
+        for i in 0..5 {
+            b.push(rec(i as f64)).unwrap();
+        }
+        assert_eq!(b.remove_many(&[rec(1.0), rec(3.0)]).unwrap(), 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.records_read + snap.records_written, 0);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn count_matching_counts_across_tiers() {
+        let mut b = SpillBuffer::new(schema(), 1, IoStats::new());
+        b.push(rec(7.0)).unwrap(); // in_mem
+        b.push(rec(7.0)).unwrap(); // staged/spilled
+        b.push(rec(3.0)).unwrap();
+        b.push(rec(7.0)).unwrap();
+        assert_eq!(b.count_matching(&rec(7.0)).unwrap(), 3);
+        assert_eq!(b.count_matching(&rec(3.0)).unwrap(), 1);
+        assert_eq!(b.count_matching(&rec(42.0)).unwrap(), 0);
+        assert_eq!(b.len(), 4, "counting must not mutate");
     }
 
     #[test]
@@ -435,5 +707,64 @@ mod tests {
         // Buffer still fully usable after probing the spilled region.
         b.push(rec(6.0)).unwrap();
         assert_eq!(b.to_vec().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn spill_dir_is_honored() {
+        let dir = std::env::temp_dir().join("boat-spill-dir-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = SpillBuffer::new_in(schema(), 0, IoStats::new(), Some(dir.clone()));
+        b.push(rec(1.0)).unwrap();
+        let path = b.spill.as_ref().unwrap().path.clone();
+        assert_eq!(path.parent().unwrap(), dir.as_path());
+        drop(b);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn sweep_removes_only_dead_pid_temp_files() {
+        let dir = std::env::temp_dir().join("boat-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let me = std::process::id();
+        // Linux pids cannot exceed 2^22, so u32::MAX is reliably dead.
+        let dead = u32::MAX;
+        let keep_mine = dir.join(format!("boat-spill-{me}-0.tmp"));
+        let keep_other = dir.join("not-a-spill-file.tmp");
+        let keep_garbled = dir.join("boat-spill-garbled.tmp");
+        let gone_spill = dir.join(format!("boat-spill-{dead}-1.tmp"));
+        let gone_rebuild = dir.join(format!("boat-rebuild-{dead}-2.boat"));
+        for p in [
+            &keep_mine,
+            &keep_other,
+            &keep_garbled,
+            &gone_spill,
+            &gone_rebuild,
+        ] {
+            std::fs::write(p, b"x").unwrap();
+        }
+        let removed = sweep_stale_spill_files(&dir);
+        if cfg!(target_os = "linux") {
+            assert_eq!(removed, 2);
+            assert!(!gone_spill.exists() && !gone_rebuild.exists());
+        } else {
+            assert_eq!(removed, 0, "sweep is disabled off Linux");
+        }
+        assert!(keep_mine.exists() && keep_other.exists() && keep_garbled.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn first_spill_in_a_directory_sweeps_it() {
+        let dir = std::env::temp_dir().join("boat-sweep-on-startup-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join(format!("boat-spill-{}-9.tmp", u32::MAX));
+        std::fs::write(&stale, b"orphan").unwrap();
+        let mut b = SpillBuffer::new_in(schema(), 0, IoStats::new(), Some(dir.clone()));
+        b.push(rec(1.0)).unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(!stale.exists(), "creating a spill file must sweep orphans");
+        }
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
