@@ -73,10 +73,23 @@ fn report_headline(bench: &str, fields: &[(String, String)]) -> String {
             fmt1(get("speedup_engine")),
             get("tree_nodes").unwrap_or_else(|| "?".into()),
         ),
-        "sample_phase" => format!(
-            "columnar sample phase {}x at the largest config",
-            fmt1(get("largest_config_speedup")),
-        ),
+        "sample_phase" => {
+            let mut line = format!(
+                "columnar sample phase {}x at the largest config",
+                fmt1(get("largest_config_speedup")),
+            );
+            // Newer reports carry the subsample gate's numbers too; older
+            // artifacts on disk simply lack the fields and keep the short
+            // headline.
+            if let Some(sub) = get("largest_config_subsample_speedup") {
+                line.push_str(&format!(
+                    ", subsampled {}x (fallbacks {})",
+                    fmt1(Some(sub)),
+                    get("subsample_fallbacks").unwrap_or_else(|| "?".into()),
+                ));
+            }
+            line
+        }
         "parallel_cleanup_scan" => format!(
             "{} tuples at machine parallelism {}",
             get("tuples").unwrap_or_else(|| "?".into()),

@@ -158,6 +158,11 @@ pub fn print_metrics_summary(snap: &Snapshot) {
         "boat.sample.columnar_builds",
         "boat.sample.rows_builds",
         "boat.sample.clone_bytes_avoided",
+        "boat.sample.selector_fallbacks",
+        "boat.sample.subsample.swept",
+        "boat.sample.subsample.pruned",
+        "boat.sample.subsample.fallbacks",
+        "boat.sample.subsample.exact_points",
     ] {
         let v = snap.counter(name);
         if v > 0 {

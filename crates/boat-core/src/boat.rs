@@ -112,7 +112,12 @@ impl<I: Impurity + Clone> Boat<I> {
                 self.metrics.counter("boat.sample.inmem_columnar").inc();
                 let cs = boat_tree::ColumnarSample::from_records(schema, records);
                 let weights = vec![1u32; records.len()];
-                boat_tree::grow_weighted(&cs, &weights, &selector, limits)
+                let stats = boat_tree::SubsampleStats::default();
+                let rt = crate::coarse::subsample_runtime(&self.config, &stats);
+                let tree =
+                    boat_tree::grow_weighted_gated(&cs, &weights, &selector, limits, rt.as_ref());
+                crate::coarse::record_subsample_stats(&stats, &self.metrics);
+                tree
             }
             SampleEngine::Rows => TdTreeBuilder::new(&selector, limits).fit(schema, records),
         }

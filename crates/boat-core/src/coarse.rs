@@ -179,6 +179,12 @@ pub fn build_coarse_tree<S: SplitSelector + ?Sized>(
     let limits = bootstrap_limits(config, full_size);
     let use_columnar =
         config.sample_engine == SampleEngine::Columnar && selector.supports_columnar();
+    if config.sample_engine == SampleEngine::Columnar && !selector.supports_columnar() {
+        // The configured engine was silently overridden — surface it so a
+        // "columnar" run that quietly built row-oriented trees (e.g. under
+        // a QUEST-style selector) is visible in the metrics.
+        metrics.counter("boat.sample.selector_fallbacks").add(1);
+    }
     let trees: Vec<Tree> = if use_columnar {
         bootstrap_trees_columnar(schema, sample, selector, config, limits, rng, metrics)
     } else {
@@ -305,11 +311,45 @@ fn bootstrap_trees_columnar<S: SplitSelector + ?Sized>(
         .counter("boat.sample.clone_bytes_avoided")
         .add((weight_sets.len() * config.bootstrap_sample_size) as u64 * cs.record_bytes() as u64);
     let grow_span = metrics.span("boat.sample.grow");
+    let stats = boat_tree::SubsampleStats::default();
+    let base = subsample_runtime(config, &stats);
     let trees = build_parallel(weight_sets.len(), |i| {
-        boat_tree::grow_weighted(&cs, &weight_sets[i], selector, limits)
+        let rt = base.map(|b| b.for_rep(i as u64));
+        boat_tree::grow_weighted_gated(&cs, &weight_sets[i], selector, limits, rt.as_ref())
     });
     grow_span.finish();
+    record_subsample_stats(&stats, metrics);
     trees
+}
+
+/// The subsample gate runtime a config denotes (seeded off `config.seed`,
+/// mixed per bootstrap repetition by the caller), or `None` when disabled.
+pub(crate) fn subsample_runtime<'s>(
+    config: &BoatConfig,
+    stats: &'s boat_tree::SubsampleStats,
+) -> Option<boat_tree::SubsampleRuntime<'s>> {
+    config
+        .subsample_params()
+        .map(|params| boat_tree::SubsampleRuntime {
+            params,
+            seed: boat_tree::subsample::splitmix64(config.seed ^ 0x5B5A_B5A4_B1E5),
+            stats,
+        })
+}
+
+/// Mirror the gate's counters into the `boat.sample.subsample.*` metrics.
+pub(crate) fn record_subsample_stats(stats: &boat_tree::SubsampleStats, metrics: &Registry) {
+    let snap = stats.snapshot();
+    for (name, v) in [
+        ("boat.sample.subsample.swept", snap.swept),
+        ("boat.sample.subsample.pruned", snap.pruned),
+        ("boat.sample.subsample.fallbacks", snap.fallbacks),
+        ("boat.sample.subsample.exact_points", snap.exact_points),
+    ] {
+        if v > 0 {
+            metrics.counter(name).add(v);
+        }
+    }
 }
 
 /// The "signature" a bootstrap node votes with: leaf, or internal with a
@@ -887,6 +927,78 @@ mod tests {
         assert_eq!(
             snap.counter("boat.sample.rows_builds"),
             cfg.bootstrap_reps as u64
+        );
+        assert_eq!(
+            snap.counter("boat.sample.selector_fallbacks"),
+            1,
+            "the silent engine override must be counted"
+        );
+    }
+
+    #[test]
+    fn columnar_selector_does_not_count_a_fallback() {
+        let schema = schema();
+        let sample = clean_sample(400);
+        let sel = ImpuritySelector::new(Gini);
+        let metrics = Registry::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &config(),
+            50_000,
+            &mut rng,
+            &metrics,
+        );
+        assert_eq!(
+            metrics.snapshot().counter("boat.sample.selector_fallbacks"),
+            0
+        );
+    }
+
+    #[test]
+    fn subsample_gate_produces_identical_coarse_trees_and_counters() {
+        // Gate on (default) vs gate off: identical coarse trees, and the
+        // gated run must report activity on a sample large enough to clear
+        // min_node at the root.
+        let schema = schema();
+        let sample = clean_sample(4000);
+        let sel = ImpuritySelector::new(Gini);
+        let mut cfg = config();
+        cfg.sample_size = 4000;
+        cfg.bootstrap_sample_size = 2000;
+        cfg.split_subsample_min_node = 64;
+
+        let gated_metrics = Registry::new();
+        let mut rng = StdRng::seed_from_u64(55);
+        let gated = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &gated_metrics,
+        );
+
+        cfg.split_subsample = 0.0;
+        let mut rng = StdRng::seed_from_u64(55);
+        let exact = build_coarse_tree(
+            &schema,
+            &sample,
+            &sel,
+            &cfg,
+            100_000,
+            &mut rng,
+            &Registry::new(),
+        );
+
+        assert_eq!(gated, exact, "the gate must never change the coarse tree");
+        let snap = gated_metrics.snapshot();
+        assert!(
+            snap.counter("boat.sample.subsample.swept") > 0,
+            "gate must have engaged on 2000-row resamples"
         );
     }
 

@@ -149,6 +149,18 @@ pub struct BoatConfig {
     /// uses [`std::env::temp_dir`]. The first spill into a directory also
     /// sweeps temp files orphaned there by dead processes.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Fraction of a node's rows the columnar engine's confidence-gated
+    /// split search sub-samples as exact boundary candidates before corner
+    /// bounds (Lemma 3.1) prune the gaps between them (see
+    /// `boat_tree::subsample`). `0.0` disables the gate; any enabled value
+    /// yields **bit-identical trees** (the gate only prunes candidates it
+    /// *proves* lose, and falls back to the exact sweep otherwise), so this
+    /// is purely a performance knob. Only the columnar engine consults it.
+    pub split_subsample: f64,
+    /// Nodes with fewer member rows than this skip the subsampled search
+    /// and run the exact sweep directly (small nodes are cheap; the gate's
+    /// counting pass would be pure overhead).
+    pub split_subsample_min_node: usize,
 }
 
 impl Default for BoatConfig {
@@ -172,6 +184,8 @@ impl Default for BoatConfig {
             fit_shards: 1,
             prefetch_depth: 2,
             spill_dir: None,
+            split_subsample: 1.0 / 16.0,
+            split_subsample_min_node: 256,
         }
     }
 }
@@ -239,6 +253,27 @@ impl BoatConfig {
         self
     }
 
+    /// Builder-style subsample-fraction override (`0.0` = gate off).
+    pub fn with_split_subsample(mut self, fraction: f64) -> Self {
+        self.split_subsample = fraction;
+        self
+    }
+
+    /// Builder-style subsample minimum-node-size override.
+    pub fn with_split_subsample_min_node(mut self, min_node: usize) -> Self {
+        self.split_subsample_min_node = min_node;
+        self
+    }
+
+    /// The subsample gate parameters this config denotes, or `None` when
+    /// the gate is disabled.
+    pub fn subsample_params(&self) -> Option<boat_tree::SubsampleParams> {
+        (self.split_subsample > 0.0).then_some(boat_tree::SubsampleParams {
+            fraction: self.split_subsample,
+            min_node: self.split_subsample_min_node,
+        })
+    }
+
     /// The shard count a partitioned fit will actually use: the configured
     /// `fit_shards`, with `0` resolved to the machine's available
     /// parallelism (and `1` if even that is unknown).
@@ -301,6 +336,12 @@ impl BoatConfig {
         }
         if self.prefetch_depth == 0 {
             return Err("prefetch_depth must be at least 1".into());
+        }
+        if !self.split_subsample.is_finite() || !(0.0..=1.0).contains(&self.split_subsample) {
+            return Err("split_subsample must be a finite fraction in [0, 1]".into());
+        }
+        if self.split_subsample > 0.0 && self.split_subsample_min_node < 2 {
+            return Err("split_subsample_min_node must be at least 2 when the gate is on".into());
         }
         Ok(())
     }
@@ -365,6 +406,22 @@ mod tests {
                 prefetch_depth: 0,
                 ..Default::default()
             },
+            BoatConfig {
+                split_subsample: -0.1,
+                ..Default::default()
+            },
+            BoatConfig {
+                split_subsample: f64::NAN,
+                ..Default::default()
+            },
+            BoatConfig {
+                split_subsample: 1.5,
+                ..Default::default()
+            },
+            BoatConfig {
+                split_subsample_min_node: 1,
+                ..Default::default()
+            },
         ];
         for c in cases {
             assert!(c.validate().is_err(), "{c:?} should be rejected");
@@ -401,6 +458,29 @@ mod tests {
             Some(std::path::Path::new("/tmp/boat-spills"))
         );
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn subsample_gate_is_on_by_default_and_can_be_disabled() {
+        let c = BoatConfig::default();
+        assert_eq!(c.split_subsample, 1.0 / 16.0);
+        assert_eq!(c.split_subsample_min_node, 256);
+        let params = c.subsample_params().expect("gate on by default");
+        assert_eq!(params.fraction, 1.0 / 16.0);
+        assert_eq!(params.min_node, 256);
+        let off = BoatConfig::default().with_split_subsample(0.0);
+        assert!(off.subsample_params().is_none());
+        off.validate().unwrap();
+        // min_node is unchecked while the gate is off.
+        let off_tiny = BoatConfig::default()
+            .with_split_subsample(0.0)
+            .with_split_subsample_min_node(0);
+        off_tiny.validate().unwrap();
+        let custom = BoatConfig::default()
+            .with_split_subsample(0.25)
+            .with_split_subsample_min_node(64);
+        custom.validate().unwrap();
+        assert_eq!(custom.subsample_params().unwrap().min_node, 64);
     }
 
     #[test]

@@ -14,8 +14,6 @@
 //! out a better split out there", which triggers a rebuild of the subtree —
 //! never an incorrect tree.
 
-use boat_tree::{split_impurity, Impurity};
-
 // No epsilon slack is needed in the bound comparisons: every impurity in
 // this workspace — candidate values in sweeps, the in-interval minimum `i'`,
 // and the corner bounds — is computed by the same `split_impurity` function
@@ -24,48 +22,11 @@ use boat_tree::{split_impurity, Impurity};
 // non-tied pair of stamp points whose impurities differ by less than one
 // ulp; real count data cannot produce that without being an exact tie.)
 
-/// Lemma 3.1: lower bound for the impurity of any split whose stamp point
-/// lies in the hyper-rectangle `[stamp_lo, stamp_hi]` (componentwise), at a
-/// node with class totals `totals`.
-///
-/// Evaluates the weighted split impurity at all `2^k` corners and returns
-/// the minimum. Panics if `k > 20` (the paper's setting is small `k`; the
-/// evaluation is exponential in the class count by construction).
-pub fn corner_lower_bound(
-    imp: &dyn Impurity,
-    stamp_lo: &[u64],
-    stamp_hi: &[u64],
-    totals: &[u64],
-) -> f64 {
-    let k = totals.len();
-    assert!(
-        k <= 20,
-        "corner bound is exponential in class count; got k={k}"
-    );
-    debug_assert_eq!(stamp_lo.len(), k);
-    debug_assert_eq!(stamp_hi.len(), k);
-    debug_assert!(stamp_lo.iter().zip(stamp_hi).all(|(l, h)| l <= h));
-    debug_assert!(stamp_hi.iter().zip(totals).all(|(h, t)| h <= t));
-
-    let mut best = f64::INFINITY;
-    let mut left = vec![0u64; k];
-    let mut right = vec![0u64; k];
-    for mask in 0u32..(1u32 << k) {
-        for i in 0..k {
-            left[i] = if mask & (1 << i) != 0 {
-                stamp_hi[i]
-            } else {
-                stamp_lo[i]
-            };
-            right[i] = totals[i] - left[i];
-        }
-        let v = split_impurity(imp, &left, &right);
-        if v < best {
-            best = v;
-        }
-    }
-    best
-}
+// The corner bound itself now lives in `boat_tree::subsample` — the gated
+// subsampled split search applies the same Lemma 3.1 device inside the
+// sample phase — and is re-exported here so cleanup-scan code keeps its
+// natural import path.
+pub use boat_tree::subsample::corner_lower_bound;
 
 /// Whether a bucket with lower bound `bound` *passes* verification against
 /// the exact in-interval minimum `i_prime`.
@@ -87,7 +48,7 @@ pub fn bucket_passes(bound: f64, i_prime: f64, tie_wins: bool) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use boat_tree::{Entropy, Gini};
+    use boat_tree::{split_impurity, Entropy, Gini, Impurity};
 
     #[test]
     fn degenerate_rectangle_is_the_exact_value() {

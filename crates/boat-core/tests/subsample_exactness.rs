@@ -1,0 +1,311 @@
+//! Differential oracle for the confidence-gated subsampled split search.
+//!
+//! The gate must be *invisible*: with `split_subsample` at its on-by-default
+//! setting (and at aggressive settings), the columnar engine must produce
+//! byte-identical artifacts to both the gate-off columnar engine and the
+//! row-materializing engine — serialized coarse trees out of the sampling
+//! phase and serialized final models out of the full pipeline. Property
+//! tests draw random schema shapes, record tables, and seeds; fixed cases
+//! pin the adversarial datagen grid (heavy ties, high-cardinality
+//! categoricals, skewed class priors, wide schemas) that the sample_phase
+//! bench also runs.
+
+use boat_core::coarse::build_coarse_tree;
+use boat_core::{Boat, BoatConfig, SampleEngine};
+use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
+use boat_obs::Registry;
+use boat_tree::{Gini, ImpuritySelector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Attribute shape: `None` = numeric, `Some(card)` = categorical.
+type AttrSpec = Option<u32>;
+
+fn arb_attrs() -> impl Strategy<Value = Vec<AttrSpec>> {
+    prop::collection::vec(prop_oneof![Just(None), (2u32..6).prop_map(Some)], 1..5)
+}
+
+fn make_schema(attrs: &[AttrSpec], n_classes: usize) -> Arc<Schema> {
+    let attrs: Vec<Attribute> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| match spec {
+            None => Attribute::numeric(format!("x{i}")),
+            Some(card) => Attribute::categorical(format!("c{i}"), *card),
+        })
+        .collect();
+    Arc::new(Schema::new(attrs, n_classes as u16).expect("valid schema"))
+}
+
+/// Random records mixing a fine-grained value band (near-unique values,
+/// where the gate actually prunes) with a coarse grid band (heavy ties,
+/// where snapping and fallbacks dominate).
+fn make_records(attrs: &[AttrSpec], n: usize, n_classes: usize, seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let fields: Vec<Field> = attrs
+                .iter()
+                .map(|spec| match spec {
+                    None => {
+                        if rng.random_range(0..2u32) == 0 {
+                            // fine-grained band
+                            Field::Num(rng.random_range(0..100_000u32) as f64 * 1e-3)
+                        } else {
+                            // coarse tied band
+                            Field::Num(rng.random_range(0..12u32) as f64 * 0.5)
+                        }
+                    }
+                    Some(card) => Field::Cat(rng.random_range(0..*card)),
+                })
+                .collect();
+            let noisy = rng.random_range(0..5u32) == 0;
+            let label = if noisy {
+                rng.random_range(0..n_classes as u32) as u16
+            } else {
+                match &fields[0] {
+                    Field::Num(v) => u16::from(*v >= 5.0) % n_classes as u16,
+                    Field::Cat(c) => (*c % n_classes as u32) as u16,
+                }
+            };
+            Record::new(fields, label)
+        })
+        .collect()
+}
+
+fn small_config(seed: u64, engine: SampleEngine) -> BoatConfig {
+    BoatConfig {
+        sample_size: 200,
+        bootstrap_reps: 6,
+        bootstrap_sample_size: 100,
+        in_memory_threshold: 120,
+        spill_budget: 16,
+        cleanup_chunk_size: 128,
+        seed,
+        ..BoatConfig::default()
+    }
+    .with_sample_engine(engine)
+}
+
+/// The gate settings the oracle sweeps: the shipped default, an aggressive
+/// tiny-node setting (gates almost every node), and a coarse fraction.
+const GATE_SETTINGS: [(f64, usize); 3] = [(1.0 / 16.0, 256), (1.0 / 16.0, 8), (0.25, 16)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Sampling phase in isolation: the gated coarse trees are byte-identical
+    /// to both the ungated columnar trees and the rows-engine trees.
+    #[test]
+    fn gated_coarse_trees_are_byte_identical(
+        attrs in arb_attrs(),
+        n_classes in 2usize..4,
+        n in 250usize..600,
+        data_seed in 0u64..1_000_000,
+        boat_seed in 0u64..1_000_000,
+    ) {
+        let schema = make_schema(&attrs, n_classes);
+        let sample = make_records(&attrs, n, n_classes, data_seed);
+        let selector = ImpuritySelector::new(Gini);
+        let full_size = (n as u64) * 8;
+        let coarse_of = |config: BoatConfig| {
+            let mut rng = StdRng::seed_from_u64(boat_seed ^ 0x0B0A7);
+            build_coarse_tree(
+                &schema,
+                &sample,
+                &selector,
+                &config,
+                full_size,
+                &mut rng,
+                &Registry::new(),
+            )
+        };
+        let rows = coarse_of(small_config(boat_seed, SampleEngine::Rows));
+        let ungated =
+            coarse_of(small_config(boat_seed, SampleEngine::Columnar).with_split_subsample(0.0));
+        prop_assert_eq!(&ungated, &rows, "gate-off columnar vs rows diverge");
+        for (fraction, min_node) in GATE_SETTINGS {
+            let gated = coarse_of(
+                small_config(boat_seed, SampleEngine::Columnar)
+                    .with_split_subsample(fraction)
+                    .with_split_subsample_min_node(min_node),
+            );
+            prop_assert_eq!(&gated, &rows, "gated trees diverge at fraction={} min_node={}",
+                fraction, min_node);
+            prop_assert_eq!(
+                format!("{gated:?}").into_bytes(),
+                format!("{rows:?}").into_bytes()
+            );
+        }
+    }
+
+    /// Full pipeline: the gated serialized final model equals the ungated
+    /// and rows-engine models byte for byte.
+    #[test]
+    fn gated_full_pipeline_models_are_byte_identical(
+        attrs in arb_attrs(),
+        n_classes in 2usize..4,
+        n in 450usize..900,
+        data_seed in 0u64..1_000_000,
+        boat_seed in 0u64..1_000_000,
+    ) {
+        let schema = make_schema(&attrs, n_classes);
+        let records = make_records(&attrs, n, n_classes, data_seed);
+        let fit_of = |config: BoatConfig| {
+            let source = MemoryDataset::new(schema.clone(), records.clone());
+            Boat::new(config).fit(&source).expect("boat fit")
+        };
+        let rows = fit_of(small_config(boat_seed, SampleEngine::Rows));
+        let gated = fit_of(
+            small_config(boat_seed, SampleEngine::Columnar)
+                .with_split_subsample_min_node(16),
+        );
+        let ungated =
+            fit_of(small_config(boat_seed, SampleEngine::Columnar).with_split_subsample(0.0));
+        let reference = rows.tree.to_bytes();
+        prop_assert_eq!(&ungated.tree.to_bytes(), &reference, "gate-off model diverges");
+        prop_assert_eq!(
+            &gated.tree.to_bytes(),
+            &reference,
+            "gated model diverges\ngated:\n{}\nrows:\n{}",
+            gated.tree.render(&schema),
+            rows.tree.render(&schema),
+        );
+        prop_assert_eq!(gated.stats.coarse_nodes, rows.stats.coarse_nodes);
+        prop_assert_eq!(gated.stats.verified_nodes, rows.stats.verified_nodes);
+        prop_assert_eq!(gated.stats.failed_nodes, rows.stats.failed_nodes);
+    }
+}
+
+/// The adversarial datagen grid, pinned as fixed cases: every scenario must
+/// produce identical trees and serialized models across rows / gate-off /
+/// gate-on, and the wide-schema scenario must actually take the gated path
+/// (non-zero subsample counters), so the grid cannot silently stop
+/// exercising the gate.
+#[test]
+fn adversarial_grid_is_exact_across_engines() {
+    use boat_datagen::adversarial;
+
+    let scenarios: Vec<(&str, (Schema, Vec<Record>))> = vec![
+        ("heavy_ties", adversarial::heavy_ties(1_500, 31)),
+        ("high_cardinality", adversarial::high_cardinality(1_500, 32)),
+        ("skewed_priors", adversarial::skewed_priors(1_500, 33)),
+        ("wide_schema", adversarial::wide_schema(1_200, 12, 34)),
+    ];
+    for (name, (schema, records)) in scenarios {
+        let schema = Arc::new(schema);
+        let selector = ImpuritySelector::new(Gini);
+        let config = BoatConfig {
+            sample_size: records.len(),
+            bootstrap_reps: 4,
+            bootstrap_sample_size: records.len() / 2,
+            in_memory_threshold: 200,
+            seed: 11_000,
+            ..BoatConfig::default()
+        };
+        let full_size = records.len() as u64 * 4;
+        let coarse_of = |cfg: BoatConfig, metrics: &Registry| {
+            let mut rng = StdRng::seed_from_u64(0xAD5A);
+            build_coarse_tree(
+                &schema, &records, &selector, &cfg, full_size, &mut rng, metrics,
+            )
+        };
+        let rows = coarse_of(
+            config.clone().with_sample_engine(SampleEngine::Rows),
+            &Registry::new(),
+        );
+        let ungated = coarse_of(
+            config
+                .clone()
+                .with_sample_engine(SampleEngine::Columnar)
+                .with_split_subsample(0.0),
+            &Registry::new(),
+        );
+        let gated_metrics = Registry::new();
+        let gated = coarse_of(
+            config
+                .clone()
+                .with_sample_engine(SampleEngine::Columnar)
+                .with_split_subsample_min_node(64),
+            &gated_metrics,
+        );
+        assert_eq!(
+            ungated, rows,
+            "{name}: gate-off columnar diverges from rows"
+        );
+        assert_eq!(gated, rows, "{name}: gated columnar diverges from rows");
+        assert_eq!(
+            format!("{gated:?}").into_bytes(),
+            format!("{rows:?}").into_bytes(),
+            "{name}: rendered coarse trees differ"
+        );
+        let snap = gated_metrics.snapshot();
+        let counter = |key: &str| snap.counter(key);
+        let touched =
+            counter("boat.sample.subsample.swept") + counter("boat.sample.subsample.fallbacks");
+        assert!(
+            touched > 0,
+            "{name}: the gate never engaged — the scenario no longer tests it"
+        );
+        if name == "wide_schema" {
+            assert!(
+                counter("boat.sample.subsample.pruned") > 0,
+                "wide_schema: expected actual gap pruning"
+            );
+        }
+        if name == "heavy_ties" {
+            assert!(
+                counter("boat.sample.subsample.fallbacks") > 0,
+                "heavy_ties: expected snap-budget fallbacks"
+            );
+        }
+    }
+}
+
+/// Full-pipeline pin on one adversarial scenario (the gate's winning
+/// shape): serialized models byte-identical across all three engines.
+#[test]
+fn wide_schema_full_pipeline_models_agree() {
+    use boat_datagen::adversarial;
+
+    let (schema, records) = adversarial::wide_schema(2_000, 10, 77);
+    let schema = Arc::new(schema);
+    let config = BoatConfig {
+        sample_size: 400,
+        bootstrap_reps: 5,
+        bootstrap_sample_size: 200,
+        in_memory_threshold: 300,
+        spill_budget: 16,
+        cleanup_chunk_size: 256,
+        seed: 12_345,
+        ..BoatConfig::default()
+    };
+    let fit_of = |cfg: BoatConfig| {
+        let source = MemoryDataset::new(schema.clone(), records.clone());
+        Boat::new(cfg).fit(&source).expect("boat fit")
+    };
+    let rows = fit_of(config.clone().with_sample_engine(SampleEngine::Rows));
+    let ungated = fit_of(
+        config
+            .clone()
+            .with_sample_engine(SampleEngine::Columnar)
+            .with_split_subsample(0.0),
+    );
+    let gated = fit_of(
+        config
+            .clone()
+            .with_sample_engine(SampleEngine::Columnar)
+            .with_split_subsample_min_node(64),
+    );
+    let reference = rows.tree.to_bytes();
+    assert_eq!(ungated.tree.to_bytes(), reference);
+    assert_eq!(
+        gated.tree.to_bytes(),
+        reference,
+        "gated:\n{}\nrows:\n{}",
+        gated.tree.render(&schema),
+        rows.tree.render(&schema)
+    );
+}

@@ -1,0 +1,203 @@
+//! Adversarial sample-phase scenarios (ISSUE 8 / ROADMAP item 4).
+//!
+//! Purpose-built datasets for the shapes where subsampled split search is
+//! either hardest (heavy ties, where snapping degrades the gate to the
+//! exact sweep) or most profitable (wide schemas of fine-grained numeric
+//! columns, where candidate counts dominate the sample phase). Each
+//! generator is a pure function of `(n, seed)` via a seeded [`StdRng`], so
+//! benches and the exactness oracles see identical data across engines and
+//! processes.
+
+use boat_data::{Attribute, Field, Record, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated scenario: schema plus records.
+pub type Scenario = (Schema, Vec<Record>);
+
+/// Heavy ties: every numeric column is quantized to a handful of distinct
+/// values, so run-snapping budgets blow and the gate must degrade to the
+/// exact sweep without losing correctness (or much time).
+pub fn heavy_ties(n: usize, seed: u64) -> Scenario {
+    let schema = Schema::new(
+        vec![
+            Attribute::numeric("q4"),
+            Attribute::numeric("q8"),
+            Attribute::numeric("q3"),
+            Attribute::categorical("c", 4),
+        ],
+        2,
+    )
+    .expect("static schema");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7135);
+    let records = (0..n)
+        .map(|_| {
+            let a = rng.random_range(0..4u32) as f64 * 10.0;
+            let b = rng.random_range(0..8u32) as f64 * 2.5;
+            let c = rng.random_range(0..3u32) as f64;
+            let cat = rng.random_range(0..4u32);
+            let noisy = rng.random_range(0..20u32) == 0;
+            let label = u16::from((a + b >= 25.0) ^ noisy);
+            Record::new(
+                vec![Field::Num(a), Field::Num(b), Field::Num(c), Field::Cat(cat)],
+                label,
+            )
+        })
+        .collect();
+    (schema, records)
+}
+
+/// High-cardinality categoricals: cardinalities past
+/// `EXHAUSTIVE_SUBSET_MAX` (12) exercise the Breiman ordering sweep, with
+/// one fine-grained numeric column so trees still grow deep.
+pub fn high_cardinality(n: usize, seed: u64) -> Scenario {
+    let schema = Schema::new(
+        vec![
+            Attribute::numeric("x"),
+            Attribute::categorical("wide", 24),
+            Attribute::categorical("wider", 40),
+        ],
+        2,
+    )
+    .expect("static schema");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA2D);
+    let records = (0..n)
+        .map(|_| {
+            let x = rng.random_range(0..100_000u32) as f64 * 0.01;
+            let c1 = rng.random_range(0..24u32);
+            let c2 = rng.random_range(0..40u32);
+            // Label driven by a categorical subset plus a numeric shift.
+            let in_set = matches!(c1, 1 | 3 | 7 | 11 | 18 | 22);
+            let noisy = rng.random_range(0..25u32) == 0;
+            let label = u16::from((in_set || x >= 700.0) ^ noisy);
+            Record::new(vec![Field::Num(x), Field::Cat(c1), Field::Cat(c2)], label)
+        })
+        .collect();
+    (schema, records)
+}
+
+/// Skewed class priors: ~4 % positives. Impurity curves hug zero, boundary
+/// leaders are tiny numbers, and equal-impurity ties get common — the
+/// regime where sloppy bound comparisons would corrupt the tree.
+pub fn skewed_priors(n: usize, seed: u64) -> Scenario {
+    let schema = Schema::new(
+        vec![
+            Attribute::numeric("score"),
+            Attribute::numeric("amount"),
+            Attribute::categorical("region", 6),
+        ],
+        2,
+    )
+    .expect("static schema");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x53E3);
+    let records = (0..n)
+        .map(|_| {
+            let score = rng.random_range(0..10_000u32) as f64 * 0.1;
+            let amount = rng.random_range(0..5_000u32) as f64;
+            let region = rng.random_range(0..6u32);
+            // Positives concentrate in a thin high-score slice.
+            let base = score >= 960.0 && amount >= 1_000.0;
+            let stray = rng.random_range(0..200u32) == 0;
+            let label = u16::from(base || stray);
+            Record::new(
+                vec![Field::Num(score), Field::Num(amount), Field::Cat(region)],
+                label,
+            )
+        })
+        .collect();
+    (schema, records)
+}
+
+/// Wide schema: `n_attrs` fine-grained numeric columns of which only the
+/// first two are informative — the candidate-evaluation-bound shape where
+/// gap pruning (especially cross-attribute pruning of the noise columns)
+/// pays most.
+pub fn wide_schema(n: usize, n_attrs: usize, seed: u64) -> Scenario {
+    assert!(n_attrs >= 2, "wide_schema needs the two informative attrs");
+    let attrs: Vec<Attribute> = (0..n_attrs)
+        .map(|i| Attribute::numeric(format!("w{i}")))
+        .collect();
+    let schema = Schema::new(attrs, 2).expect("static schema");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51DE);
+    let records = (0..n)
+        .map(|_| {
+            let fields: Vec<Field> = (0..n_attrs)
+                .map(|_| Field::Num(rng.random_range(0..1_000_000u32) as f64 * 0.001))
+                .collect();
+            let (x0, x1) = match (&fields[0], &fields[1]) {
+                (Field::Num(a), Field::Num(b)) => (*a, *b),
+                _ => unreachable!("all attributes are numeric"),
+            };
+            let noisy = rng.random_range(0..25u32) == 0;
+            let label = u16::from((x0 + 0.5 * x1 >= 750.0) ^ noisy);
+            Record::new(fields, label)
+        })
+        .collect();
+    (schema, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_in_seed() {
+        for (name, a, b, c) in [
+            (
+                "ties",
+                heavy_ties(200, 1),
+                heavy_ties(200, 1),
+                heavy_ties(200, 2),
+            ),
+            (
+                "card",
+                high_cardinality(200, 1),
+                high_cardinality(200, 1),
+                high_cardinality(200, 2),
+            ),
+            (
+                "skew",
+                skewed_priors(200, 1),
+                skewed_priors(200, 1),
+                skewed_priors(200, 2),
+            ),
+            (
+                "wide",
+                wide_schema(200, 6, 1),
+                wide_schema(200, 6, 1),
+                wide_schema(200, 6, 2),
+            ),
+        ] {
+            assert_eq!(a.1, b.1, "{name}: same seed, same records");
+            assert_ne!(a.1, c.1, "{name}: different seed, different records");
+        }
+    }
+
+    #[test]
+    fn scenario_shapes_hold() {
+        let (schema, records) = heavy_ties(500, 9);
+        assert_eq!(records.len(), 500);
+        // Quantized: at most 4/8/3 distinct values per numeric column.
+        for (attr, max_distinct) in [(0usize, 4), (1, 8), (2, 3)] {
+            let mut vals: Vec<u64> = records.iter().map(|r| r.num(attr).to_bits()).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            assert!(vals.len() <= max_distinct, "attr {attr}: {}", vals.len());
+        }
+        assert_eq!(schema.n_attributes(), 4);
+
+        let (_, skewed) = skewed_priors(4000, 9);
+        let positives = skewed.iter().filter(|r| r.label() == 1).count();
+        assert!(
+            positives * 10 < skewed.len(),
+            "priors must be skewed: {positives}/{}",
+            skewed.len()
+        );
+        assert!(positives > 0, "but not empty");
+
+        let (wide_schema_, wide) = wide_schema(300, 12, 9);
+        assert_eq!(wide_schema_.n_attributes(), 12);
+        assert!(wide.iter().any(|r| r.label() == 0));
+        assert!(wide.iter().any(|r| r.label() == 1));
+    }
+}

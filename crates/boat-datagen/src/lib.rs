@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod instability;
 
 use boat_data::dataset::{RecordScan, RecordSource};

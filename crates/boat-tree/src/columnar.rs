@@ -284,6 +284,23 @@ pub fn grow_weighted<S: SplitSelector + ?Sized>(
     selector: &S,
     limits: GrowthLimits,
 ) -> Tree {
+    grow_weighted_gated(cs, weights, selector, limits, None)
+}
+
+/// [`grow_weighted`] with an optional subsample gate (see
+/// [`crate::subsample`]): every node's split selection goes through
+/// [`SplitSelector::select_columnar_ctx`] with a stable preorder node index
+/// and depth, so gated selectors can derive per-node seeds. The gate never
+/// changes the output tree — only how many split points are evaluated —
+/// so this carries the exact same determinism contract as
+/// [`grow_weighted`] (which is this function with `gate = None`).
+pub fn grow_weighted_gated<S: SplitSelector + ?Sized>(
+    cs: &ColumnarSample,
+    weights: &[u32],
+    selector: &S,
+    limits: GrowthLimits,
+    gate: Option<&crate::subsample::SubsampleRuntime<'_>>,
+) -> Tree {
     assert!(
         selector.supports_columnar(),
         "selector does not support the columnar sample engine"
@@ -297,6 +314,7 @@ pub fn grow_weighted<S: SplitSelector + ?Sized>(
     let root = tree.root();
     let rows = NodeRows::root(cs, weights);
     let mut in_left = vec![false; cs.n_rows()];
+    let mut next_node = 0u64;
     grow(
         cs,
         weights,
@@ -307,6 +325,8 @@ pub fn grow_weighted<S: SplitSelector + ?Sized>(
         rows,
         0,
         &mut in_left,
+        &mut next_node,
+        gate,
     );
     tree
 }
@@ -322,12 +342,21 @@ fn grow<S: SplitSelector + ?Sized>(
     rows: NodeRows,
     depth: u32,
     in_left: &mut [bool],
+    next_node: &mut u64,
+    gate: Option<&crate::subsample::SubsampleRuntime<'_>>,
 ) {
+    let node_index = *next_node;
+    *next_node += 1;
     if limits.must_stop(&tree.node(node).class_counts, depth) {
         return;
     }
     let totals = tree.node(node).class_counts.clone();
-    let Some(eval) = selector.select_columnar(cs, &rows, weights, &totals) else {
+    let ctx = crate::subsample::ColumnarCtx {
+        node_index,
+        depth,
+        gate,
+    };
+    let Some(eval) = selector.select_columnar_ctx(cs, &rows, weights, &totals, &ctx) else {
         return;
     };
     for &row in &rows.rows {
@@ -367,6 +396,8 @@ fn grow<S: SplitSelector + ?Sized>(
         left_rows,
         depth + 1,
         in_left,
+        next_node,
+        gate,
     );
     grow(
         cs,
@@ -378,6 +409,8 @@ fn grow<S: SplitSelector + ?Sized>(
         right_rows,
         depth + 1,
         in_left,
+        next_node,
+        gate,
     );
 }
 

@@ -60,6 +60,25 @@ pub trait SplitSelector: Debug + Send + Sync {
         let _ = (sample, node, weights, totals);
         unimplemented!("selector does not support the columnar sample engine")
     }
+
+    /// [`SplitSelector::select_columnar`] plus the node's engine context
+    /// (preorder index, depth, optional subsample gate — see
+    /// [`crate::subsample`]). The contract is unchanged: the returned split
+    /// must be exactly what `select_records` would return on the
+    /// materialized multiset, whatever the context says. The default
+    /// ignores the context, so selectors without a gated path (e.g. QUEST)
+    /// keep their exact behavior.
+    fn select_columnar_ctx(
+        &self,
+        sample: &crate::columnar::ColumnarSample,
+        node: &crate::columnar::NodeRows,
+        weights: &[u32],
+        totals: &[u64],
+        ctx: &crate::subsample::ColumnarCtx<'_>,
+    ) -> Option<SplitEval> {
+        let _ = ctx;
+        self.select_columnar(sample, node, weights, totals)
+    }
 }
 
 /// The impurity-based selector used by CART/C4.5-style methods (paper
@@ -134,6 +153,23 @@ impl<I: Impurity> SplitSelector for ImpuritySelector<I> {
         weights: &[u32],
         totals: &[u64],
     ) -> Option<SplitEval> {
+        self.select_columnar_ctx(
+            sample,
+            node,
+            weights,
+            totals,
+            &crate::subsample::ColumnarCtx::ungated(),
+        )
+    }
+
+    fn select_columnar_ctx(
+        &self,
+        sample: &crate::columnar::ColumnarSample,
+        node: &crate::columnar::NodeRows,
+        weights: &[u32],
+        totals: &[u64],
+        ctx: &crate::subsample::ColumnarCtx<'_>,
+    ) -> Option<SplitEval> {
         // The columnar twin of `select_records`: same per-attribute loop,
         // same shared sweep/impurity/tie-break code over the same counts.
         // Numeric attributes skip the per-node sort entirely — the node's
@@ -141,14 +177,25 @@ impl<I: Impurity> SplitSelector for ImpuritySelector<I> {
         // order, grouped into runs by bit pattern exactly like
         // `best_numeric_split_from_pairs`, with weight-multiplied class
         // counts (u64 sums are order-insensitive, so counts are identical).
+        //
+        // When the context carries a subsample gate and the node is large
+        // enough, numeric attributes first try the confidence-gated search
+        // ([`crate::subsample::gated_numeric_split`]) — exact boundary
+        // scores + Lemma 3.1 corner bounds pruning whole windows — which
+        // returns the identical overall winner while evaluating far fewer
+        // points, or declines and the full sweep below runs unchanged.
         use crate::avc::CatAvc;
         use crate::split::{best_categorical_split, cmp_splits, sweep_numeric};
+        use crate::subsample::{gated_numeric_split, GateOutcome};
         use boat_data::AttrType;
         let schema = sample.schema();
         let k = schema.n_classes();
         let mut best: Option<SplitEval> = None;
         let mut values: Vec<f64> = Vec::new();
         let mut counts: Vec<u64> = Vec::new(); // flat, k per distinct value
+        let gate = ctx
+            .gate
+            .filter(|rt| rt.params.enabled() && node.len() >= rt.params.min_node);
         for (a, attr) in schema.attributes().iter().enumerate() {
             let cand = match attr.ty() {
                 AttrType::Numeric => {
@@ -156,31 +203,54 @@ impl<I: Impurity> SplitSelector for ImpuritySelector<I> {
                     let list = node.sorted[a]
                         .as_deref()
                         .expect("numeric attribute must carry a presorted node list");
-                    values.clear();
-                    counts.clear();
-                    for &row in list {
-                        let v = col[row as usize];
-                        let new_run = values
-                            .last()
-                            .is_none_or(|&last| last.to_bits() != v.to_bits());
-                        if new_run {
-                            values.push(v);
-                            counts.extend(std::iter::repeat_n(0, k));
+                    let gated = gate.and_then(|rt| {
+                        match gated_numeric_split(
+                            a,
+                            col,
+                            list,
+                            sample.labels(),
+                            weights,
+                            totals,
+                            &self.impurity,
+                            rt,
+                            ctx.node_index,
+                            ctx.depth,
+                            best.as_ref(),
+                        ) {
+                            GateOutcome::Gated(c) => Some(c),
+                            GateOutcome::Fallback => None,
                         }
-                        let base = counts.len() - k;
-                        counts[base + sample.label(row) as usize] += weights[row as usize] as u64;
+                    });
+                    if let Some(c) = gated {
+                        c
+                    } else {
+                        values.clear();
+                        counts.clear();
+                        for &row in list {
+                            let v = col[row as usize];
+                            let new_run = values
+                                .last()
+                                .is_none_or(|&last| last.to_bits() != v.to_bits());
+                            if new_run {
+                                values.push(v);
+                                counts.extend(std::iter::repeat_n(0, k));
+                            }
+                            let base = counts.len() - k;
+                            counts[base + sample.label(row) as usize] +=
+                                weights[row as usize] as u64;
+                        }
+                        sweep_numeric(
+                            a,
+                            values
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &v)| (v, &counts[i * k..(i + 1) * k])),
+                            None,
+                            None,
+                            totals,
+                            &self.impurity,
+                        )
                     }
-                    sweep_numeric(
-                        a,
-                        values
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &v)| (v, &counts[i * k..(i + 1) * k])),
-                        None,
-                        None,
-                        totals,
-                        &self.impurity,
-                    )
                 }
                 AttrType::Categorical { cardinality } => {
                     let col = sample.cat_column(a);

@@ -13,6 +13,9 @@
 //! * [`grow`] — the greedy top-down induction schema (the paper's Figure 1)
 //!   over in-memory data; the reference all scalable algorithms must match.
 //! * [`catset`] — category subsets for categorical splitting predicates.
+//! * [`subsample`] — the confidence-gated subsampled split search layered
+//!   on the columnar engine (exact output, fewer points evaluated), plus
+//!   the Lemma 3.1 corner bound and a mergeable quantile sketch.
 
 #![warn(missing_docs)]
 
@@ -27,13 +30,18 @@ pub mod pruning;
 pub mod quest;
 pub mod split;
 pub mod stats;
+pub mod subsample;
 
 pub use avc::{AttrAvc, AvcGroup, CatAvc, NumAvc, OrdF64};
 pub use catset::CatSet;
-pub use columnar::{grow_weighted, ColumnarSample, NodeRows};
+pub use columnar::{grow_weighted, grow_weighted_gated, ColumnarSample, NodeRows};
 pub use grow::{GrowthLimits, ImpuritySelector, SplitSelector, TdTreeBuilder};
 pub use impurity::{split_impurity, Entropy, Gini, Impurity};
 pub use model::{Node, NodeId, NodeKind, Predicate, Split, Tree};
 pub use pruning::{prune_mdl, prune_reduced_error, MdlConfig};
 pub use quest::QuestSelector;
 pub use split::{best_split, cmp_splits, sweep_numeric, SplitEval};
+pub use subsample::{
+    corner_lower_bound, ColumnarCtx, QuantileSketch, SubsampleParams, SubsampleRuntime,
+    SubsampleSnapshot, SubsampleStats,
+};

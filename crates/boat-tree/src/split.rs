@@ -81,28 +81,29 @@ pub fn sweep_numeric<'a>(
         Some(counts) => counts.to_vec(),
         None => vec![0; totals.len()],
     };
-    let mut best: Option<SplitEval> = None;
+    // Candidate values strictly ascend and `Predicate::NumLe`'s tie rank is
+    // monotone in the value, so [`cmp_splits`] within this one attribute
+    // reduces to a strict impurity comparison: equal impurity keeps the
+    // earlier (smaller) value. Tracking `(impurity, value, left snapshot)`
+    // and materializing one `SplitEval` at the end is therefore
+    // bit-identical to building a candidate per point — and drops the
+    // two Vec allocations per candidate this hot loop used to pay.
+    let mut best: Option<(f64, f64)> = None; // (impurity, value)
+    let mut best_left: Vec<u64> = Vec::new();
+    let mut right: Vec<u64> = vec![0; totals.len()];
     let mut consider = |value: f64, left: &[u64]| {
         let left_n: u64 = left.iter().sum();
         if left_n == 0 || left_n == n {
             return;
         }
-        let right: Vec<u64> = totals.iter().zip(left).map(|(t, l)| t - l).collect();
+        for (r, (t, l)) in right.iter_mut().zip(totals.iter().zip(left)) {
+            *r = t - l;
+        }
         let impurity = split_impurity(imp, left, &right);
-        let cand = SplitEval {
-            split: Split {
-                attr,
-                predicate: Predicate::NumLe(value),
-            },
-            impurity,
-            left_counts: left.to_vec(),
-            right_counts: right,
-        };
-        if best
-            .as_ref()
-            .is_none_or(|b| cmp_splits(&cand, b) == Ordering::Less)
-        {
-            best = Some(cand);
+        if best.is_none_or(|(b, _)| impurity.total_cmp(&b) == Ordering::Less) {
+            best = Some((impurity, value));
+            best_left.clear();
+            best_left.extend_from_slice(left);
         }
     };
     if let Some(v0) = init_candidate {
@@ -120,7 +121,17 @@ pub fn sweep_numeric<'a>(
         }
         consider(v, &left);
     }
-    best
+    let (impurity, value) = best?;
+    let right_counts: Vec<u64> = totals.iter().zip(&best_left).map(|(t, l)| t - l).collect();
+    Some(SplitEval {
+        split: Split {
+            attr,
+            predicate: Predicate::NumLe(value),
+        },
+        impurity,
+        left_counts: best_left,
+        right_counts,
+    })
 }
 
 /// Best numeric split from raw `(value, label)` pairs: sorts in place,
