@@ -1,0 +1,320 @@
+//! Streaming write-path benchmark: concurrent producers appending
+//! insert/delete chunks through the durable WAL into the
+//! trigger-maintained [`StreamingBoat`] daemon, with the served snapshot
+//! republished on every maintain.
+//!
+//! ```sh
+//! cargo run --release -p boat-bench --bin streaming -- --tuples 24000
+//! ```
+//!
+//! Reports sustained ingest rps (producer wall-clock), maintain-latency
+//! p50/p99, and the observed-staleness histograms (records and age at
+//! each maintain). Gates:
+//!
+//! * the staleness bound must never be violated
+//!   (`boat.stream.bound_violations == 0`) — always on;
+//! * the daemon's quiesce tree must be **byte-identical** to a
+//!   synchronous replay of the recorded WAL order — always on;
+//! * `--min-ingest-rps` (default 0 = off): floor on sustained ingest.
+//!
+//! Writes `BENCH_streaming.json` with the headline numbers, WAL
+//! durability stats, and the embedded metrics snapshot.
+
+use boat_bench::table::fmt_duration;
+use boat_bench::{Args, BenchReport, Table};
+use boat_core::stream::{StalenessBound, StreamConfig};
+use boat_core::{Boat, BoatConfig, MaintainTrigger, RecordCountTrigger};
+use boat_data::wal::{replay_segments, WalConfig, WalKind};
+use boat_data::MemoryDataset;
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_serve::spawn_streaming;
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    // Streamed records (on top of `--train` base records).
+    let n = args.get::<u64>("tuples", 24_000);
+    let train = args.get::<u64>("train", 8_000);
+    let producers = args.get::<u64>("producers", 3).max(1);
+    let chunk = args.get::<u64>("chunk", 500).max(1) as usize;
+    let max_records = args.get::<u64>("max-records", 4_000);
+    let max_age_ms = args.get::<u64>("max-age-ms", 1_000);
+    // Fraction of producers that also delete their previously-inserted
+    // chunks (exercising the delete path under concurrency).
+    let deleters = args.get::<u64>("deleters", 1).min(producers);
+    let seed = args.get::<u64>("seed", 434_343);
+    let min_ingest_rps = args.get::<f64>("min-ingest-rps", 0.0);
+    let out = args.get_str("out", "BENCH_streaming.json");
+
+    let metrics = boat_obs::Registry::global().clone();
+    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(seed);
+    let schema = gen.schema();
+    let total = train + n;
+    let all = gen.generate_vec(total as usize);
+    let base = &all[..train as usize];
+
+    let config = BoatConfig::scaled_for(total).with_seed(seed ^ 0x57);
+    let fit = |tag: &str| {
+        let algo = Boat::new(config.clone()).with_metrics(metrics.clone());
+        let t = Instant::now();
+        let (model, _) = algo
+            .fit_model(&MemoryDataset::new(schema.clone(), base.to_vec()))
+            .expect("base fit");
+        println!(
+            "# {tag} base fit: {train} tuples in {}",
+            fmt_duration(t.elapsed())
+        );
+        model
+    };
+
+    let wal_dir = std::env::temp_dir().join(format!("boat-bench-streaming-{}", std::process::id()));
+    std::fs::create_dir_all(&wal_dir)?;
+    let streaming = spawn_streaming(
+        fit("daemon"),
+        StreamConfig {
+            staleness: StalenessBound {
+                max_records,
+                max_age: Some(Duration::from_millis(max_age_ms.max(1))),
+            },
+            wal: WalConfig {
+                dir: Some(wal_dir.clone()),
+                keep_segments: true, // kept for the WAL-order replay oracle
+                ..WalConfig::default()
+            },
+            ..StreamConfig::default()
+        },
+    )?;
+    let handle = streaming.handle().clone();
+    let start_epoch = handle.epoch();
+    println!(
+        "# streaming {n} records over {producers} producer(s) ({deleters} also deleting), \
+         chunks of {chunk}, bound = {max_records} records / {max_age_ms}ms\n"
+    );
+
+    // --- Producer/consumer workload: each producer streams its own slice
+    //     in chunks; the first `deleters` also delete every chunk they
+    //     inserted (per-producer FIFO keeps each delete valid on absorb).
+    let per_producer = (n / producers) as usize;
+    let t_ingest = Instant::now();
+    let mut streamed_records = 0u64;
+    let mut streamed_ops = 0u64;
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for p in 0..producers as usize {
+            let writer = streaming.writer();
+            let start = train as usize + p * per_producer;
+            let end = if p + 1 == producers as usize {
+                total as usize
+            } else {
+                start + per_producer
+            };
+            let slice = &all[start..end];
+            let deletes = p < deleters as usize;
+            joins.push(s.spawn(move || {
+                let mut records = 0u64;
+                let mut ops = 0u64;
+                for c in slice.chunks(chunk) {
+                    writer.insert(c.to_vec()).expect("wal append");
+                    records += c.len() as u64;
+                    ops += 1;
+                    if deletes {
+                        writer.delete(c.to_vec()).expect("wal append");
+                        records += c.len() as u64;
+                        ops += 1;
+                    }
+                }
+                (records, ops)
+            }));
+        }
+        for j in joins {
+            let (records, ops) = j.join().expect("producer");
+            streamed_records += records;
+            streamed_ops += ops;
+        }
+    });
+    // Ingest wall-clock covers append -> durable -> absorbed: quiesce
+    // drains everything the producers appended before stopping the clock.
+    let quiesce = streaming.quiesce()?;
+    let ingest_time = t_ingest.elapsed();
+    let ingest_rps = streamed_records as f64 / ingest_time.as_secs_f64().max(1e-9);
+
+    assert_eq!(quiesce.stats.first_error, None, "daemon absorbed cleanly");
+    assert_eq!(quiesce.stats.ops_absorbed, streamed_ops);
+    let segments = streaming.wal_segments();
+    let (_, stats) = streaming.finish()?;
+
+    // --- Exactness oracle: synchronous replay of the recorded WAL order
+    //     must reproduce the quiesce tree byte-for-byte.
+    let t_replay = Instant::now();
+    let ops = replay_segments(&segments, &schema, &metrics)?;
+    assert_eq!(
+        ops.len() as u64,
+        streamed_ops,
+        "durable ops == streamed ops"
+    );
+    let mut sync_model = fit("oracle");
+    // A record-count trigger gives the oracle a maintain cadence close to
+    // the daemon's; exactness is cadence-independent, so any cadence is a
+    // valid oracle — this one just keeps the replay comparable in cost.
+    let mut replay_triggered = 0u64;
+    let oracle_trigger = RecordCountTrigger {
+        threshold: max_records.max(1),
+    };
+    let mut since_maintain = boat_core::Staleness::default();
+    for op in ops {
+        let records = op.records.len() as u64;
+        let chunk_ds = MemoryDataset::new(schema.clone(), op.records);
+        match op.kind {
+            WalKind::Insert => sync_model.insert(&chunk_ds)?,
+            WalKind::Delete => sync_model.delete(&chunk_ds)?,
+        };
+        since_maintain.records += records;
+        since_maintain.ops += 1;
+        if oracle_trigger.due(&since_maintain) {
+            sync_model.maintain()?;
+            since_maintain = boat_core::Staleness::default();
+            replay_triggered += 1;
+        }
+    }
+    let exact = quiesce.tree_bytes == sync_model.tree()?.to_bytes();
+    let replay_time = t_replay.elapsed();
+    assert!(
+        exact,
+        "daemon quiesce tree != synchronous WAL-order replay (streaming exactness violated)"
+    );
+    for p in &segments {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_dir_all(&wal_dir).ok();
+
+    // --- Report tables.
+    let snapshot = metrics.snapshot();
+    let maintain_hist = snapshot.histogram("boat.stream.maintain_latency_ns");
+    let age_hist = snapshot.histogram("boat.stream.staleness_age_ns");
+    let records_hist = snapshot.histogram("boat.stream.staleness_records_hist");
+    let q = |h: Option<&boat_obs::HistogramSnapshot>, q: f64| {
+        h.and_then(|h| h.quantile(q)).unwrap_or(0)
+    };
+    let maintain_p50 = q(maintain_hist, 0.50);
+    let maintain_p99 = q(maintain_hist, 0.99);
+    let bound_violations = snapshot.counter("boat.stream.bound_violations");
+
+    let mut table = Table::new(&["measure", "value"]);
+    for (k, v) in [
+        ("records streamed", streamed_records.to_string()),
+        ("chunks (ops)", streamed_ops.to_string()),
+        ("ingest wall-clock", fmt_duration(ingest_time)),
+        ("sustained ingest", format!("{ingest_rps:.0} records/s")),
+        ("maintains", stats.maintains.to_string()),
+        (
+            "maintain latency p50/p99",
+            format!(
+                "{} / {}",
+                fmt_duration(Duration::from_nanos(maintain_p50)),
+                fmt_duration(Duration::from_nanos(maintain_p99)),
+            ),
+        ),
+        ("bound violations", bound_violations.to_string()),
+        (
+            "epochs published",
+            (handle.epoch() - start_epoch).to_string(),
+        ),
+        (
+            "sync replay (oracle)",
+            format!(
+                "{} ({replay_triggered} maintains)",
+                fmt_duration(replay_time)
+            ),
+        ),
+        ("exact (byte-identical)", exact.to_string()),
+    ] {
+        table.row(vec![k.to_string(), v]);
+    }
+    table.print(false);
+
+    println!("\nobserved staleness at maintain time:");
+    let mut staleness_table = Table::new(&["measure", "p50", "p90", "p99", "max seen"]);
+    staleness_table.row(vec![
+        "records".into(),
+        q(records_hist, 0.50).to_string(),
+        q(records_hist, 0.90).to_string(),
+        q(records_hist, 0.99).to_string(),
+        q(records_hist, 1.0).to_string(),
+    ]);
+    staleness_table.row(vec![
+        "age".into(),
+        fmt_duration(Duration::from_nanos(q(age_hist, 0.50))),
+        fmt_duration(Duration::from_nanos(q(age_hist, 0.90))),
+        fmt_duration(Duration::from_nanos(q(age_hist, 0.99))),
+        fmt_duration(Duration::from_nanos(q(age_hist, 1.0))),
+    ]);
+    staleness_table.print(false);
+
+    println!("\nWAL durability:");
+    let mut wal_table = Table::new(&["metric", "value"]);
+    for name in [
+        "data.wal.segments",
+        "data.wal.fsync_batches",
+        "data.wal.ops_appended",
+        "data.wal.records_appended",
+        "data.wal.bytes_written",
+        "data.wal.replayed_ops",
+        "data.wal.replayed_bytes",
+        "data.wal.torn_tails",
+    ] {
+        wal_table.row(vec![name.to_string(), snapshot.counter(name).to_string()]);
+    }
+    wal_table.print(false);
+
+    // --- Gates.
+    assert_eq!(
+        bound_violations, 0,
+        "staleness bound violated {bound_violations} time(s)"
+    );
+    if min_ingest_rps > 0.0 {
+        assert!(
+            ingest_rps >= min_ingest_rps,
+            "sustained ingest {ingest_rps:.0} rps is below the --min-ingest-rps \
+             gate of {min_ingest_rps:.0}"
+        );
+    }
+
+    let mut report = BenchReport::new("streaming");
+    report
+        .field_u64("tuples", n)
+        .field_u64("train_tuples", train)
+        .field_u64("producers", producers)
+        .field_u64("deleters", deleters)
+        .field_u64("chunk", chunk as u64)
+        .field_u64("max_records", max_records)
+        .field_u64("max_age_ms", max_age_ms)
+        .field_u64("seed", seed)
+        .field_u64("records_streamed", streamed_records)
+        .field_u64("ops_streamed", streamed_ops)
+        .field_f64("ingest_seconds", ingest_time.as_secs_f64())
+        .field_f64("ingest_rps", ingest_rps)
+        .field_u64("maintains", stats.maintains)
+        .field_u64("maintain_p50_ns", maintain_p50)
+        .field_u64("maintain_p99_ns", maintain_p99)
+        .field_u64("staleness_records_p99", q(records_hist, 0.99))
+        .field_u64("staleness_age_p99_ns", q(age_hist, 0.99))
+        .field_u64("bound_violations", bound_violations)
+        .field_u64("epochs_published", handle.epoch() - start_epoch)
+        .field_u64("records_inserted", stats.records_inserted)
+        .field_u64("records_deleted", stats.records_deleted)
+        .field_u64("wal_segments", snapshot.counter("data.wal.segments"))
+        .field_u64(
+            "wal_fsync_batches",
+            snapshot.counter("data.wal.fsync_batches"),
+        )
+        .field_u64("wal_bytes", snapshot.counter("data.wal.bytes_written"))
+        .field_u64(
+            "wal_replayed_bytes",
+            snapshot.counter("data.wal.replayed_bytes"),
+        )
+        .field_f64("replay_seconds", replay_time.as_secs_f64())
+        .field_bool("exact", exact)
+        .metrics(&snapshot);
+    report.write(&out)?;
+    Ok(())
+}

@@ -14,11 +14,13 @@ use boat_bench::{
     materialize_cached, print_metrics_summary, rf_budgets, run_boat, run_rf_hybrid,
     run_rf_vertical, Args, BenchReport, Table,
 };
-use boat_core::{Boat, BoatConfig};
+use boat_core::{Boat, BoatConfig, StalenessBound, StreamConfig};
 use boat_data::dataset::RecordSource;
+use boat_data::wal::{replay_segments, WalConfig, WalKind};
 use boat_data::{IoStats, MemoryDataset};
 use boat_datagen::{GeneratorConfig, LabelFunction};
-use std::time::Instant;
+use boat_serve::spawn_streaming;
+use std::time::{Duration, Instant};
 
 /// Minimal reader for the flat JSON that [`BenchReport`] writes: one
 /// `"key": value` scalar per line. Nested values (the `metrics` object,
@@ -94,6 +96,13 @@ fn report_headline(bench: &str, fields: &[(String, String)]) -> String {
             "{} tuples at machine parallelism {}",
             get("tuples").unwrap_or_else(|| "?".into()),
             get("machine_parallelism").unwrap_or_else(|| "?".into()),
+        ),
+        "streaming" => format!(
+            "sustained ingest {} records/s, {} maintains, {} bound violations, exact {}",
+            fmt1(get("ingest_rps")),
+            get("maintains").unwrap_or_else(|| "?".into()),
+            get("bound_violations").unwrap_or_else(|| "?".into()),
+            get("exact").unwrap_or_else(|| "?".into()),
         ),
         "summary" => format!("full digest in {}s", fmt1(get("total_seconds")),),
         _ => format!("{} scalar fields", fields.len()),
@@ -253,6 +262,115 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"cum_update_seconds\": {:.6}, \"cum_rebuild_seconds\": {:.6}}}",
         cum_update.as_secs_f64(),
         cum_rebuild.as_secs_f64(),
+    ));
+
+    // --- Streaming digest (§4 write path): a short concurrent WAL stream
+    //     through the maintenance daemon, gated on quiesce exactness
+    //     against a synchronous replay in the recorded WAL order. Runs
+    //     against the global registry so the WAL durability counters land
+    //     in this report's embedded snapshot.
+    println!("\n## Streaming digest (concurrent WAL ingest, trigger-driven maintains)\n");
+    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(seed ^ 99);
+    let schema = gen.schema();
+    let stream_base = (n / 4).max(2_000);
+    let stream_n = (n / 4).max(2_000);
+    let all = gen.generate_vec((stream_base + stream_n) as usize);
+    let base_ds = MemoryDataset::new(schema.clone(), all[..stream_base as usize].to_vec());
+    let mut scfg = BoatConfig::scaled_for(stream_base + stream_n).with_seed(seed ^ 100);
+    scfg.limits = paper_limits(stream_base + stream_n);
+    let stream_algo = Boat::new(scfg.clone()).with_metrics(boat_obs::Registry::global().clone());
+    let (smodel, _) = stream_algo.fit_model(&base_ds)?;
+    let streaming = spawn_streaming(
+        smodel,
+        StreamConfig {
+            staleness: StalenessBound {
+                max_records: (stream_n / 4).max(500),
+                max_age: Some(Duration::from_secs(1)),
+            },
+            wal: WalConfig {
+                keep_segments: true, // replayed below as the exactness oracle
+                ..WalConfig::default()
+            },
+            ..StreamConfig::default()
+        },
+    )?;
+    let t_stream = Instant::now();
+    let chunk_len = (stream_n as usize / 8).max(1);
+    std::thread::scope(|s| {
+        for p in 0..2usize {
+            let writer = streaming.writer();
+            let lo = (stream_base as usize) + p * (stream_n as usize / 2);
+            let hi = if p == 1 {
+                all.len()
+            } else {
+                lo + stream_n as usize / 2
+            };
+            let slice = &all[lo..hi];
+            s.spawn(move || {
+                for c in slice.chunks(chunk_len) {
+                    writer.insert(c.to_vec()).expect("stream insert");
+                    if p == 1 {
+                        // One producer also deletes its own chunks: the
+                        // per-producer FIFO keeps each delete valid.
+                        writer.delete(c.to_vec()).expect("stream delete");
+                    }
+                }
+            });
+        }
+    });
+    let quiesced = streaming.quiesce()?;
+    let stream_time = t_stream.elapsed();
+    let stream_epochs = streaming.handle().epoch();
+    let segments = streaming.wal_segments();
+    let (_, sstats) = streaming.finish()?;
+    assert_eq!(quiesced.stats.first_error, None);
+    assert_eq!(sstats.bound_violations, 0, "staleness bound violated");
+    let wal_ops = replay_segments(&segments, &schema, boat_obs::Registry::global())?;
+    let (mut sync_model, _) = Boat::new(scfg.clone())
+        .with_metrics(boat_obs::Registry::global().clone())
+        .fit_model(&base_ds)?;
+    for op in wal_ops {
+        let chunk = MemoryDataset::new(schema.clone(), op.records);
+        match op.kind {
+            WalKind::Insert => sync_model.insert(&chunk)?,
+            WalKind::Delete => sync_model.delete(&chunk)?,
+        };
+    }
+    assert_eq!(
+        quiesced.tree_bytes,
+        sync_model.tree()?.to_bytes(),
+        "streaming quiesce tree must equal the WAL-order synchronous replay"
+    );
+    for p in &segments {
+        std::fs::remove_file(p).ok();
+    }
+    let wal_snap = boat_obs::Registry::global().snapshot();
+    println!(
+        "  {} ops over 2 producers in {}: {} maintains, {} epochs published, \
+         exact WAL-order replay: yes",
+        sstats.ops_absorbed,
+        fmt_duration(stream_time),
+        sstats.maintains,
+        stream_epochs,
+    );
+    println!(
+        "  WAL durability: {} segment(s), {} fsync batch(es), {} bytes written, \
+         {} bytes replayed, {} torn tail(s)",
+        wal_snap.counter("data.wal.segments"),
+        wal_snap.counter("data.wal.fsync_batches"),
+        wal_snap.counter("data.wal.bytes_written"),
+        wal_snap.counter("data.wal.replayed_bytes"),
+        wal_snap.counter("data.wal.torn_tails"),
+    );
+    rows_json.push(format!(
+        "{{\"digest\": \"streaming\", \"ops\": {}, \"maintains\": {}, \"epochs\": {}, \
+         \"bound_violations\": {}, \"stream_seconds\": {:.6}, \"wal_bytes\": {}, \"exact\": true}}",
+        sstats.ops_absorbed,
+        sstats.maintains,
+        stream_epochs,
+        sstats.bound_violations,
+        stream_time.as_secs_f64(),
+        wal_snap.counter("data.wal.bytes_written"),
     ));
 
     // --- Sibling bench reports: fold every BENCH_*.json already on disk

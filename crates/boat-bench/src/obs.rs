@@ -194,8 +194,38 @@ pub fn print_metrics_summary(snap: &Snapshot) {
             table.row(vec![name.to_string(), v.to_string()]);
         }
     }
+    // Streaming write-path counters/gauges, shown only when a WAL or the
+    // maintenance daemon ran.
+    for name in [
+        "data.wal.segments",
+        "data.wal.fsync_batches",
+        "data.wal.bytes_written",
+        "data.wal.ops_appended",
+        "data.wal.records_appended",
+        "data.wal.forwarded_ops",
+        "data.wal.replayed_ops",
+        "data.wal.replayed_bytes",
+        "data.wal.torn_tails",
+        "boat.stream.trigger_fires",
+        "boat.stream.bound_violations",
+        "boat.stream.ingest_errors",
+    ] {
+        let v = snap.counter(name);
+        if v > 0 {
+            table.row(vec![name.to_string(), v.to_string()]);
+        }
+    }
+    for name in [
+        "boat.stream.ingest_depth",
+        "boat.stream.staleness_records",
+        "boat.stream.wal_bytes",
+    ] {
+        if let Some(v) = snap.gauge(name) {
+            table.row(vec![name.to_string(), v.to_string()]);
+        }
+    }
     for (name, hist) in &snap.histograms {
-        if !name.starts_with("serve.") || hist.count == 0 {
+        if !(name.starts_with("serve.") || name.starts_with("boat.stream.")) || hist.count == 0 {
             continue;
         }
         // Nanosecond-valued histograms print as total milliseconds; the

@@ -112,6 +112,11 @@ impl<I: Impurity + Clone> BoatModel<I> {
         self.algo.config()
     }
 
+    /// The schema of the training data this model maintains.
+    pub fn schema(&self) -> &std::sync::Arc<boat_data::Schema> {
+        &self.work.schema
+    }
+
     /// Incorporate a chunk of new training records (one scan over the
     /// chunk; verification is deferred to the next [`BoatModel::tree`]).
     pub fn insert(&mut self, chunk: &dyn RecordSource) -> Result<UpdateReport> {

@@ -45,6 +45,7 @@ pub mod coarse;
 pub mod config;
 pub mod incremental;
 pub mod stats;
+pub mod stream;
 pub mod verify;
 mod work;
 
@@ -53,3 +54,8 @@ pub use coarse::{CoarseCriterion, CoarseTree, FrontierReason};
 pub use config::{BoatConfig, DiscretizeStrategy, SampleEngine};
 pub use incremental::{BoatModel, MaintainReport, UpdateReport};
 pub use stats::BoatRunStats;
+pub use stream::{
+    replay_wal_into, DeadlineTrigger, DriftTrigger, MaintainTrigger, QuiesceReport,
+    RecordCountTrigger, Staleness, StalenessBound, StreamConfig, StreamStats, StreamWriter,
+    StreamingBoat,
+};

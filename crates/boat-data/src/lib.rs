@@ -25,6 +25,9 @@
 //! * [`colspill`] — the columnar segment codec behind [`spill`].
 //! * [`log`] — a base-plus-delta *dataset log* modelling a dynamically
 //!   changing training database (insertions and deletions).
+//! * [`wal`] — a durable write-ahead log for streaming insert/delete
+//!   chunks: concurrent producers, a single fsync-batching appender
+//!   thread, checksummed segment files, and durable-prefix crash replay.
 //! * [`csv`] — CSV import (in-memory or streamed to disk) with per-column
 //!   category dictionaries.
 
@@ -43,6 +46,7 @@ pub mod record;
 pub mod sample;
 pub mod schema;
 pub mod spill;
+pub mod wal;
 
 pub use dataset::{
     ChunkScan, Chunks, FileDataset, FileDatasetWriter, MemoryDataset, RecordChunk, RecordScan,
@@ -55,3 +59,7 @@ pub use prefetch::{spawn_prefetch, PrefetchScan};
 pub use record::{Field, Record};
 pub use schema::{AttrType, Attribute, Schema};
 pub use spill::{sweep_stale_spill_files, SpillBuffer};
+pub use wal::{
+    read_segment, replay_segments, SegmentReplay, Wal, WalAppender, WalConfig, WalEvent, WalKind,
+    WalOp, WalSummary,
+};

@@ -29,6 +29,9 @@ pub struct DatasetLog {
     schema: Arc<Schema>,
     sources: Vec<Box<dyn RecordSource>>,
     deletes: HashMap<Vec<u8>, u64>,
+    /// Distinct deletion keys in first-recorded order, so an unmatched
+    /// deletion can be reported deterministically (HashMap order is not).
+    delete_order: Vec<Vec<u8>>,
     n_deletes: u64,
     stats: IoStats,
 }
@@ -41,6 +44,7 @@ impl DatasetLog {
             schema,
             sources: vec![base],
             deletes: HashMap::new(),
+            delete_order: Vec::new(),
             n_deletes: 0,
             stats,
         }
@@ -63,7 +67,13 @@ impl DatasetLog {
         }
         for r in chunk.scan()? {
             let key = codec::encode(&self.schema, &r?)?;
-            *self.deletes.entry(key).or_insert(0) += 1;
+            match self.deletes.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.delete_order.push(e.key().clone());
+                    e.insert(1);
+                }
+            }
             self.n_deletes += 1;
         }
         Ok(())
@@ -131,6 +141,32 @@ struct LogScan<'a> {
     buf: Vec<u8>,
 }
 
+impl LogScan<'_> {
+    /// Build the scan-exhaustion error: name the first recorded deletion
+    /// that matched nothing (in deletion-record order, so the report is
+    /// deterministic) plus its leftover multiplicity and the total count.
+    fn unmatched_error(&self, total: u64) -> DataError {
+        let first = self
+            .log
+            .delete_order
+            .iter()
+            .find(|key| self.pending_deletes.contains_key(key.as_slice()));
+        let detail = match first {
+            Some(key) => {
+                let count = self.pending_deletes[key.as_slice()];
+                match codec::decode(&self.log.schema, key) {
+                    Ok(r) => format!("; first unmatched record {r} (x{count} outstanding)"),
+                    Err(_) => format!("; first unmatched key {key:02x?} (x{count} outstanding)"),
+                }
+            }
+            None => String::new(),
+        };
+        DataError::Invalid(format!(
+            "{total} recorded deletion(s) matched no record in the log{detail}"
+        ))
+    }
+}
+
 impl Iterator for LogScan<'_> {
     type Item = Result<Record>;
 
@@ -141,9 +177,7 @@ impl Iterator for LogScan<'_> {
                     if self.unmatched > 0 {
                         let n = self.unmatched;
                         self.unmatched = 0;
-                        return Some(Err(DataError::Invalid(format!(
-                            "{n} recorded deletions matched no record in the log"
-                        ))));
+                        return Some(Err(self.unmatched_error(n)));
                     }
                     return None;
                 }
@@ -259,6 +293,32 @@ mod tests {
         log.push_deletions(&*mem(&[9.0])).unwrap();
         let results: Vec<_> = log.scan().unwrap().collect();
         assert!(results.last().unwrap().is_err());
+    }
+
+    /// Regression: the scan-exhaustion error is typed `Invalid` and names
+    /// the first unmatched record (in deletion order) and the counts — not
+    /// just an anonymous total.
+    #[test]
+    fn unmatched_deletion_error_names_first_unmatched_record() {
+        let mut log = DatasetLog::new(mem(&[1.0, 2.0]), IoStats::new());
+        // 2.0 matches; 9.0 (x2) and 7.0 do not. 9.0 was recorded first.
+        log.push_deletions(&*mem(&[2.0, 9.0, 9.0])).unwrap();
+        log.push_deletions(&*mem(&[7.0])).unwrap();
+        let err = log
+            .scan()
+            .unwrap()
+            .collect::<Vec<_>>()
+            .pop()
+            .unwrap()
+            .unwrap_err();
+        let DataError::Invalid(msg) = &err else {
+            panic!("expected DataError::Invalid, got {err:?}");
+        };
+        assert!(msg.contains("3 recorded deletion(s)"), "total count: {msg}");
+        assert!(
+            msg.contains("[9]") && msg.contains("x2 outstanding"),
+            "first unmatched record with multiplicity: {msg}"
+        );
     }
 
     #[test]

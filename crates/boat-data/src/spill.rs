@@ -34,9 +34,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// File-name prefixes this module considers its own when sweeping. The
-/// rebuild partition files written by `boat-core` share the temp directory
-/// and the crash-orphaning problem, so the sweep covers both.
-const STALE_PREFIXES: [&str; 2] = ["boat-spill-", "boat-rebuild-"];
+/// rebuild partition files written by `boat-core` and the WAL segments
+/// written by [`crate::wal`] share the temp directory and the
+/// crash-orphaning problem, so the sweep covers all three.
+const STALE_PREFIXES: [&str; 3] = ["boat-spill-", "boat-rebuild-", "boat-wal-"];
 
 fn fresh_temp_path(dir: &Path) -> PathBuf {
     let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -44,11 +45,12 @@ fn fresh_temp_path(dir: &Path) -> PathBuf {
 }
 
 /// Extract the owning pid from a `boat-spill-<pid>-<id>.tmp` /
-/// `boat-rebuild-<pid>-<id>.boat` file name; `None` for anything else.
+/// `boat-rebuild-<pid>-<id>.boat` / `boat-wal-<pid>-<seq>.wal` file name;
+/// `None` for anything else.
 fn stale_candidate_pid(name: &str) -> Option<u32> {
     let rest = STALE_PREFIXES.iter().find_map(|p| name.strip_prefix(p))?;
     let (pid, rest) = rest.split_once('-')?;
-    if !rest.ends_with(".tmp") && !rest.ends_with(".boat") {
+    if !rest.ends_with(".tmp") && !rest.ends_with(".boat") && !rest.ends_with(".wal") {
         return None;
     }
     pid.parse().ok()
@@ -731,25 +733,30 @@ mod tests {
         let keep_mine = dir.join(format!("boat-spill-{me}-0.tmp"));
         let keep_other = dir.join("not-a-spill-file.tmp");
         let keep_garbled = dir.join("boat-spill-garbled.tmp");
+        let keep_live_wal = dir.join(format!("boat-wal-{me}-0.wal"));
         let gone_spill = dir.join(format!("boat-spill-{dead}-1.tmp"));
         let gone_rebuild = dir.join(format!("boat-rebuild-{dead}-2.boat"));
+        let gone_wal = dir.join(format!("boat-wal-{dead}-3.wal"));
         for p in [
             &keep_mine,
             &keep_other,
             &keep_garbled,
+            &keep_live_wal,
             &gone_spill,
             &gone_rebuild,
+            &gone_wal,
         ] {
             std::fs::write(p, b"x").unwrap();
         }
         let removed = sweep_stale_spill_files(&dir);
         if cfg!(target_os = "linux") {
-            assert_eq!(removed, 2);
-            assert!(!gone_spill.exists() && !gone_rebuild.exists());
+            assert_eq!(removed, 3);
+            assert!(!gone_spill.exists() && !gone_rebuild.exists() && !gone_wal.exists());
         } else {
             assert_eq!(removed, 0, "sweep is disabled off Linux");
         }
         assert!(keep_mine.exists() && keep_other.exists() && keep_garbled.exists());
+        assert!(keep_live_wal.exists(), "live-pid WAL segments survive");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

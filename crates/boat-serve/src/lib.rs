@@ -40,9 +40,11 @@ pub mod engine;
 pub mod handle;
 pub mod registry;
 mod shard;
+pub mod streaming;
 
 pub use block::{Column, RecordBlock};
 pub use compile::{compile, BatchScratch, CompiledTree, NodeOp};
 pub use engine::{ServeConfig, ServeEngine, Ticket};
 pub use handle::{publish_on_maintain, ModelHandle, SnapshotReader};
 pub use registry::{ModelEntry, ModelRegistry};
+pub use streaming::spawn_streaming;

@@ -1,0 +1,118 @@
+//! Serve-side wiring for the streaming write path.
+//!
+//! [`spawn_streaming`] closes the loop that `publish_on_maintain` opened:
+//! the [`StreamingBoat`] daemon owns the model, every trigger-driven
+//! maintain republishes through the model's publish hook, and the
+//! returned daemon carries the [`ModelHandle`] as its publication token —
+//! [`StreamingBoat::handle`] *is* the handle scorer threads (and a
+//! [`crate::ServeEngine`]) read from, so the serve engine and the daemon
+//! share one publication path and epochs advance automatically with the
+//! stream.
+
+use crate::handle::{publish_on_maintain, ModelHandle};
+use boat_core::stream::{StreamConfig, StreamingBoat};
+use boat_core::BoatModel;
+use boat_data::Result;
+use boat_tree::Impurity;
+
+/// Spawn the streaming daemon over `model`, publishing every maintained
+/// tree to a fresh [`ModelHandle`] (registered in the model's metrics
+/// registry). The model's current tree is compiled and published before
+/// the daemon starts, so readers never observe an empty handle; each
+/// subsequent maintain that materializes a fresh exact tree bumps the
+/// epoch.
+///
+/// Access the handle via [`StreamingBoat::handle`] — clone it into scorer
+/// threads or hand it to a [`crate::ServeEngine`].
+pub fn spawn_streaming<I: Impurity + Clone + Send + 'static>(
+    mut model: BoatModel<I>,
+    config: StreamConfig,
+) -> Result<StreamingBoat<I, ModelHandle>> {
+    let metrics = model.metrics().clone();
+    let handle = {
+        // Compile the current tree under the model's registry so
+        // serve.compile spans and serve.epoch land beside boat.stream.*.
+        let span = metrics.span("serve.compile");
+        let compiled = crate::compile(model.tree()?);
+        span.finish();
+        ModelHandle::with_metrics(compiled, metrics)
+    };
+    publish_on_maintain(&mut model, &handle)?;
+    StreamingBoat::spawn_with_publication(model, config, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boat_core::{Boat, BoatConfig};
+    use boat_data::{Attribute, Field, IoStats, MemoryDataset, Record, Schema};
+
+    fn dataset(n: usize) -> MemoryDataset {
+        let schema = Schema::shared(vec![Attribute::numeric("x")], 2).unwrap();
+        let records = (0..n)
+            .map(|i| {
+                let x = i as f64;
+                Record::new(vec![Field::Num(x)], u16::from(x >= n as f64 / 2.0))
+            })
+            .collect();
+        MemoryDataset::with_stats(schema, records, IoStats::new())
+    }
+
+    #[test]
+    fn epochs_advance_with_the_stream() {
+        let base = dataset(1_500);
+        let config = BoatConfig {
+            seed: 7,
+            sample_size: 1_200,
+            bootstrap_reps: 10,
+            bootstrap_sample_size: 500,
+            in_memory_threshold: 400,
+            ..BoatConfig::default()
+        };
+        let algo = Boat::new(config);
+        let (model, _) = algo.fit_model(&base).unwrap();
+        let streaming = spawn_streaming(
+            model,
+            StreamConfig {
+                staleness: boat_core::StalenessBound {
+                    max_records: 64,
+                    max_age: None,
+                },
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = streaming.handle().clone();
+        // Epoch 0 is the handle's initial tree; publish_on_maintain
+        // republishes the same tree as epoch 1 when installing the hook.
+        let start_epoch = handle.epoch();
+        assert!(start_epoch >= 1, "current tree published before spawn");
+        let mut reader = handle.reader();
+        let (_, e0) = reader.current();
+        assert_eq!(e0, start_epoch);
+        // Stream enough records to trip the record-count trigger.
+        for batch in 0..4 {
+            let records = (0..64)
+                .map(|i| Record::new(vec![Field::Num((2_000 + batch * 64 + i) as f64)], 1))
+                .collect();
+            streaming.insert(records).unwrap();
+        }
+        let report = streaming.quiesce().unwrap();
+        assert!(report.stats.maintains >= 1);
+        assert_eq!(report.stats.bound_violations, 0);
+        assert!(
+            handle.epoch() > start_epoch,
+            "maintains must republish through the shared handle"
+        );
+        // The published snapshot is the daemon's exact tree.
+        let (model, _) = streaming.finish().unwrap();
+        let mut model = model;
+        let tree = model.tree().unwrap();
+        let published = handle.snapshot();
+        assert_eq!(
+            published.table_bytes(),
+            crate::compile(tree).table_bytes(),
+            "served snapshot must be the compiled exact tree"
+        );
+    }
+}
