@@ -104,6 +104,12 @@ fn report_headline(bench: &str, fields: &[(String, String)]) -> String {
             get("bound_violations").unwrap_or_else(|| "?".into()),
             get("exact").unwrap_or_else(|| "?".into()),
         ),
+        "provenance" => format!(
+            "recommit {}x of compile, verify {}/s, {} epochs chain-verified",
+            fmt1(get("commit_overhead_incremental")),
+            fmt1(get("verify_rps")).trim_end_matches(".00"),
+            get("stream_epochs").unwrap_or_else(|| "?".into()),
+        ),
         "summary" => format!("full digest in {}s", fmt1(get("total_seconds")),),
         _ => format!("{} scalar fields", fields.len()),
     }

@@ -194,6 +194,21 @@ pub fn print_metrics_summary(snap: &Snapshot) {
             table.row(vec![name.to_string(), v.to_string()]);
         }
     }
+    // Provenance counters, shown only when commitments or proofs were
+    // produced (`boat.proof.commit_ns` prints with the histograms below).
+    for name in [
+        "boat.proof.commits",
+        "boat.proof.commit_errors",
+        "boat.proof.nodes_reused",
+        "boat.proof.proofs",
+        "boat.proof.proof_bytes",
+        "boat.proof.proof_failures",
+    ] {
+        let v = snap.counter(name);
+        if v > 0 {
+            table.row(vec![name.to_string(), v.to_string()]);
+        }
+    }
     // Streaming write-path counters/gauges, shown only when a WAL or the
     // maintenance daemon ran.
     for name in [
@@ -225,7 +240,11 @@ pub fn print_metrics_summary(snap: &Snapshot) {
         }
     }
     for (name, hist) in &snap.histograms {
-        if !(name.starts_with("serve.") || name.starts_with("boat.stream.")) || hist.count == 0 {
+        if !(name.starts_with("serve.")
+            || name.starts_with("boat.stream.")
+            || name.starts_with("boat.proof."))
+            || hist.count == 0
+        {
             continue;
         }
         // Nanosecond-valued histograms print as total milliseconds; the

@@ -77,10 +77,13 @@ impl Table {
 
 /// Format a `Duration` compactly (ms under 10 s, else seconds).
 pub fn fmt_duration(d: std::time::Duration) -> String {
-    if d.as_secs_f64() < 10.0 {
-        format!("{:.0}ms", d.as_secs_f64() * 1e3)
+    let s = d.as_secs_f64();
+    if s < 2e-3 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 10.0 {
+        format!("{:.0}ms", s * 1e3)
     } else {
-        format!("{:.2}s", d.as_secs_f64())
+        format!("{s:.2}s")
     }
 }
 

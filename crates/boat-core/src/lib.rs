@@ -55,7 +55,7 @@ pub use config::{BoatConfig, DiscretizeStrategy, SampleEngine};
 pub use incremental::{BoatModel, MaintainReport, UpdateReport};
 pub use stats::BoatRunStats;
 pub use stream::{
-    replay_wal_into, DeadlineTrigger, DriftTrigger, MaintainTrigger, QuiesceReport,
+    replay_wal_into, DeadlineTrigger, DriftTrigger, MaintainTrigger, ProvenanceSink, QuiesceReport,
     RecordCountTrigger, Staleness, StalenessBound, StreamConfig, StreamStats, StreamWriter,
     StreamingBoat,
 };

@@ -29,6 +29,14 @@
 //! the same chunk sequence — the exact tree depends only on the net record
 //! multiset, and the WAL fixes one global chunk order.
 //!
+//! A [`ProvenanceSink`] plugged into [`StreamConfig::provenance`] rides the
+//! same single daemon thread: it sees every absorbed operation's WAL
+//! content digest *in absorb order*, partitioned by the maintains that
+//! seal epochs (the publish hook runs inside [`BoatModel::maintain`], so a
+//! sink shared with the hook observes exactly the delta ops between two
+//! published trees). [`QuiesceReport::fingerprint`] surfaces the sink's
+//! chained epoch fingerprint at the quiesce cut.
+//!
 //! Metrics (in the model's registry): `boat.stream.{ingest_depth,
 //! wal_bytes,staleness_records,staleness_age_ns,maintain_latency_ns,
 //! trigger_fires,bound_violations,ingest_errors}` plus the `data.wal.*`
@@ -38,6 +46,7 @@ use crate::incremental::{BoatModel, MaintainReport};
 use boat_data::wal::{Wal, WalAppender, WalConfig, WalEvent, WalKind, WalOp};
 use boat_data::{DataError, MemoryDataset, Record, Result, Schema};
 use boat_obs::Registry;
+use boat_proof::Hash256;
 use boat_tree::{Gini, Impurity};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -90,6 +99,26 @@ impl Staleness {
     fn reset(&mut self) {
         *self = Staleness::default();
     }
+}
+
+/// A pluggable provenance observer riding the daemon thread.
+///
+/// The daemon calls [`absorb_op`](ProvenanceSink::absorb_op) for every WAL
+/// operation immediately before absorbing it into the model — after any
+/// bound-enforcing pre-absorb maintain, so the ops a sink accumulates
+/// between two maintains are exactly the delta between the two published
+/// trees. Because the model's publish hook also runs on this thread
+/// (inside [`BoatModel::maintain`]), a sink that shares state with the
+/// hook (e.g. `boat-serve`'s provenance ledger) needs no further
+/// synchronization for ordering: absorb → maintain → seal is a single
+/// serialized sequence.
+pub trait ProvenanceSink: Send {
+    /// Observe one durable operation about to be absorbed. `op.content_digest`
+    /// is the WAL frame's content digest ([`boat_data::wal`]).
+    fn absorb_op(&mut self, op: &WalOp);
+    /// The chained epoch fingerprint after the most recent sealed epoch
+    /// (`None` until a first epoch exists).
+    fn fingerprint(&self) -> Option<Hash256>;
 }
 
 /// A pluggable maintenance-scheduling policy.
@@ -234,6 +263,9 @@ pub struct StreamConfig {
     /// finishes inside the bound), and a [`DriftTrigger`] based at
     /// `max_records / 2`.
     pub triggers: Option<Vec<Box<dyn MaintainTrigger>>>,
+    /// Optional provenance observer (see [`ProvenanceSink`]); `None`
+    /// disables provenance tracking.
+    pub provenance: Option<Box<dyn ProvenanceSink>>,
 }
 
 impl Default for StreamConfig {
@@ -243,6 +275,7 @@ impl Default for StreamConfig {
             wal: WalConfig::default(),
             channel_depth: 64,
             triggers: None,
+            provenance: None,
         }
     }
 }
@@ -300,6 +333,9 @@ pub struct QuiesceReport {
     pub tree_bytes: Vec<u8>,
     /// Daemon totals at the quiesce point.
     pub stats: StreamStats,
+    /// Chained epoch fingerprint from the [`ProvenanceSink`] after the
+    /// quiesce maintain sealed its epoch (`None` without a sink).
+    pub fingerprint: Option<Hash256>,
 }
 
 /// A cloneable producer handle: appends durable insert/delete chunks to
@@ -358,6 +394,7 @@ impl<I: Impurity + Clone + Send + 'static, H> StreamingBoat<I, H> {
         let schema = model.schema().clone();
         let metrics = model.metrics().clone();
         let triggers = config.build_triggers();
+        let provenance = config.provenance.take();
         if config.wal.dir.is_none() {
             config.wal.dir = model.config().spill_dir.clone();
         }
@@ -377,6 +414,7 @@ impl<I: Impurity + Clone + Send + 'static, H> StreamingBoat<I, H> {
                 metrics: metrics.clone(),
                 quiesce: quiesce.clone(),
                 stats: StreamStats::default(),
+                provenance,
             };
             std::thread::Builder::new()
                 .name("boat-stream-daemon".into())
@@ -475,6 +513,7 @@ struct Daemon<I: Impurity + Clone> {
     metrics: Registry,
     quiesce: QuiesceMap,
     stats: StreamStats,
+    provenance: Option<Box<dyn ProvenanceSink>>,
 }
 
 /// Histogram bounds for unmaintained-record counts (powers of two up to
@@ -536,6 +575,11 @@ impl<I: Impurity + Clone> Daemon<I> {
         {
             self.maintain("bound");
         }
+        // After any bound maintain (which seals the previous epoch's
+        // delta), so this op lands in the epoch that will publish it.
+        if let Some(sink) = self.provenance.as_mut() {
+            sink.absorb_op(&op);
+        }
         let chunk = MemoryDataset::new(self.schema.clone(), op.records);
         let absorbed = match op.kind {
             WalKind::Insert => self.model.insert(&chunk),
@@ -581,11 +625,13 @@ impl<I: Impurity + Clone> Daemon<I> {
                 Vec::new()
             }
         };
+        let fingerprint = self.provenance.as_ref().and_then(|s| s.fingerprint());
         let reply = self.quiesce.lock().unwrap().remove(&token);
         if let Some(tx) = reply {
             let _ = tx.send(QuiesceReport {
                 tree_bytes,
                 stats: self.stats.clone(),
+                fingerprint,
             });
         }
     }

@@ -28,11 +28,15 @@
 //! * [`wal`] — a durable write-ahead log for streaming insert/delete
 //!   chunks: concurrent producers, a single fsync-batching appender
 //!   thread, checksummed segment files, and durable-prefix crash replay.
+//! * [`audit`] — an append-only audit log persisting the provenance
+//!   layer's chained epoch fingerprints (`boat-proof`), so model history
+//!   stays verifiable back to genesis across process restarts.
 //! * [`csv`] — CSV import (in-memory or streamed to disk) with per-column
 //!   category dictionaries.
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod codec;
 pub mod colspill;
 pub mod csv;
@@ -48,6 +52,7 @@ pub mod schema;
 pub mod spill;
 pub mod wal;
 
+pub use audit::{read_audit_log, AuditLog, AuditReplay};
 pub use dataset::{
     ChunkScan, Chunks, FileDataset, FileDatasetWriter, MemoryDataset, RecordChunk, RecordScan,
     RecordSource,

@@ -32,6 +32,17 @@
 //! the **durable prefix** — exactly the operations a consumer may have
 //! observed.
 //!
+//! ## Content digests
+//!
+//! Alongside the (cheap, crash-detecting) FNV-1a frame checksums, the log
+//! computes **SHA-256 content digests** for the provenance layer: every
+//! forwarded [`WalOp`] carries `SHA-256(op byte ‖ payload)` — the exact
+//! durable bytes of its frame — and every segment accumulates the digest
+//! of its frame digests, reported append-side in [`WalSummary`] and
+//! replay-side in [`SegmentReplay`]. The epoch chain's `delta_digest`
+//! (see `boat-proof`) folds the per-op digests, so an audit-log entry
+//! binds to exactly the bytes a crash replay would re-absorb.
+//!
 //! ## Metrics
 //!
 //! `data.wal.{segments,fsync_batches,bytes_written,records_appended,
@@ -44,6 +55,7 @@ use crate::schema::Schema;
 use crate::spill::sweep_stale_spill_files;
 use crate::{DataError, Result};
 use boat_obs::Registry;
+use boat_proof::{Hash256, Sha256};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -74,6 +86,15 @@ fn frame_checksum(op: u8, payload: &[u8]) -> u64 {
         step(b);
     }
     h
+}
+
+/// SHA-256 over the op byte followed by the payload — the frame's durable
+/// content, as bound into the provenance layer's delta digests.
+fn frame_digest(op: u8, payload: &[u8]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[op]);
+    h.update(payload);
+    h.finalize()
 }
 
 /// The kind of one logged operation.
@@ -109,6 +130,8 @@ pub struct WalOp {
     pub kind: WalKind,
     /// The chunk's records, in append order.
     pub records: Vec<Record>,
+    /// SHA-256 of the frame's durable content (op byte ‖ encoded payload).
+    pub content_digest: Hash256,
 }
 
 /// What the appender thread forwards downstream, in WAL order, strictly
@@ -168,6 +191,9 @@ struct Shared {
     forwarded_ops: AtomicU64,
     /// Segment paths created so far.
     segments: Mutex<Vec<PathBuf>>,
+    /// Content digest of each *closed* segment, in creation order (the
+    /// live segment's digest is still accumulating).
+    segment_digests: Mutex<Vec<Hash256>>,
 }
 
 /// Summary returned by [`Wal::finish`].
@@ -176,6 +202,10 @@ pub struct WalSummary {
     /// The segment files this log wrote (already deleted unless
     /// [`WalConfig::keep_segments`] was set).
     pub segments: Vec<PathBuf>,
+    /// Per-segment content digests (SHA-256 over each segment's frame
+    /// digests), parallel to `segments`. [`read_segment`] recomputes the
+    /// same value from an untorn segment's durable bytes.
+    pub segment_digests: Vec<Hash256>,
     /// Total frame bytes written across segments.
     pub bytes_written: u64,
 }
@@ -245,6 +275,8 @@ struct Segment {
     path: PathBuf,
     writer: BufWriter<File>,
     bytes: u64,
+    /// Running digest over this segment's frame digests.
+    digest: Sha256,
 }
 
 impl Wal {
@@ -267,6 +299,7 @@ impl Wal {
             error: Mutex::new(None),
             forwarded_ops: AtomicU64::new(0),
             segments: Mutex::new(Vec::new()),
+            segment_digests: Mutex::new(Vec::new()),
         });
         let appender = {
             let shared = shared.clone();
@@ -330,8 +363,10 @@ impl Wal {
                 let _ = std::fs::remove_file(p);
             }
         }
+        let segment_digests = self.shared.segment_digests.lock().unwrap().clone();
         Ok(WalSummary {
             segments,
+            segment_digests,
             bytes_written,
         })
     }
@@ -356,6 +391,7 @@ fn open_segment(dir: &Path, seq: u32, record_width: u32) -> std::io::Result<Segm
         path,
         writer,
         bytes: HEADER_LEN as u64,
+        digest: Sha256::new(),
     })
 }
 
@@ -424,6 +460,11 @@ fn appender_loop(
                             fail(&shared, e);
                             break 'outer;
                         }
+                        shared
+                            .segment_digests
+                            .lock()
+                            .unwrap()
+                            .push(old.digest.finalize());
                     }
                     if seg.is_none() {
                         match open_segment(&dir, seq, record_width) {
@@ -454,12 +495,18 @@ fn appender_loop(
                     s.bytes += frame_len;
                     total_bytes += frame_len;
                     wrote = true;
+                    let content_digest = frame_digest(kind.to_byte(), &payload);
+                    s.digest.update(&content_digest.0);
                     metrics.counter("data.wal.bytes_written").add(frame_len);
                     metrics.counter("data.wal.ops_appended").inc();
                     metrics
                         .counter("data.wal.records_appended")
                         .add(records.len() as u64);
-                    pending.push(WalEvent::Op(WalOp { kind, records }));
+                    pending.push(WalEvent::Op(WalOp {
+                        kind,
+                        records,
+                        content_digest,
+                    }));
                 }
                 WalMsg::Marker(token) => pending.push(WalEvent::Marker(token)),
                 WalMsg::Shutdown => shutting = true,
@@ -492,6 +539,11 @@ fn appender_loop(
         if let Err(e) = finish_segment(&mut s) {
             fail(&shared, e);
         }
+        shared
+            .segment_digests
+            .lock()
+            .unwrap()
+            .push(s.digest.finalize());
     }
     total_bytes
 }
@@ -507,6 +559,10 @@ pub struct SegmentReplay {
     pub ops: Vec<WalOp>,
     /// Bytes covered by the durable prefix (header + whole valid frames).
     pub durable_bytes: u64,
+    /// SHA-256 over the durable prefix's frame digests — equals the
+    /// append side's [`WalSummary::segment_digests`] entry when the
+    /// segment closed cleanly.
+    pub content_digest: Hash256,
     /// Whether a torn tail was detected (truncated frame, bad checksum,
     /// or trailing garbage) and replay stopped early.
     pub torn: bool,
@@ -525,6 +581,7 @@ pub fn read_segment(path: &Path, schema: &Schema, metrics: &Registry) -> Result<
         return Ok(SegmentReplay {
             ops: Vec::new(),
             durable_bytes: 0,
+            content_digest: Sha256::new().finalize(),
             torn: true,
         });
     }
@@ -545,6 +602,7 @@ pub fn read_segment(path: &Path, schema: &Schema, metrics: &Registry) -> Result<
     let mut ops = Vec::new();
     let mut pos = HEADER_LEN;
     let mut torn = false;
+    let mut segment_digest = Sha256::new();
     while pos < bytes.len() {
         if pos + 5 > bytes.len() {
             torn = true;
@@ -578,7 +636,13 @@ pub fn read_segment(path: &Path, schema: &Schema, metrics: &Registry) -> Result<
         for chunk in payload.chunks_exact(width.max(1)) {
             records.push(codec::decode(schema, chunk)?);
         }
-        ops.push(WalOp { kind, records });
+        let content_digest = frame_digest(op, payload);
+        segment_digest.update(&content_digest.0);
+        ops.push(WalOp {
+            kind,
+            records,
+            content_digest,
+        });
         pos = payload_end + 8;
     }
     if torn {
@@ -591,6 +655,7 @@ pub fn read_segment(path: &Path, schema: &Schema, metrics: &Registry) -> Result<
     Ok(SegmentReplay {
         ops,
         durable_bytes: pos as u64,
+        content_digest: segment_digest.finalize(),
         torn,
     })
 }
@@ -671,6 +736,20 @@ mod tests {
         assert_eq!(ops[0].records.len(), 2);
         assert_eq!(ops[1].kind, WalKind::Delete);
         assert_eq!(ops[2].records[0].num(0), 3.0);
+        // Content digests: forwarded == replayed per op, and the segment
+        // digest the appender reported matches a fresh replay's.
+        let forwarded_digests: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                WalEvent::Op(op) => Some(op.content_digest),
+                _ => None,
+            })
+            .collect();
+        let replayed_digests: Vec<_> = ops.iter().map(|o| o.content_digest).collect();
+        assert_eq!(forwarded_digests, replayed_digests);
+        assert_eq!(summary.segment_digests.len(), 1);
+        let replay = read_segment(&summary.segments[0], &schema(), &reg).unwrap();
+        assert_eq!(replay.content_digest, summary.segment_digests[0]);
         let snap = reg.snapshot();
         assert_eq!(snap.counter("data.wal.ops_appended"), 3);
         assert_eq!(snap.counter("data.wal.records_appended"), 4);
@@ -709,6 +788,12 @@ mod tests {
         assert!(summary.segments.len() > 1, "expected a roll");
         let ops = replay_segments(&summary.segments, &schema(), &reg).unwrap();
         assert_eq!(ops.len(), 10);
+        // Every closed segment's append-side digest matches its replay.
+        assert_eq!(summary.segment_digests.len(), summary.segments.len());
+        for (p, want) in summary.segments.iter().zip(&summary.segment_digests) {
+            let replay = read_segment(p, &schema(), &reg).unwrap();
+            assert_eq!(replay.content_digest, *want, "{}", p.display());
+        }
         assert_eq!(
             reg.snapshot().counter("data.wal.segments"),
             summary.segments.len() as u64

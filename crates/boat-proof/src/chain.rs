@@ -1,0 +1,254 @@
+//! Chained epoch fingerprints: the audit trail of a maintained model.
+//!
+//! Every publish of a maintained tree advances a hash chain:
+//!
+//! ```text
+//! fingerprint(0)   = H( 0x02 ‖ "BOATPRF1" ‖ model_root(0) )
+//! fingerprint(N+1) = H( 0x03 ‖ fingerprint(N) ‖ model_root(N+1) ‖ delta_digest(N+1) )
+//! ```
+//!
+//! where `model_root` is the epoch's Merkle commitment and `delta_digest`
+//! binds exactly the WAL frames absorbed since the previous epoch (see
+//! [`DeltaDigest`]). An auditor holding the append-only log of
+//! [`EpochEntry`] rows can recompute the whole chain from genesis; any
+//! retroactive edit of a model, a delta, or an entry breaks every later
+//! fingerprint.
+
+use crate::sha256::Sha256;
+use crate::{Hash256, ProofError};
+
+/// Domain tag for the genesis fingerprint.
+const TAG_GENESIS: u8 = 0x02;
+/// Domain tag for chain links.
+const TAG_LINK: u8 = 0x03;
+/// Domain tag for delta digests.
+const TAG_DELTA: u8 = 0x04;
+/// Chain format identifier, hashed into genesis.
+const CHAIN_MAGIC: &[u8; 8] = b"BOATPRF1";
+
+/// One epoch's row in the audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochEntry {
+    /// Epoch number (genesis is `0`).
+    pub epoch: u64,
+    /// The epoch's model commitment (Merkle root).
+    pub model_root: Hash256,
+    /// Digest of the WAL frames absorbed since the previous epoch
+    /// ([`Hash256::ZERO`] for genesis).
+    pub delta_digest: Hash256,
+    /// The chained fingerprint through this epoch.
+    pub fingerprint: Hash256,
+}
+
+/// The genesis fingerprint for a chain anchored at `model_root`.
+pub fn genesis_fingerprint(model_root: &Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[TAG_GENESIS]);
+    h.update(CHAIN_MAGIC);
+    h.update(&model_root.0);
+    h.finalize()
+}
+
+/// One chain link: the fingerprint after absorbing an epoch.
+pub fn link_fingerprint(prev: &Hash256, model_root: &Hash256, delta_digest: &Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&[TAG_LINK]);
+    h.update(&prev.0);
+    h.update(&model_root.0);
+    h.update(&delta_digest.0);
+    h.finalize()
+}
+
+/// The live head of an epoch chain.
+#[derive(Debug, Clone)]
+pub struct EpochChain {
+    epoch: u64,
+    fingerprint: Hash256,
+}
+
+impl EpochChain {
+    /// Anchor a new chain at `model_root`; returns the chain head and the
+    /// genesis entry (epoch `0`, zero delta).
+    pub fn genesis(model_root: Hash256) -> (EpochChain, EpochEntry) {
+        let fingerprint = genesis_fingerprint(&model_root);
+        let entry = EpochEntry {
+            epoch: 0,
+            model_root,
+            delta_digest: Hash256::ZERO,
+            fingerprint,
+        };
+        (
+            EpochChain {
+                epoch: 0,
+                fingerprint,
+            },
+            entry,
+        )
+    }
+
+    /// Commit the next epoch and return its entry.
+    pub fn advance(&mut self, model_root: Hash256, delta_digest: Hash256) -> EpochEntry {
+        self.epoch += 1;
+        self.fingerprint = link_fingerprint(&self.fingerprint, &model_root, &delta_digest);
+        EpochEntry {
+            epoch: self.epoch,
+            model_root,
+            delta_digest,
+            fingerprint: self.fingerprint,
+        }
+    }
+
+    /// The head epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The head fingerprint.
+    pub fn fingerprint(&self) -> Hash256 {
+        self.fingerprint
+    }
+
+    /// Verify a full chain back to genesis: entry `0` must be a genesis
+    /// row, every later entry must increment the epoch and carry the
+    /// recomputed link fingerprint.
+    pub fn verify(entries: &[EpochEntry]) -> Result<(), ProofError> {
+        let first = entries
+            .first()
+            .ok_or(ProofError::ChainBroken { epoch: 0 })?;
+        if first.epoch != 0
+            || first.delta_digest != Hash256::ZERO
+            || first.fingerprint != genesis_fingerprint(&first.model_root)
+        {
+            return Err(ProofError::ChainBroken { epoch: first.epoch });
+        }
+        for w in entries.windows(2) {
+            let (prev, cur) = (&w[0], &w[1]);
+            if cur.epoch != prev.epoch + 1
+                || cur.fingerprint
+                    != link_fingerprint(&prev.fingerprint, &cur.model_root, &cur.delta_digest)
+            {
+                return Err(ProofError::ChainBroken { epoch: cur.epoch });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Accumulator for one epoch's delta digest.
+///
+/// Feed it the content digest of every WAL frame (or insert/delete chunk)
+/// absorbed since the last publish; [`DeltaDigest::take`] seals the
+/// accumulated digest and resets for the next epoch. The item count is
+/// folded in at seal time, so an empty delta is still a well-defined
+/// (and distinct) digest.
+#[derive(Debug, Clone)]
+pub struct DeltaDigest {
+    inner: Sha256,
+    items: u64,
+}
+
+impl Default for DeltaDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaDigest {
+    /// Fresh, empty accumulator.
+    pub fn new() -> DeltaDigest {
+        let mut inner = Sha256::new();
+        inner.update(&[TAG_DELTA]);
+        DeltaDigest { inner, items: 0 }
+    }
+
+    /// Absorb one frame: its op kind byte and content digest.
+    pub fn absorb(&mut self, kind: u8, content: &Hash256) {
+        self.inner.update(&[kind]);
+        self.inner.update(&content.0);
+        self.items += 1;
+    }
+
+    /// Number of frames absorbed since the last [`DeltaDigest::take`].
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Seal the accumulated digest and reset the accumulator.
+    pub fn take(&mut self) -> Hash256 {
+        let mut sealed = std::mem::take(self);
+        sealed.inner.update(&sealed.items.to_le_bytes());
+        sealed.inner.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn chain_of(n_epochs: usize) -> Vec<EpochEntry> {
+        let root0 = sha256(b"model 0");
+        let (mut chain, genesis) = EpochChain::genesis(root0);
+        let mut entries = vec![genesis];
+        for e in 1..=n_epochs {
+            let root = sha256(format!("model {e}").as_bytes());
+            let mut delta = DeltaDigest::new();
+            delta.absorb(1, &sha256(format!("frame {e}").as_bytes()));
+            entries.push(chain.advance(root, delta.take()));
+        }
+        entries
+    }
+
+    #[test]
+    fn chains_verify_back_to_genesis() {
+        for n in 0..5 {
+            EpochChain::verify(&chain_of(n)).unwrap();
+        }
+        assert!(EpochChain::verify(&[]).is_err());
+    }
+
+    #[test]
+    fn any_tampered_entry_breaks_the_chain() {
+        let entries = chain_of(4);
+        for i in 0..entries.len() {
+            for field in 0..3 {
+                let mut bad = entries.clone();
+                match field {
+                    0 => bad[i].model_root.0[0] ^= 1,
+                    1 => bad[i].delta_digest.0[31] ^= 1,
+                    _ => bad[i].fingerprint.0[7] ^= 1,
+                }
+                assert!(
+                    EpochChain::verify(&bad).is_err(),
+                    "entry {i} field {field} accepted after tamper"
+                );
+            }
+        }
+        // Dropping or reordering an interior entry also breaks it.
+        let mut dropped = entries.clone();
+        dropped.remove(2);
+        assert!(EpochChain::verify(&dropped).is_err());
+        let mut swapped = entries.clone();
+        swapped.swap(1, 2);
+        assert!(EpochChain::verify(&swapped).is_err());
+    }
+
+    #[test]
+    fn delta_digest_is_order_and_count_sensitive() {
+        let (a, b) = (sha256(b"a"), sha256(b"b"));
+        let mut d1 = DeltaDigest::new();
+        d1.absorb(1, &a);
+        d1.absorb(2, &b);
+        let mut d2 = DeltaDigest::new();
+        d2.absorb(2, &b);
+        d2.absorb(1, &a);
+        assert_ne!(d1.take(), d2.take());
+        // Empty deltas are well-defined and stable; `take` resets.
+        let mut d = DeltaDigest::new();
+        let empty = d.take();
+        assert_eq!(empty, DeltaDigest::new().take());
+        d.absorb(1, &a);
+        assert_ne!(d.take(), empty);
+        assert_eq!(d.items(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! # boat-proof — authenticated model provenance for the BOAT reproduction
+//!
+//! BOAT's headline guarantee is *exactness*: the optimistic two-scan
+//! construction and the incremental `maintain` path both promise the exact
+//! greedy tree. This crate makes that promise *auditable* at serving time:
+//!
+//! * [`merkle`] — a Merkle-ization of the compiled preorder SoA tables:
+//!   every subtree gets a SHA-256 hash (leaf = canonical node record,
+//!   internal = record ‖ left-child hash ‖ right-child hash), the root is
+//!   the model **commitment**, and a regrown subtree recommits
+//!   incrementally by reusing the hashes of unchanged spans.
+//! * [`proof`] — root-to-leaf **prediction proofs** (node records plus the
+//!   sibling subtree hash at every step) with a standalone
+//!   [`verify_prediction`] that re-routes the record through the proof's
+//!   own predicates and folds hashes back to the commitment — no tree
+//!   access required.
+//! * [`chain`] — the **epoch chain**: every publish commits
+//!   `fingerprint(N+1) = H(fingerprint(N) ‖ model_root(N+1) ‖ delta_digest)`
+//!   where the delta digest binds the WAL frames absorbed since epoch `N`,
+//!   so an auditor holding the append-only log can replay the chain back
+//!   to genesis.
+//! * [`sha256`] — the hand-rolled hash itself (scalar + runtime-dispatched
+//!   x86-64 SHA-NI), because the build environment cannot fetch registry
+//!   crates and the workspace policy is to hand-roll small substrates.
+//!
+//! The crate is deliberately dependency-free and sits at the bottom of the
+//! workspace graph: `boat-data` persists the audit log, `boat-core`
+//! surfaces chained fingerprints from the streaming daemon, and
+//! `boat-serve` commits every published tree and serves proofs.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod merkle;
+pub mod proof;
+pub mod sha256;
+
+pub use chain::{genesis_fingerprint, link_fingerprint, DeltaDigest, EpochChain, EpochEntry};
+pub use merkle::{NodeRecord, ProofValue, TreeCommit, TreeCommitBuilder, NODE_RECORD_LEN};
+pub use proof::{verify_prediction, PredictionProof};
+pub use sha256::{sha256, Sha256};
+
+use std::fmt;
+
+/// A 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero digest (the genesis entry's delta slot).
+    pub const ZERO: Hash256 = Hash256([0; 32]);
+
+    /// The digest bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parse a 64-char lowercase/uppercase hex digest.
+    pub fn from_hex(s: &str) -> Option<Hash256> {
+        let s = s.as_bytes();
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in s.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Hash256(out))
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({})", self.to_hex())
+    }
+}
+
+/// Everything that can go wrong committing, proving, or verifying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// Commit-time validation failed: the tables do not describe a
+    /// well-formed preorder tree.
+    MalformedTree(&'static str),
+    /// A proof failed to parse or has an impossible shape.
+    MalformedProof(&'static str),
+    /// A routing value was missing, of the wrong type, or (for category
+    /// codes) outside the 64-category schema bound at attribute `attr`.
+    ValueType {
+        /// The offending attribute index.
+        attr: u16,
+    },
+    /// The proof's leaf proves a different label than the claimed one.
+    LabelMismatch {
+        /// The label the caller claimed was served.
+        claimed: u16,
+        /// The label the proof's leaf record actually carries.
+        proven: u16,
+    },
+    /// The folded root hash does not match the commitment.
+    CommitmentMismatch,
+    /// The epoch chain fails to verify at `epoch`.
+    ChainBroken {
+        /// The first epoch whose entry is inconsistent.
+        epoch: u64,
+    },
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::MalformedTree(why) => write!(f, "malformed tree tables: {why}"),
+            ProofError::MalformedProof(why) => write!(f, "malformed proof: {why}"),
+            ProofError::ValueType { attr } => {
+                write!(f, "routing value missing or mistyped at attribute {attr}")
+            }
+            ProofError::LabelMismatch { claimed, proven } => {
+                write!(f, "label mismatch: claimed {claimed}, proof shows {proven}")
+            }
+            ProofError::CommitmentMismatch => f.write_str("proof does not fold to the commitment"),
+            ProofError::ChainBroken { epoch } => {
+                write!(f, "epoch chain broken at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}

@@ -1,0 +1,989 @@
+//! Merkle commitments over compiled decision-tree tables.
+//!
+//! The serving layer compiles trees to a preorder structure-of-arrays
+//! (root at index 0, left child of internal node `i` at `i + 1`, right
+//! child at an explicit index). That layout has two properties this module
+//! leans on:
+//!
+//! * every subtree occupies one **contiguous preorder span** `[i, end)`,
+//!   so "these two subtrees are identical" is a single `memcmp` over their
+//!   canonical node records — the engine of incremental recommit; and
+//! * children always live at **higher indices** than their parent, so one
+//!   reverse pass computes every subtree hash bottom-up with no recursion.
+//!
+//! ## Commitment format
+//!
+//! Each node is encoded as a fixed 13-byte canonical record
+//! ([`NodeRecord`]): `op u8 ‖ attr u16 LE ‖ operand u64 LE ‖ label u16 LE`
+//! where `operand` is the numeric threshold's IEEE-754 bits for `Num`
+//! splits and the category mask for `Cat` splits. Positional fields
+//! (right-child index) are deliberately excluded: the hash of an internal
+//! node binds its children's hashes, and a preorder tag sequence with
+//! known arities reconstructs the shape uniquely, so structure is already
+//! committed.
+//!
+//! ```text
+//! leaf hash     = SHA-256( 0x00 ‖ record )
+//! internal hash = SHA-256( 0x01 ‖ record ‖ left_hash ‖ right_hash )
+//! commitment    = subtree hash of the root
+//! ```
+//!
+//! The domain-separation tags make a leaf message unquotable as an
+//! internal message (and vice versa), closing the classic second-preimage
+//! splice.
+
+use crate::proof::PredictionProof;
+use crate::sha256::{compress_block4, compress_blocks, state_to_hash, H0};
+use crate::{Hash256, ProofError};
+
+/// Canonical node-record width in bytes.
+pub const NODE_RECORD_LEN: usize = 13;
+
+/// Domain tag for leaf hashes.
+pub(crate) const TAG_LEAF: u8 = 0x00;
+/// Domain tag for internal hashes.
+pub(crate) const TAG_INTERNAL: u8 = 0x01;
+
+/// Node operation codes (mirroring the compiled tables' tags).
+pub(crate) const OP_LEAF: u8 = 0;
+pub(crate) const OP_NUM: u8 = 1;
+pub(crate) const OP_CAT: u8 = 2;
+
+/// The canonical per-node record committed by the Merkle tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// Operation: `0` leaf, `1` numeric split, `2` categorical split.
+    pub op: u8,
+    /// Splitting attribute (`u16::MAX` for leaves, matching the tables).
+    pub attr: u16,
+    /// `Num`: the threshold's IEEE-754 bits. `Cat`: the category mask.
+    /// Leaves: `0`.
+    pub operand: u64,
+    /// Leaf label (`0` for internal nodes).
+    pub label: u16,
+}
+
+impl NodeRecord {
+    /// A leaf record.
+    pub fn leaf(label: u16) -> NodeRecord {
+        NodeRecord {
+            op: OP_LEAF,
+            attr: u16::MAX,
+            operand: 0,
+            label,
+        }
+    }
+
+    /// A numeric-split record (`value <= threshold` routes left).
+    pub fn num(attr: u16, threshold_bits: u64) -> NodeRecord {
+        NodeRecord {
+            op: OP_NUM,
+            attr,
+            operand: threshold_bits,
+            label: 0,
+        }
+    }
+
+    /// A categorical-split record (`(mask >> code) & 1` routes left).
+    pub fn cat(attr: u16, mask: u64) -> NodeRecord {
+        NodeRecord {
+            op: OP_CAT,
+            attr,
+            operand: mask,
+            label: 0,
+        }
+    }
+
+    /// Serialize to the fixed 13-byte canonical encoding.
+    pub fn to_bytes(&self) -> [u8; NODE_RECORD_LEN] {
+        let mut out = [0u8; NODE_RECORD_LEN];
+        out[0] = self.op;
+        out[1..3].copy_from_slice(&self.attr.to_le_bytes());
+        out[3..11].copy_from_slice(&self.operand.to_le_bytes());
+        out[11..13].copy_from_slice(&self.label.to_le_bytes());
+        out
+    }
+
+    /// Parse a 13-byte canonical encoding (rejects unknown op tags).
+    pub fn from_bytes(bytes: &[u8]) -> Result<NodeRecord, ProofError> {
+        if bytes.len() != NODE_RECORD_LEN {
+            return Err(ProofError::MalformedProof("node record length"));
+        }
+        if bytes[0] > OP_CAT {
+            return Err(ProofError::MalformedProof("unknown node op tag"));
+        }
+        Ok(NodeRecord {
+            op: bytes[0],
+            attr: u16::from_le_bytes(bytes[1..3].try_into().unwrap()),
+            operand: u64::from_le_bytes(bytes[3..11].try_into().unwrap()),
+            label: u16::from_le_bytes(bytes[11..13].try_into().unwrap()),
+        })
+    }
+}
+
+/// One routing value for proving/verifying a prediction — the shape of a
+/// record this crate can see without depending on the data layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProofValue {
+    /// Numeric attribute value.
+    Num(f64),
+    /// Categorical attribute code (`< 64`, the schema bound).
+    Cat(u32),
+}
+
+/// Route one record through one internal node: `Ok(true)` means "goes
+/// left". Replicates the serving semantics exactly: NaN fails `v <= t`
+/// and routes right; category codes absent from the mask (including
+/// codes never seen at training time) route right.
+pub(crate) fn route_left(rec: &NodeRecord, values: &[ProofValue]) -> Result<bool, ProofError> {
+    match rec.op {
+        OP_NUM => match values.get(rec.attr as usize) {
+            Some(ProofValue::Num(v)) => Ok(*v <= f64::from_bits(rec.operand)),
+            _ => Err(ProofError::ValueType { attr: rec.attr }),
+        },
+        OP_CAT => match values.get(rec.attr as usize) {
+            Some(ProofValue::Cat(c)) if *c < 64 => Ok((rec.operand >> *c) & 1 != 0),
+            _ => Err(ProofError::ValueType { attr: rec.attr }),
+        },
+        _ => Err(ProofError::MalformedProof("routing through a leaf")),
+    }
+}
+
+/// The padded single-block leaf message `TAG_LEAF ‖ record`.
+#[inline]
+fn leaf_block(record: &[u8]) -> [u8; 64] {
+    debug_assert_eq!(record.len(), NODE_RECORD_LEN);
+    let mut block = [0u8; 64];
+    block[0] = TAG_LEAF;
+    block[1..14].copy_from_slice(record);
+    block[14] = 0x80;
+    block[56..].copy_from_slice(&(14u64 * 8).to_be_bytes());
+    block
+}
+
+/// The padded two-block internal message
+/// `TAG_INTERNAL ‖ record ‖ left ‖ right`.
+#[inline]
+fn internal_blocks(record: &[u8], left: &Hash256, right: &Hash256) -> [u8; 128] {
+    debug_assert_eq!(record.len(), NODE_RECORD_LEN);
+    let mut blocks = [0u8; 128];
+    blocks[0] = TAG_INTERNAL;
+    blocks[1..14].copy_from_slice(record);
+    blocks[14..46].copy_from_slice(&left.0);
+    blocks[46..78].copy_from_slice(&right.0);
+    blocks[78] = 0x80;
+    blocks[120..].copy_from_slice(&(78u64 * 8).to_be_bytes());
+    blocks
+}
+
+/// Leaf hash: one compression of the padded 14-byte message
+/// `TAG_LEAF ‖ record`.
+pub(crate) fn hash_leaf(record: &[u8]) -> Hash256 {
+    let mut state = H0;
+    compress_blocks(&mut state, &leaf_block(record));
+    state_to_hash(state)
+}
+
+/// Internal hash: two compressions of the padded 78-byte message
+/// `TAG_INTERNAL ‖ record ‖ left ‖ right`.
+pub(crate) fn hash_internal(record: &[u8], left: &Hash256, right: &Hash256) -> Hash256 {
+    let mut state = H0;
+    compress_blocks(&mut state, &internal_blocks(record, left, right));
+    state_to_hash(state)
+}
+
+/// Hash four leaves in one interleaved SHA batch.
+fn hash_leaf4(records: &[u8], idx: &[u32; 4], hashes: &mut [Hash256]) {
+    const L: usize = NODE_RECORD_LEN;
+    let mut blocks = [[0u8; 64]; 4];
+    for (s, &i) in idx.iter().enumerate() {
+        blocks[s] = leaf_block(&records[i as usize * L..(i as usize + 1) * L]);
+    }
+    let mut states = [H0; 4];
+    compress_block4(&mut states, &blocks);
+    for (s, &i) in idx.iter().enumerate() {
+        hashes[i as usize] = state_to_hash(states[s]);
+    }
+}
+
+/// Hash four internal nodes (children's hashes already final) in two
+/// interleaved SHA batches.
+fn hash_internal4(records: &[u8], right: &[u32], idx: &[u32; 4], hashes: &mut [Hash256]) {
+    const L: usize = NODE_RECORD_LEN;
+    let mut b0 = [[0u8; 64]; 4];
+    let mut b1 = [[0u8; 64]; 4];
+    for (s, &i) in idx.iter().enumerate() {
+        let i = i as usize;
+        let msg = internal_blocks(
+            &records[i * L..(i + 1) * L],
+            &hashes[i + 1],
+            &hashes[right[i] as usize],
+        );
+        b0[s].copy_from_slice(&msg[..64]);
+        b1[s].copy_from_slice(&msg[64..]);
+    }
+    let mut states = [H0; 4];
+    compress_block4(&mut states, &b0);
+    compress_block4(&mut states, &b1);
+    for (s, &i) in idx.iter().enumerate() {
+        hashes[i as usize] = state_to_hash(states[s]);
+    }
+}
+
+/// Hash every node in `wave` — which must be mutually independent, with
+/// all child hashes already final — batching same-arity nodes four SHA
+/// streams at a time (the single-stream hardware path is latency-bound;
+/// see [`crate::sha256`]).
+fn hash_wave(records: &[u8], right: &[u32], wave: &[u32], hashes: &mut [Hash256]) {
+    const L: usize = NODE_RECORD_LEN;
+    let mut leaves = [0u32; 4];
+    let mut n_leaves = 0;
+    let mut ints = [0u32; 4];
+    let mut n_ints = 0;
+    for &i in wave {
+        if records[i as usize * L] == OP_LEAF {
+            leaves[n_leaves] = i;
+            n_leaves += 1;
+            if n_leaves == 4 {
+                hash_leaf4(records, &leaves, hashes);
+                n_leaves = 0;
+            }
+        } else {
+            ints[n_ints] = i;
+            n_ints += 1;
+            if n_ints == 4 {
+                hash_internal4(records, right, &ints, hashes);
+                n_ints = 0;
+            }
+        }
+    }
+    for &i in &leaves[..n_leaves] {
+        let i = i as usize;
+        hashes[i] = hash_leaf(&records[i * L..(i + 1) * L]);
+    }
+    for &i in &ints[..n_ints] {
+        let i = i as usize;
+        hashes[i] = hash_internal(
+            &records[i * L..(i + 1) * L],
+            &hashes[i + 1],
+            &hashes[right[i] as usize],
+        );
+    }
+}
+
+/// Bulk-comparison stride for the common-prefix/suffix scans: whole
+/// chunks go through slice equality (libc `memcmp` speed); only the one
+/// mismatching chunk is refined byte-wise.
+const SCAN_CHUNK: usize = 4096;
+
+/// Length of the longest common prefix of `a` and `b`, in bytes.
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + SCAN_CHUNK <= n && a[i..i + SCAN_CHUNK] == b[i..i + SCAN_CHUNK] {
+        i += SCAN_CHUNK;
+    }
+    let end = n.min(i + SCAN_CHUNK);
+    while i + 8 <= end {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        if x != y {
+            return i + ((x ^ y).trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < end && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Length of the longest common suffix of `a` and `b`, in bytes.
+fn common_suffix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let (ae, be) = (a.len(), b.len());
+    let mut i = 0;
+    while i + SCAN_CHUNK <= n && a[ae - i - SCAN_CHUNK..ae - i] == b[be - i - SCAN_CHUNK..be - i] {
+        i += SCAN_CHUNK;
+    }
+    let end = n.min(i + SCAN_CHUNK);
+    while i + 8 <= end {
+        let x = u64::from_le_bytes(a[ae - i - 8..ae - i].try_into().unwrap());
+        let y = u64::from_le_bytes(b[be - i - 8..be - i].try_into().unwrap());
+        if x != y {
+            return i + ((x ^ y).leading_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < end && a[ae - i - 1] == b[be - i - 1] {
+        i += 1;
+    }
+    i
+}
+
+/// Streaming constructor for a [`TreeCommit`]: push nodes in preorder,
+/// then [`commit`](TreeCommitBuilder::commit) (or
+/// [`commit_reusing`](TreeCommitBuilder::commit_reusing) to recycle the
+/// previous epoch's subtree hashes).
+#[derive(Debug, Clone, Default)]
+pub struct TreeCommitBuilder {
+    records: Vec<u8>,
+    right: Vec<u32>,
+}
+
+impl TreeCommitBuilder {
+    /// Builder with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> TreeCommitBuilder {
+        TreeCommitBuilder {
+            records: Vec::with_capacity(n * NODE_RECORD_LEN),
+            right: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, rec: NodeRecord, right: u32) {
+        self.records.extend_from_slice(&rec.to_bytes());
+        self.right.push(right);
+    }
+
+    /// Append a leaf.
+    pub fn push_leaf(&mut self, label: u16) {
+        self.push(NodeRecord::leaf(label), 0);
+    }
+
+    /// Append a numeric split whose right child sits at preorder index
+    /// `right`.
+    pub fn push_num(&mut self, attr: u16, threshold_bits: u64, right: u32) {
+        self.push(NodeRecord::num(attr, threshold_bits), right);
+    }
+
+    /// Append a categorical split whose right child sits at preorder
+    /// index `right`.
+    pub fn push_cat(&mut self, attr: u16, mask: u64, right: u32) {
+        self.push(NodeRecord::cat(attr, mask), right);
+    }
+
+    /// Validate preorder well-formedness and compute subtree spans.
+    fn validate(&self) -> Result<Vec<u32>, ProofError> {
+        compute_span(&self.records, &self.right)
+    }
+
+    /// Hash every subtree from scratch (one bottom-up reverse pass).
+    pub fn commit(self) -> Result<TreeCommit, ProofError> {
+        let span = self.validate()?;
+        Ok(TreeCommit::hash_all(self.records, self.right, span))
+    }
+
+    /// Commit, reusing `prev`'s subtree hashes wherever a subtree's
+    /// canonical record span is byte-identical to one in the previous
+    /// commit — the incremental path for `maintain`-regrown trees, where
+    /// most of the tree survives an epoch untouched.
+    ///
+    /// Matching is top-down: identical spans are block-copied (one
+    /// `memcmp` + one hash `memcpy`), diverging internal nodes recurse
+    /// into both children, and shape-diverging spans rehash from scratch.
+    /// The result is bit-identical to [`commit`](TreeCommitBuilder::commit).
+    pub fn commit_reusing(self, prev: &TreeCommit) -> Result<TreeCommit, ProofError> {
+        let span = self.validate()?;
+        Ok(TreeCommit::hash_reusing(
+            self.records,
+            self.right,
+            span,
+            prev,
+        ))
+    }
+}
+
+/// Compute per-node subtree spans from canonical records and right-child
+/// indices, rejecting malformed preorder (the full well-formedness check).
+fn compute_span(records: &[u8], right: &[u32]) -> Result<Vec<u32>, ProofError> {
+    let n = right.len();
+    if n == 0 {
+        return Err(ProofError::MalformedTree("empty tree"));
+    }
+    if n > (u32::MAX / 2) as usize {
+        return Err(ProofError::MalformedTree("too many nodes"));
+    }
+    if records.len() != n * NODE_RECORD_LEN {
+        return Err(ProofError::MalformedTree(
+            "record bytes / node count mismatch",
+        ));
+    }
+    let mut span = vec![0u32; n];
+    for i in (0..n).rev() {
+        if records[i * NODE_RECORD_LEN] == OP_LEAF {
+            span[i] = i as u32 + 1;
+        } else {
+            let r = right[i] as usize;
+            if r < i + 2 || r >= n {
+                return Err(ProofError::MalformedTree("right child out of range"));
+            }
+            span[i] = span[r];
+        }
+    }
+    for i in 0..n {
+        if records[i * NODE_RECORD_LEN] != OP_LEAF && span[i + 1] != right[i] {
+            return Err(ProofError::MalformedTree(
+                "left subtree does not abut the right child",
+            ));
+        }
+    }
+    if span[0] as usize != n {
+        return Err(ProofError::MalformedTree(
+            "trailing nodes outside the root subtree",
+        ));
+    }
+    Ok(span)
+}
+
+/// A committed tree: the canonical node records plus one SHA-256 per
+/// subtree, root hash = the model **commitment**.
+///
+/// Kept alongside the compiled tables by the serving layer so proofs can
+/// be generated without rehashing, and fed to the *next* epoch's
+/// [`TreeCommitBuilder::commit_reusing`] as the reuse source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeCommit {
+    /// `n * NODE_RECORD_LEN` canonical records, preorder.
+    records: Vec<u8>,
+    /// Right-child preorder index per node (`0` for leaves).
+    right: Vec<u32>,
+    /// Exclusive end of each node's preorder span.
+    span: Vec<u32>,
+    /// Subtree hash per node.
+    hashes: Vec<Hash256>,
+    /// How many nodes the last build copied from the previous commit.
+    reused_nodes: usize,
+}
+
+impl TreeCommit {
+    /// Hash every subtree of already-validated parts, bottom-up.
+    ///
+    /// Nodes of equal subtree *height* never depend on each other, so the
+    /// pass walks height waves and hands each wave to the four-stream
+    /// batcher ([`hash_wave`]); tiny trees keep the plain reverse loop
+    /// (the wave bookkeeping would cost more than it saves).
+    fn hash_all(records: Vec<u8>, right: Vec<u32>, span: Vec<u32>) -> TreeCommit {
+        const L: usize = NODE_RECORD_LEN;
+        let n = right.len();
+        let mut out = TreeCommit {
+            records,
+            right,
+            span,
+            hashes: vec![Hash256::ZERO; n],
+            reused_nodes: 0,
+        };
+        if n < 32 {
+            for i in (0..n).rev() {
+                out.hashes[i] = out.hash_node(i, &out.hashes);
+            }
+            return out;
+        }
+        let mut height = vec![0u32; n];
+        let mut max_h = 0u32;
+        for i in (0..n).rev() {
+            if out.records[i * L] != OP_LEAF {
+                let h = 1 + height[i + 1].max(height[out.right[i] as usize]);
+                height[i] = h;
+                max_h = max_h.max(h);
+            }
+        }
+        let mut waves: Vec<Vec<u32>> = vec![Vec::new(); max_h as usize + 1];
+        for (i, &h) in height.iter().enumerate() {
+            waves[h as usize].push(i as u32);
+        }
+        for wave in &waves {
+            hash_wave(&out.records, &out.right, wave, &mut out.hashes);
+        }
+        out
+    }
+
+    /// Hash already-validated parts, block-copying every subtree whose
+    /// canonical record span is byte-identical to one in `prev`.
+    ///
+    /// Matching is top-down: identical spans are block-copied (one
+    /// `memcmp` + one hash `memcpy`), diverging internal nodes recurse
+    /// into both children, and shape-diverging spans rehash from scratch.
+    /// The result is bit-identical to [`TreeCommit::hash_all`].
+    ///
+    /// The walk would naively re-scan the unchanged prefix once per tree
+    /// level (every failing `memcmp` on the path to a changed subtree
+    /// reads up to the first differing byte — O(depth × offset) total),
+    /// so span comparisons are answered in O(1) from one precomputed
+    /// common-prefix / common-suffix scan whenever the spans are
+    /// prefix-aligned or suffix-aligned; `memcmp` only arbitrates the
+    /// shifted middle regions between separate regrown subtrees.
+    fn hash_reusing(
+        records: Vec<u8>,
+        right: Vec<u32>,
+        span: Vec<u32>,
+        prev: &TreeCommit,
+    ) -> TreeCommit {
+        const L: usize = NODE_RECORD_LEN;
+        let n = right.len();
+        let mut out = TreeCommit {
+            records,
+            right,
+            span,
+            hashes: vec![Hash256::ZERO; n],
+            reused_nodes: 0,
+        };
+        if out.records == prev.records {
+            // Identical tree (the quiesced steady state): one memcmp.
+            out.hashes.copy_from_slice(&prev.hashes);
+            out.reused_nodes = n;
+            return out;
+        }
+        let (on, pn) = (out.records.len(), prev.records.len());
+        let p = common_prefix_len(&out.records, &prev.records);
+        let q = common_suffix_len(&out.records, &prev.records);
+        // Nodes whose hashes must be recomputed, collected top-down.
+        let mut dirty: Vec<u32> = Vec::new();
+        let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+        while let Some((i, j)) = stack.pop() {
+            let (i, j) = (i as usize, j as usize);
+            let iend = out.span[i] as usize;
+            let jend = prev.span[j] as usize;
+            let equal = iend - i == jend - j && {
+                let (a0, a1) = (i * L, iend * L);
+                let b0 = j * L;
+                if a0 == b0 && a1 <= p {
+                    true // both spans inside the common prefix
+                } else if a0 == b0 && a0 <= p {
+                    false // byte `p` differs and lies inside both spans
+                } else if on - a0 == pn - b0 && on - a0 <= q {
+                    true // both spans inside the common suffix, end-aligned
+                } else {
+                    out.records[a0..a1] == prev.records[b0..b0 + (a1 - a0)]
+                }
+            };
+            if equal {
+                out.hashes[i..iend].copy_from_slice(&prev.hashes[j..jend]);
+                out.reused_nodes += iend - i;
+                continue;
+            }
+            let new_internal = out.records[i * L] != OP_LEAF;
+            let old_internal = prev.records[j * L] != OP_LEAF;
+            if new_internal && old_internal {
+                dirty.push(i as u32);
+                stack.push((i as u32 + 1, j as u32 + 1));
+                stack.push((out.right[i], prev.right[j]));
+            } else {
+                // Shapes diverged: rehash this whole span.
+                dirty.extend(i as u32..iend as u32);
+            }
+        }
+        if dirty.len() < 16 {
+            // Children precede parents when walked in decreasing preorder
+            // index, so every recompute sees finished child hashes.
+            dirty.sort_unstable_by(|a, b| b.cmp(a));
+            for &i in &dirty {
+                out.hashes[i as usize] = out.hash_node(i as usize, &out.hashes);
+            }
+            return out;
+        }
+        // Wave-schedule the dirty set for the four-stream batcher: a
+        // dirty node's wave is one past its deepest dirty child (clean
+        // children are already final and contribute wave 0), so every
+        // wave is mutually independent. Children sit at higher preorder
+        // indices — i.e. at later positions of the sorted dirty list —
+        // so one descending pass computes all waves, and the bookkeeping
+        // stays proportional to the dirty set, not the tree.
+        dirty.sort_unstable();
+        let d = dirty.len();
+        let mut wave = vec![0u32; d];
+        let mut max_w = 0u32;
+        for pos in (0..d).rev() {
+            let i = dirty[pos] as usize;
+            let w = if out.records[i * L] == OP_LEAF {
+                0
+            } else {
+                let child_wave = |c: u32| match dirty[pos + 1..].binary_search(&c) {
+                    Ok(off) => wave[pos + 1 + off] + 1,
+                    Err(_) => 0, // clean child: its hash is already final
+                };
+                child_wave(i as u32 + 1).max(child_wave(out.right[i]))
+            };
+            wave[pos] = w;
+            max_w = max_w.max(w);
+        }
+        let mut waves: Vec<Vec<u32>> = vec![Vec::new(); max_w as usize + 1];
+        for (pos, &di) in dirty.iter().enumerate() {
+            waves[wave[pos] as usize].push(di);
+        }
+        for batch in &waves {
+            hash_wave(&out.records, &out.right, batch, &mut out.hashes);
+        }
+        out
+    }
+
+    /// Cheap structural screen for pre-lowered parts; the full per-node
+    /// well-formedness check runs only in debug builds (release trusts
+    /// the producing compiler — see [`TreeCommit::from_parts`]).
+    fn screen_parts(records: &[u8], right: &[u32], span: &[u32]) -> Result<(), ProofError> {
+        let n = right.len();
+        if n == 0 {
+            return Err(ProofError::MalformedTree("empty tree"));
+        }
+        if n > (u32::MAX / 2) as usize {
+            return Err(ProofError::MalformedTree("too many nodes"));
+        }
+        if records.len() != n * NODE_RECORD_LEN || span.len() != n {
+            return Err(ProofError::MalformedTree("parts length mismatch"));
+        }
+        if span[0] as usize != n {
+            return Err(ProofError::MalformedTree(
+                "trailing nodes outside the root subtree",
+            ));
+        }
+        #[cfg(debug_assertions)]
+        if compute_span(records, right)? != span {
+            return Err(ProofError::MalformedTree("span inconsistent with records"));
+        }
+        Ok(())
+    }
+
+    /// Commit pre-lowered canonical parts: `records` is `n` packed
+    /// 13-byte [`NodeRecord`]s in preorder, `right` the right-child index
+    /// per node, `span` the exclusive end of each node's preorder span.
+    ///
+    /// This is the **producer-side fast path** for compilers that already
+    /// emit the canonical encoding and spans inline (avoiding a second
+    /// lowering pass through [`TreeCommitBuilder`]). Only cheap length /
+    /// root-span screens run in release builds; a `span` or `right` array
+    /// inconsistent with `records` yields a commitment whose proofs fail
+    /// to verify (or an index panic) — it can never make a *wrong* proof
+    /// verify, because [`crate::verify_prediction`] recomputes the root
+    /// from the proof alone and trusts none of these arrays. Debug builds
+    /// run the full well-formedness validation.
+    pub fn from_parts(
+        records: Vec<u8>,
+        right: Vec<u32>,
+        span: Vec<u32>,
+    ) -> Result<TreeCommit, ProofError> {
+        TreeCommit::screen_parts(&records, &right, &span)?;
+        Ok(TreeCommit::hash_all(records, right, span))
+    }
+
+    /// [`TreeCommit::from_parts`] with incremental reuse of `prev`'s
+    /// subtree hashes — the steady-state recommit path for maintained
+    /// models: unchanged subtrees cost one `memcmp` plus one hash
+    /// `memcpy`; only regrown spans are rehashed.
+    pub fn from_parts_reusing(
+        records: Vec<u8>,
+        right: Vec<u32>,
+        span: Vec<u32>,
+        prev: &TreeCommit,
+    ) -> Result<TreeCommit, ProofError> {
+        TreeCommit::screen_parts(&records, &right, &span)?;
+        Ok(TreeCommit::hash_reusing(records, right, span, prev))
+    }
+
+    /// The model commitment: the root's subtree hash.
+    #[inline]
+    pub fn root(&self) -> Hash256 {
+        self.hashes[0]
+    }
+
+    /// Number of committed nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.right.len()
+    }
+
+    /// Nodes copied (not rehashed) by the build that produced this
+    /// commit; `0` for a from-scratch [`TreeCommitBuilder::commit`].
+    #[inline]
+    pub fn reused_nodes(&self) -> usize {
+        self.reused_nodes
+    }
+
+    /// The canonical record of node `i`.
+    pub fn record(&self, i: usize) -> NodeRecord {
+        NodeRecord::from_bytes(&self.records[i * NODE_RECORD_LEN..(i + 1) * NODE_RECORD_LEN])
+            .expect("committed records are validated at build time")
+    }
+
+    /// The subtree hash of node `i`.
+    #[inline]
+    pub fn subtree_hash(&self, i: usize) -> Hash256 {
+        self.hashes[i]
+    }
+
+    /// The right-child index of internal node `i` (`None` for leaves).
+    pub fn right_child(&self, i: usize) -> Option<u32> {
+        if self.records[i * NODE_RECORD_LEN] == OP_LEAF {
+            None
+        } else {
+            Some(self.right[i])
+        }
+    }
+
+    /// Recompute node `i`'s hash from its record and (already final)
+    /// child hashes.
+    fn hash_node(&self, i: usize, hashes: &[Hash256]) -> Hash256 {
+        let rec = &self.records[i * NODE_RECORD_LEN..(i + 1) * NODE_RECORD_LEN];
+        if rec[0] == OP_LEAF {
+            hash_leaf(rec)
+        } else {
+            hash_internal(rec, &hashes[i + 1], &hashes[self.right[i] as usize])
+        }
+    }
+
+    /// Route `values` from the root to a leaf, collecting the path proof.
+    ///
+    /// Returns the proven label and a [`PredictionProof`] that
+    /// [`crate::verify_prediction`] can check against [`TreeCommit::root`]
+    /// with no access to this tree. Routing is bit-identical to the
+    /// serving layer's `predict` (same IEEE-754 `<=`, same mask test).
+    pub fn prove(&self, values: &[ProofValue]) -> Result<(u16, PredictionProof), ProofError> {
+        let mut path = Vec::new();
+        let mut i = 0usize;
+        loop {
+            let rec = self.record(i);
+            if rec.op == OP_LEAF {
+                return Ok((rec.label, PredictionProof { path, leaf: rec }));
+            }
+            let left = route_left(&rec, values)?;
+            let (next, sibling) = if left {
+                (i + 1, self.right[i] as usize)
+            } else {
+                (self.right[i] as usize, i + 1)
+            };
+            path.push((rec, self.hashes[sibling]));
+            i = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x0 <= 5 ? (c1 in {1,3} ? leaf(0) : leaf(1)) : leaf(1)
+    fn sample() -> TreeCommitBuilder {
+        let mut b = TreeCommitBuilder::with_capacity(5);
+        b.push_num(0, 5.0f64.to_bits(), 4);
+        b.push_cat(1, 0b1010, 3);
+        b.push_leaf(0);
+        b.push_leaf(1);
+        b.push_leaf(1);
+        b
+    }
+
+    /// Independent recursive recompute of a subtree hash.
+    fn recompute(c: &TreeCommit, i: usize) -> Hash256 {
+        let rec = c.record(i);
+        match c.right_child(i) {
+            None => hash_leaf(&rec.to_bytes()),
+            Some(r) => hash_internal(
+                &rec.to_bytes(),
+                &recompute(c, i + 1),
+                &recompute(c, r as usize),
+            ),
+        }
+    }
+
+    #[test]
+    fn every_subtree_hash_satisfies_the_invariant() {
+        let c = sample().commit().unwrap();
+        for i in 0..c.n_nodes() {
+            assert_eq!(c.subtree_hash(i), recompute(&c, i), "node {i}");
+        }
+    }
+
+    /// A complete numeric tree of the given depth (`2^depth` leaves) with
+    /// per-node distinct thresholds/labels.
+    fn complete(b: &mut TreeCommitBuilder, depth: u32, salt: &mut u64) {
+        *salt += 1;
+        if depth == 0 {
+            b.push_leaf((*salt % 7) as u16);
+            return;
+        }
+        let at = b.right.len();
+        b.push_num((*salt % 5) as u16, (*salt * 0x9e3779b9) ^ depth as u64, 0);
+        complete(b, depth - 1, salt);
+        b.right[at] = b.right.len() as u32;
+        complete(b, depth - 1, salt);
+    }
+
+    #[test]
+    fn wave_batched_hashing_satisfies_the_invariant_on_big_trees() {
+        // 255 nodes: exercises the height-wave + four-stream batch path
+        // (the small-tree cutoff keeps the 5-node sample on the serial
+        // loop), checked against the independent recursive recompute.
+        let mut b = TreeCommitBuilder::default();
+        let mut salt = 0;
+        complete(&mut b, 7, &mut salt);
+        let c = b.commit().unwrap();
+        assert_eq!(c.n_nodes(), 255);
+        for i in 0..c.n_nodes() {
+            assert_eq!(c.subtree_hash(i), recompute(&c, i), "node {i}");
+        }
+    }
+
+    #[test]
+    fn wave_batched_recommit_is_bit_identical_on_big_dirty_sets() {
+        // Perturb enough thresholds that the dirty set takes the wave
+        // path (>= 16 dirty nodes), then check bit-identity with a
+        // from-scratch commit.
+        let mut b = TreeCommitBuilder::default();
+        let mut salt = 0;
+        complete(&mut b, 7, &mut salt);
+        let prev = b.clone().commit().unwrap();
+        for node in (1..200).step_by(9) {
+            let off = node * NODE_RECORD_LEN;
+            if b.records[off] != OP_LEAF {
+                b.records[off + 5] ^= 0x40; // move a threshold bit
+            }
+        }
+        let scratch = b.clone().commit().unwrap();
+        let reused = b.commit_reusing(&prev).unwrap();
+        assert_eq!(reused.hashes, scratch.hashes);
+        assert!(
+            reused.reused_nodes() > 0,
+            "untouched subtrees must be reused"
+        );
+        assert_ne!(scratch.root(), prev.root());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        for rec in [
+            NodeRecord::leaf(7),
+            NodeRecord::num(3, 2.5f64.to_bits()),
+            NodeRecord::cat(1, 0xdead_beef),
+        ] {
+            assert_eq!(NodeRecord::from_bytes(&rec.to_bytes()).unwrap(), rec);
+        }
+        assert!(NodeRecord::from_bytes(&[3u8; NODE_RECORD_LEN]).is_err());
+        assert!(NodeRecord::from_bytes(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn malformed_trees_are_rejected() {
+        assert!(TreeCommitBuilder::default().commit().is_err());
+        // Right child pointing at itself / out of range.
+        let mut b = TreeCommitBuilder::default();
+        b.push_num(0, 0, 9);
+        b.push_leaf(0);
+        b.push_leaf(1);
+        assert!(b.commit().is_err());
+        // Right child not abutting the left subtree.
+        let mut b = TreeCommitBuilder::default();
+        b.push_num(0, 0, 3);
+        b.push_leaf(0);
+        b.push_leaf(1);
+        b.push_leaf(2);
+        assert!(b.commit().is_err());
+        // Trailing node outside the root subtree.
+        let mut b = sample();
+        b.push_leaf(0);
+        assert!(b.commit().is_err());
+    }
+
+    #[test]
+    fn any_field_change_moves_the_root() {
+        let base = sample().commit().unwrap().root();
+        let mut b = sample();
+        b.records[3] ^= 1; // flip one threshold bit of the root split
+        assert_ne!(b.commit().unwrap().root(), base);
+        let mut b = sample();
+        b.records[2 * NODE_RECORD_LEN + 11] ^= 1; // flip a leaf label bit
+        assert_ne!(b.commit().unwrap().root(), base);
+    }
+
+    #[test]
+    fn commit_reusing_is_bit_identical_and_reuses_untouched_subtrees() {
+        let prev = sample().commit().unwrap();
+        // Same tree: everything reused.
+        let same = sample().commit_reusing(&prev).unwrap();
+        assert_eq!(same.root(), prev.root());
+        assert_eq!(same.reused_nodes(), prev.n_nodes());
+        // Regrow the right leaf into a split: left subtree (3 nodes)
+        // reused, new right subtree rehashed.
+        let mut b = TreeCommitBuilder::with_capacity(7);
+        b.push_num(0, 5.0f64.to_bits(), 4);
+        b.push_cat(1, 0b1010, 3);
+        b.push_leaf(0);
+        b.push_leaf(1);
+        b.push_num(2, 1.0f64.to_bits(), 6);
+        b.push_leaf(1);
+        b.push_leaf(0);
+        let scratch = b.clone().commit().unwrap();
+        let reused = b.commit_reusing(&prev).unwrap();
+        assert_eq!(reused.root(), scratch.root());
+        assert_eq!(reused.hashes, scratch.hashes);
+        assert_eq!(reused.reused_nodes(), 3);
+    }
+
+    #[test]
+    fn from_parts_agrees_with_the_builder() {
+        let via_builder = sample().commit().unwrap();
+        let b = sample();
+        let span = compute_span(&b.records, &b.right).unwrap();
+        let direct =
+            TreeCommit::from_parts(b.records.clone(), b.right.clone(), span.clone()).unwrap();
+        assert_eq!(direct.root(), via_builder.root());
+        assert_eq!(direct.hashes, via_builder.hashes);
+        let reused =
+            TreeCommit::from_parts_reusing(b.records, b.right, span, &via_builder).unwrap();
+        assert_eq!(reused.root(), via_builder.root());
+        assert_eq!(reused.reused_nodes(), via_builder.n_nodes());
+    }
+
+    #[test]
+    fn from_parts_screens_malformed_parts() {
+        let b = sample();
+        let span = compute_span(&b.records, &b.right).unwrap();
+        assert!(TreeCommit::from_parts(Vec::new(), Vec::new(), Vec::new()).is_err());
+        assert!(
+            TreeCommit::from_parts(
+                b.records[..NODE_RECORD_LEN].to_vec(),
+                b.right.clone(),
+                span.clone()
+            )
+            .is_err(),
+            "length mismatch must be rejected"
+        );
+        let mut bad_span = span.clone();
+        bad_span[0] = 2;
+        assert!(
+            TreeCommit::from_parts(b.records.clone(), b.right.clone(), bad_span).is_err(),
+            "a root span not covering the tree must be rejected"
+        );
+    }
+
+    #[test]
+    fn leaf_and_internal_domains_are_separated() {
+        // A single-leaf tree's commitment must differ from any internal
+        // message even if the raw record bytes were made to collide.
+        let rec = NodeRecord::leaf(0).to_bytes();
+        assert_ne!(
+            hash_leaf(&rec),
+            hash_internal(&rec, &Hash256::ZERO, &Hash256::ZERO)
+        );
+    }
+
+    #[test]
+    fn prove_routes_like_the_predicates() {
+        let c = sample().commit().unwrap();
+        for (x, cat, want) in [
+            (3.0, 1u32, 0u16),
+            (3.0, 0, 1),
+            (9.0, 1, 1),
+            (f64::NAN, 1, 1),
+            (5.0, 3, 0),
+            (3.0, 2, 1), // unseen category routes right
+        ] {
+            let vals = [ProofValue::Num(x), ProofValue::Cat(cat)];
+            let (label, _) = c.prove(&vals).unwrap();
+            assert_eq!(label, want, "x={x} c={cat}");
+        }
+        // Type confusion and out-of-range codes are errors, not panics.
+        assert!(c.prove(&[ProofValue::Cat(1), ProofValue::Cat(1)]).is_err());
+        assert!(c.prove(&[ProofValue::Num(1.0)]).is_err());
+        assert!(c
+            .prove(&[ProofValue::Num(1.0), ProofValue::Cat(64)])
+            .is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Prediction proofs: verifiable root-to-leaf paths.
+//!
+//! A proof carries the canonical records of every node on the served
+//! record's root-to-leaf path plus, per internal node, the subtree hash
+//! of the **untaken** child. Verification needs no tree access: the
+//! verifier re-routes the record through the proof's own predicates
+//! (deciding left/right exactly like the serving layer), folds hashes
+//! from the leaf back up — placing the sibling hash on whichever side the
+//! routing did *not* take — and compares the result to the commitment.
+//! A proof that lies about the path, the predicates, the label, or the
+//! siblings cannot fold back to the committed root without a SHA-256
+//! break.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! u16 LE  path_len                  (number of internal steps)
+//! path_len × { 13-byte node record ‖ 32-byte sibling subtree hash }
+//! 13-byte leaf record
+//! ```
+
+use crate::merkle::{hash_internal, hash_leaf, route_left, NodeRecord, NODE_RECORD_LEN, OP_LEAF};
+use crate::{Hash256, ProofError, ProofValue};
+
+/// Byte length of one internal path step on the wire.
+const STEP_LEN: usize = NODE_RECORD_LEN + 32;
+
+/// A root-to-leaf path proof for one served prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionProof {
+    /// Internal nodes root→parent-of-leaf, each with the subtree hash of
+    /// the child the routing did **not** take.
+    pub(crate) path: Vec<(NodeRecord, Hash256)>,
+    /// The leaf the record landed in.
+    pub(crate) leaf: NodeRecord,
+}
+
+impl PredictionProof {
+    /// Number of internal steps (the leaf's depth).
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The label this proof proves.
+    pub fn label(&self) -> u16 {
+        self.leaf.label
+    }
+
+    /// Serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        2 + self.path.len() * STEP_LEN + NODE_RECORD_LEN
+    }
+
+    /// Serialize to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&(self.path.len() as u16).to_le_bytes());
+        for (rec, sibling) in &self.path {
+            out.extend_from_slice(&rec.to_bytes());
+            out.extend_from_slice(&sibling.0);
+        }
+        out.extend_from_slice(&self.leaf.to_bytes());
+        out
+    }
+
+    /// Parse the wire format, rejecting length mismatches, unknown op
+    /// tags, leaves on the internal path, and internal ops in the leaf
+    /// slot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PredictionProof, ProofError> {
+        if bytes.len() < 2 + NODE_RECORD_LEN {
+            return Err(ProofError::MalformedProof("proof too short"));
+        }
+        let path_len = u16::from_le_bytes(bytes[..2].try_into().unwrap()) as usize;
+        if bytes.len() != 2 + path_len * STEP_LEN + NODE_RECORD_LEN {
+            return Err(ProofError::MalformedProof("proof length mismatch"));
+        }
+        let mut path = Vec::with_capacity(path_len);
+        let mut at = 2;
+        for _ in 0..path_len {
+            let rec = NodeRecord::from_bytes(&bytes[at..at + NODE_RECORD_LEN])?;
+            if rec.op == OP_LEAF {
+                return Err(ProofError::MalformedProof("leaf on the internal path"));
+            }
+            let mut sibling = [0u8; 32];
+            sibling.copy_from_slice(&bytes[at + NODE_RECORD_LEN..at + STEP_LEN]);
+            path.push((rec, Hash256(sibling)));
+            at += STEP_LEN;
+        }
+        let leaf = NodeRecord::from_bytes(&bytes[at..at + NODE_RECORD_LEN])?;
+        if leaf.op != OP_LEAF {
+            return Err(ProofError::MalformedProof("internal op in the leaf slot"));
+        }
+        Ok(PredictionProof { path, leaf })
+    }
+}
+
+/// Verify that `label` is exactly what the tree committed to by
+/// `commitment` predicts for `values` — with no access to the tree.
+///
+/// Checks, in order: the proof's leaf carries `label`; re-routing
+/// `values` through every internal record on the path is well-typed; and
+/// folding hashes leaf→root (sibling on the untaken side at every step)
+/// reproduces `commitment` exactly.
+pub fn verify_prediction(
+    commitment: &Hash256,
+    values: &[ProofValue],
+    label: u16,
+    proof: &PredictionProof,
+) -> Result<(), ProofError> {
+    if proof.leaf.op != OP_LEAF {
+        return Err(ProofError::MalformedProof("internal op in the leaf slot"));
+    }
+    if proof.leaf.label != label {
+        return Err(ProofError::LabelMismatch {
+            claimed: label,
+            proven: proof.leaf.label,
+        });
+    }
+    let mut h = hash_leaf(&proof.leaf.to_bytes());
+    for (rec, sibling) in proof.path.iter().rev() {
+        let rec_bytes = rec.to_bytes();
+        h = if route_left(rec, values)? {
+            hash_internal(&rec_bytes, &h, sibling)
+        } else {
+            hash_internal(&rec_bytes, sibling, &h)
+        };
+    }
+    if h == *commitment {
+        Ok(())
+    } else {
+        Err(ProofError::CommitmentMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::TreeCommitBuilder;
+
+    fn committed() -> crate::TreeCommit {
+        let mut b = TreeCommitBuilder::with_capacity(5);
+        b.push_num(0, 5.0f64.to_bits(), 4);
+        b.push_cat(1, 0b1010, 3);
+        b.push_leaf(0);
+        b.push_leaf(1);
+        b.push_leaf(1);
+        b.commit().unwrap()
+    }
+
+    #[test]
+    fn proofs_verify_and_roundtrip_the_wire_format() {
+        let c = committed();
+        for (x, cat) in [(3.0, 1u32), (3.0, 0), (9.0, 2), (f64::NAN, 3)] {
+            let vals = [ProofValue::Num(x), ProofValue::Cat(cat)];
+            let (label, proof) = c.prove(&vals).unwrap();
+            verify_prediction(&c.root(), &vals, label, &proof).unwrap();
+            let parsed = PredictionProof::from_bytes(&proof.to_bytes()).unwrap();
+            assert_eq!(parsed, proof);
+            verify_prediction(&c.root(), &vals, label, &parsed).unwrap();
+        }
+    }
+
+    #[test]
+    fn wrong_label_and_wrong_commitment_are_rejected() {
+        let c = committed();
+        let vals = [ProofValue::Num(3.0), ProofValue::Cat(1)];
+        let (label, proof) = c.prove(&vals).unwrap();
+        assert_eq!(
+            verify_prediction(&c.root(), &vals, label ^ 1, &proof),
+            Err(ProofError::LabelMismatch {
+                claimed: label ^ 1,
+                proven: label
+            })
+        );
+        assert_eq!(
+            verify_prediction(&Hash256::ZERO, &vals, label, &proof),
+            Err(ProofError::CommitmentMismatch)
+        );
+    }
+
+    #[test]
+    fn every_flipped_proof_byte_is_rejected() {
+        let c = committed();
+        let vals = [ProofValue::Num(3.0), ProofValue::Cat(1)];
+        let (label, proof) = c.prove(&vals).unwrap();
+        let wire = proof.to_bytes();
+        for at in 0..wire.len() {
+            for bit in 0..8 {
+                let mut tampered = wire.clone();
+                tampered[at] ^= 1 << bit;
+                let ok = PredictionProof::from_bytes(&tampered)
+                    .and_then(|p| verify_prediction(&c.root(), &vals, label, &p));
+                assert!(ok.is_err(), "byte {at} bit {bit} accepted after tamper");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_padded_proofs_are_rejected() {
+        let c = committed();
+        let vals = [ProofValue::Num(3.0), ProofValue::Cat(1)];
+        let (_, proof) = c.prove(&vals).unwrap();
+        let wire = proof.to_bytes();
+        for cut in 0..wire.len() {
+            assert!(
+                PredictionProof::from_bytes(&wire[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut padded = wire.clone();
+        padded.push(0);
+        assert!(PredictionProof::from_bytes(&padded).is_err());
+    }
+}

@@ -57,23 +57,23 @@ pub enum NodeOp {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledTree {
     /// Number of class labels (`k`); every `label` entry is `< n_classes`.
-    n_classes: u16,
+    pub(crate) n_classes: u16,
     /// Operation tag per node.
-    ops: Vec<NodeOp>,
+    pub(crate) ops: Vec<NodeOp>,
     /// Splitting attribute per internal node (`u16::MAX` for leaves,
     /// where it is meaningless but kept deterministic for byte-identity).
-    split_attr: Vec<u16>,
+    pub(crate) split_attr: Vec<u16>,
     /// Numeric split point per `Num` node (bit-identical to the source
     /// tree's `Predicate::NumLe` operand; `0.0` elsewhere).
-    threshold: Vec<f64>,
+    pub(crate) threshold: Vec<f64>,
     /// Splitting-subset mask per `Cat` node (the `Predicate::CatIn`
     /// operand's `CatSet::mask()`; `0` elsewhere).
-    cat_mask: Vec<u64>,
+    pub(crate) cat_mask: Vec<u64>,
     /// Right-child index per internal node (`0` for leaves — unambiguous,
     /// since the root is never anyone's right child).
-    right: Vec<u32>,
+    pub(crate) right: Vec<u32>,
     /// Majority class label per leaf (`0` for internal nodes).
-    label: Vec<u16>,
+    pub(crate) label: Vec<u16>,
     /// Attributes referenced by at least one `Num` node (sorted, deduped).
     /// Derived from the tables; lets the batch entry point validate the
     /// block/tree agreement **once** so the per-row loops can skip bounds
@@ -87,6 +87,16 @@ pub struct CompiledTree {
     /// keeps the lane loop's trip count fixed. Derived (not serialized
     /// in [`CompiledTree::table_bytes`], like the `*_attrs_used` sets).
     first_leaf: u32,
+    /// Canonical 13-byte provenance record per node
+    /// ([`boat_proof::NodeRecord`] wire format), emitted during lowering
+    /// so Merkle-committing the tree needs no second lowering pass —
+    /// `crate::provenance::tree_commit` hands these straight to
+    /// [`boat_proof::TreeCommit::from_parts`]. Derived, like
+    /// `*_attrs_used` (a pure function of the tables).
+    pub(crate) records: Vec<u8>,
+    /// Exclusive end of each node's preorder span (its subtree extent) —
+    /// the reuse-diff geometry for incremental recommit. Derived.
+    pub(crate) span: Vec<u32>,
 }
 
 impl CompiledTree {
@@ -117,17 +127,22 @@ impl CompiledTree {
             num_attrs_used: Vec::new(),
             cat_attrs_used: Vec::new(),
             first_leaf: 0,
+            records: Vec::with_capacity(n * boat_proof::NODE_RECORD_LEN),
+            span: Vec::new(),
         };
         for (i, id) in ids.iter().enumerate() {
             let node = tree.node(*id);
             match &node.kind {
                 NodeKind::Leaf => {
+                    let label = node.majority_label();
                     out.ops.push(NodeOp::Leaf);
                     out.split_attr.push(u16::MAX);
                     out.threshold.push(0.0);
                     out.cat_mask.push(0);
                     out.right.push(0);
-                    out.label.push(node.majority_label());
+                    out.label.push(label);
+                    out.records
+                        .extend_from_slice(&boat_proof::NodeRecord::leaf(label).to_bytes());
                 }
                 NodeKind::Internal { split, left, right } => {
                     debug_assert_eq!(
@@ -135,18 +150,39 @@ impl CompiledTree {
                         i + 1,
                         "preorder left child must be adjacent"
                     );
-                    let (op, threshold, mask) = match split.predicate {
-                        Predicate::NumLe(x) => (NodeOp::Num, x, 0u64),
-                        Predicate::CatIn(set) => (NodeOp::Cat, 0.0, set.mask()),
+                    let attr = split.attr as u16;
+                    let (op, threshold, mask, record) = match split.predicate {
+                        Predicate::NumLe(x) => (
+                            NodeOp::Num,
+                            x,
+                            0u64,
+                            boat_proof::NodeRecord::num(attr, x.to_bits()),
+                        ),
+                        Predicate::CatIn(set) => (
+                            NodeOp::Cat,
+                            0.0,
+                            set.mask(),
+                            boat_proof::NodeRecord::cat(attr, set.mask()),
+                        ),
                     };
                     out.ops.push(op);
-                    out.split_attr.push(split.attr as u16);
+                    out.split_attr.push(attr);
                     out.threshold.push(threshold);
                     out.cat_mask.push(mask);
                     out.right.push(index_of[right.index()]);
                     out.label.push(0);
+                    out.records.extend_from_slice(&record.to_bytes());
                 }
             }
+        }
+        // Subtree spans, bottom-up (leaf span = self; internal span ends
+        // where the right child's span ends).
+        out.span = vec![0u32; n];
+        for i in (0..n).rev() {
+            out.span[i] = match out.ops[i] {
+                NodeOp::Leaf => i as u32 + 1,
+                _ => out.span[out.right[i] as usize],
+            };
         }
         for (i, &op) in out.ops.iter().enumerate() {
             match op {

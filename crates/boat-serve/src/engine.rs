@@ -42,10 +42,12 @@
 use crate::block::RecordBlock;
 use crate::compile::BatchScratch;
 use crate::handle::{ModelHandle, SnapshotReader};
+use crate::provenance::record_values;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::shard::ShardQueue;
 use boat_data::{DataError, Record, Result, Schema};
 use boat_obs::{latency_bounds_ns, Counter, Gauge, Histogram, Registry};
+use boat_proof::{Hash256, PredictionProof};
 use std::ops::Range;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -109,6 +111,9 @@ struct Job {
     entry: Arc<ModelEntry>,
     ticket: Arc<TicketState>,
     enqueued: Instant,
+    /// Generate per-record Merkle path proofs against the scoring
+    /// snapshot's commit ([`ServeEngine::submit_with_proofs`]).
+    want_proofs: bool,
 }
 
 struct TicketState {
@@ -116,14 +121,27 @@ struct TicketState {
     done: Condvar,
 }
 
-/// `result` holds `(labels, epoch)` once fulfilled — written together so
-/// [`Ticket::wait_with_epoch`] never observes a torn pair. `waiting` is
-/// set (under the same mutex) before a waiter parks, so fulfillment only
-/// pays the condvar-notify syscall when someone is actually parked — on
-/// a busy engine most tickets are fulfilled before anyone waits on them.
+/// Per-record Merkle path proofs for one scored batch, bound to the
+/// commitment of the snapshot the batch was scored against. Each proof
+/// verifies standalone via [`boat_proof::verify_prediction`] — no tree
+/// access required.
+#[derive(Debug, Clone)]
+pub struct ScoredProofs {
+    /// The Merkle root of the scoring snapshot (its model commitment).
+    pub commitment: Hash256,
+    /// One proof per submitted record, in submission order.
+    pub proofs: Vec<PredictionProof>,
+}
+
+/// `result` holds `(labels, epoch, proofs)` once fulfilled — written
+/// together so [`Ticket::wait_with_epoch`] never observes a torn tuple.
+/// `waiting` is set (under the same mutex) before a waiter parks, so
+/// fulfillment only pays the condvar-notify syscall when someone is
+/// actually parked — on a busy engine most tickets are fulfilled before
+/// anyone waits on them.
 #[derive(Default)]
 struct TicketSlot {
-    result: Option<(Vec<u16>, u64)>,
+    result: Option<(Vec<u16>, u64, Option<ScoredProofs>)>,
     waiting: bool,
 }
 
@@ -149,12 +167,22 @@ impl Ticket {
     /// Block until the batch is scored; returns one label per submitted
     /// record, in submission order.
     pub fn wait(self) -> Vec<u16> {
-        self.wait_with_epoch().0
+        self.wait_with_proofs().0
     }
 
     /// Like [`Ticket::wait`], additionally returning the publication
     /// epoch of the snapshot the batch was scored against.
     pub fn wait_with_epoch(self) -> (Vec<u16>, u64) {
+        let (labels, epoch, _) = self.wait_with_proofs();
+        (labels, epoch)
+    }
+
+    /// Like [`Ticket::wait_with_epoch`], additionally returning the
+    /// batch's [`ScoredProofs`]. `None` unless the batch was submitted
+    /// via [`ServeEngine::submit_with_proofs`] *and* the scoring
+    /// snapshot was published with a commit
+    /// ([`ModelHandle::publish_committed`]).
+    pub fn wait_with_proofs(self) -> (Vec<u16>, u64, Option<ScoredProofs>) {
         let mut slot = self.state.slot.lock().unwrap();
         while slot.result.is_none() {
             slot.waiting = true;
@@ -176,6 +204,9 @@ struct EngineMetrics {
     score_ns: Histogram,
     depth_sum: Gauge,
     depth_max: Gauge,
+    proofs: Counter,
+    proof_bytes: Counter,
+    proof_failures: Counter,
 }
 
 impl EngineMetrics {
@@ -190,6 +221,9 @@ impl EngineMetrics {
             score_ns: registry.histogram_with("serve.score_ns", &latency_bounds_ns()),
             depth_sum: registry.gauge("serve.queue_depth"),
             depth_max: registry.gauge("serve.shard.depth_max"),
+            proofs: registry.counter("boat.proof.proofs"),
+            proof_bytes: registry.counter("boat.proof.proof_bytes"),
+            proof_failures: registry.counter("boat.proof.proof_failures"),
         }
     }
 }
@@ -296,7 +330,17 @@ impl ServeEngine {
     /// label per record.
     pub fn submit(&self, records: Vec<Record>) -> Result<Ticket> {
         let entry = Arc::clone(&self.shared.default_entry);
-        self.submit_job(entry, Payload::Owned(records))
+        self.submit_job(entry, Payload::Owned(records), false)
+    }
+
+    /// Like [`ServeEngine::submit`], additionally asking the scorer to
+    /// generate a Merkle path proof per record against the scoring
+    /// snapshot's commitment. The ticket's
+    /// [`Ticket::wait_with_proofs`] returns them as [`ScoredProofs`];
+    /// `None` if the current snapshot was published without a commit.
+    pub fn submit_with_proofs(&self, records: Vec<Record>) -> Result<Ticket> {
+        let entry = Arc::clone(&self.shared.default_entry);
+        self.submit_job(entry, Payload::Owned(records), true)
     }
 
     /// Zero-copy submit against the default model: score `buf[range]`
@@ -312,7 +356,7 @@ impl ServeEngine {
             )));
         }
         let entry = Arc::clone(&self.shared.default_entry);
-        self.submit_job(entry, Payload::Shared(buf, range))
+        self.submit_job(entry, Payload::Shared(buf, range), false)
     }
 
     /// Submit one micro-batch against the model registered under `key`.
@@ -320,10 +364,15 @@ impl ServeEngine {
     /// not conform to the model's schema fail with [`DataError::Schema`].
     pub fn submit_to(&self, key: &str, records: Vec<Record>) -> Result<Ticket> {
         let entry = self.shared.registry.resolve(key)?;
-        self.submit_job(entry, Payload::Owned(records))
+        self.submit_job(entry, Payload::Owned(records), false)
     }
 
-    fn submit_job(&self, entry: Arc<ModelEntry>, payload: Payload) -> Result<Ticket> {
+    fn submit_job(
+        &self,
+        entry: Arc<ModelEntry>,
+        payload: Payload,
+        want_proofs: bool,
+    ) -> Result<Ticket> {
         if self.shared.closed.load(Ordering::Acquire) {
             self.shared.m.rejected.inc();
             return Err(DataError::Invalid("serve engine is shut down".into()));
@@ -341,6 +390,7 @@ impl ServeEngine {
             entry,
             ticket: Arc::clone(&ticket_state),
             enqueued: Instant::now(),
+            want_proofs,
         };
         // Count the ticket as accepted *before* it becomes visible to a
         // worker, so `drain` can never observe `completed > accepted`;
@@ -520,11 +570,44 @@ fn score_job(
     // One reader refresh per batch: the whole batch scores against one
     // consistent snapshot; a concurrent publish takes effect at the next
     // batch boundary. Steady state, this is a single atomic load.
-    let (tree, epoch) = reader_for(readers, &job.entry).current();
+    let (tree, epoch, commit) = reader_for(readers, &job.entry).current_committed();
     let t0 = Instant::now();
     let block = RecordBlock::from_records(job.entry.schema(), records);
     let mut labels = Vec::new();
     tree.predict_batch_into(&block, scratch, &mut labels);
+    // Proof generation rides the same snapshot as the labels: the commit
+    // came out of the same publication record, so every proof verifies
+    // against the commitment of the tree that produced the batch's labels.
+    let proofs = match (job.want_proofs, commit) {
+        (true, Some(commit)) => {
+            let mut out = Vec::with_capacity(records.len());
+            let mut bytes = 0u64;
+            for record in records {
+                match commit.prove(&record_values(record)) {
+                    Ok((_, proof)) => {
+                        bytes += proof.wire_len() as u64;
+                        out.push(proof);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if out.len() == records.len() {
+                shared.m.proofs.add(out.len() as u64);
+                shared.m.proof_bytes.add(bytes);
+                Some(ScoredProofs {
+                    commitment: commit.root(),
+                    proofs: out,
+                })
+            } else {
+                // A record the batch scorer accepted but the prover
+                // rejects (out-of-range category code) — surface as a
+                // counted miss, not a torn half-proved batch.
+                shared.m.proof_failures.inc();
+                None
+            }
+        }
+        _ => None,
+    };
     shared.m.score_ns.record(t0.elapsed().as_nanos() as u64);
     shared.m.batches.inc();
     shared.m.records.add(records.len() as u64);
@@ -535,7 +618,7 @@ fn score_job(
         .record(job.enqueued.elapsed().as_nanos() as u64);
     {
         let mut slot = job.ticket.slot.lock().unwrap();
-        slot.result = Some((labels, epoch));
+        slot.result = Some((labels, epoch, proofs));
         if slot.waiting {
             job.ticket.done.notify_all();
         }
@@ -708,6 +791,54 @@ mod tests {
         handle.publish(compile(&inverted));
         let (labels, epoch) = engine.submit(vec![rec(1.0)]).unwrap().wait_with_epoch();
         assert_eq!((labels, epoch), (vec![1], 1));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn proof_submissions_verify_against_the_published_commitment() {
+        let reg = Registry::new();
+        let compiled = compile(&threshold_tree());
+        let commit = Arc::new(crate::provenance::tree_commit(&compiled).unwrap());
+        let handle = ModelHandle::with_metrics_committed(compiled, commit, reg.clone());
+        let commitment = handle.commitment().unwrap();
+        let engine = ServeEngine::start(
+            handle,
+            schema(),
+            ServeConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+        );
+        let records = vec![rec(1.0), rec(9.0), rec(5.0)];
+        let ticket = engine.submit_with_proofs(records.clone()).unwrap();
+        let (labels, _, proofs) = ticket.wait_with_proofs();
+        assert_eq!(labels, vec![0, 1, 0]);
+        let scored = proofs.expect("committed snapshot must yield proofs");
+        assert_eq!(scored.commitment, commitment);
+        for ((record, label), proof) in records.iter().zip(&labels).zip(&scored.proofs) {
+            let values = crate::provenance::record_values(record);
+            boat_proof::verify_prediction(&commitment, &values, *label, proof).unwrap();
+        }
+        // A plain submit against the same snapshot carries no proofs.
+        let (_, _, none) = engine.submit(vec![rec(2.0)]).unwrap().wait_with_proofs();
+        assert!(none.is_none());
+        engine.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("boat.proof.proofs"), 3);
+        assert!(snap.counter("boat.proof.proof_bytes") > 0);
+        assert_eq!(snap.counter("boat.proof.proof_failures"), 0);
+    }
+
+    #[test]
+    fn proofs_are_absent_when_the_snapshot_has_no_commit() {
+        let handle = ModelHandle::new(compile(&threshold_tree()));
+        let engine = ServeEngine::start(handle, schema(), ServeConfig::default());
+        let (labels, _, proofs) = engine
+            .submit_with_proofs(vec![rec(1.0)])
+            .unwrap()
+            .wait_with_proofs();
+        assert_eq!(labels, vec![0]);
+        assert!(proofs.is_none(), "uncommitted snapshot cannot prove");
         engine.shutdown();
     }
 

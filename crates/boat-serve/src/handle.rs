@@ -38,14 +38,25 @@
 use crate::compile::{compile, CompiledTree};
 use boat_core::BoatModel;
 use boat_obs::Registry;
+use boat_proof::{Hash256, TreeCommit};
 use boat_tree::Impurity;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// One published state: the snapshot, its epoch, and (when provenance is
+/// wired) the Merkle commit the snapshot was published under. Swapped as
+/// a unit so readers never see a tree paired with another epoch's commit.
+#[derive(Clone)]
+struct Publication {
+    tree: Arc<CompiledTree>,
+    epoch: u64,
+    commit: Option<Arc<TreeCommit>>,
+}
+
 struct HandleInner {
     /// The publication record: current snapshot plus its epoch, swapped
     /// together. Writers and refreshing readers only.
-    current: Mutex<(Arc<CompiledTree>, u64)>,
+    current: Mutex<Publication>,
     /// Monotone mirror of the published epoch; the lock-free fast path.
     /// Stored (release) while `current`'s lock is held.
     epoch_hint: AtomicU64,
@@ -85,13 +96,36 @@ impl ModelHandle {
     /// `metrics` (pass `boat_obs::Registry::global().clone()` for one
     /// process-wide namespace).
     pub fn with_metrics(initial: CompiledTree, metrics: Registry) -> ModelHandle {
+        Self::with_publication(initial, None, metrics)
+    }
+
+    /// Publish `initial` as epoch 0 together with its Merkle commit, so
+    /// readers can verify predictions against the genesis commitment
+    /// (see [`crate::provenance`]).
+    pub fn with_metrics_committed(
+        initial: CompiledTree,
+        commit: Arc<TreeCommit>,
+        metrics: Registry,
+    ) -> ModelHandle {
+        Self::with_publication(initial, Some(commit), metrics)
+    }
+
+    fn with_publication(
+        initial: CompiledTree,
+        commit: Option<Arc<TreeCommit>>,
+        metrics: Registry,
+    ) -> ModelHandle {
         metrics.gauge("serve.epoch").set(0);
         metrics
             .gauge("serve.model_bytes")
             .set(initial.table_size_bytes() as u64);
         ModelHandle {
             inner: Arc::new(HandleInner {
-                current: Mutex::new((Arc::new(initial), 0)),
+                current: Mutex::new(Publication {
+                    tree: Arc::new(initial),
+                    epoch: 0,
+                    commit,
+                }),
                 epoch_hint: AtomicU64::new(0),
                 metrics,
             }),
@@ -103,7 +137,7 @@ impl ModelHandle {
     /// it. Per-batch callers should use a [`SnapshotReader`] instead.
     #[inline]
     pub fn snapshot(&self) -> Arc<CompiledTree> {
-        self.inner.current.lock().unwrap().0.clone()
+        self.inner.current.lock().unwrap().tree.clone()
     }
 
     /// The current snapshot together with its epoch, read atomically
@@ -111,7 +145,24 @@ impl ModelHandle {
     #[inline]
     pub fn snapshot_with_epoch(&self) -> (Arc<CompiledTree>, u64) {
         let guard = self.inner.current.lock().unwrap();
-        (guard.0.clone(), guard.1)
+        (guard.tree.clone(), guard.epoch)
+    }
+
+    /// The current Merkle commit, if the current epoch was published with
+    /// one ([`ModelHandle::publish_committed`]).
+    pub fn commit(&self) -> Option<Arc<TreeCommit>> {
+        self.inner.current.lock().unwrap().commit.clone()
+    }
+
+    /// The current model commitment (the commit's Merkle root), if any.
+    pub fn commitment(&self) -> Option<Hash256> {
+        self.inner
+            .current
+            .lock()
+            .unwrap()
+            .commit
+            .as_ref()
+            .map(|c| c.root())
     }
 
     /// The current epoch: 0 at creation, +1 per [`ModelHandle::publish`].
@@ -124,11 +175,10 @@ impl ModelHandle {
     /// Attach a per-thread [`SnapshotReader`] whose steady-state read is
     /// one atomic load (no lock, no refcount traffic).
     pub fn reader(&self) -> SnapshotReader {
-        let (cached, epoch) = self.snapshot_with_epoch();
+        let cached = self.inner.current.lock().unwrap().clone();
         SnapshotReader {
             handle: self.clone(),
             cached,
-            epoch,
         }
     }
 
@@ -137,17 +187,30 @@ impl ModelHandle {
     /// scoring against it; every subsequent [`ModelHandle::snapshot`] or
     /// [`SnapshotReader::current`] observes the new tree.
     pub fn publish(&self, tree: CompiledTree) -> u64 {
+        self.publish_record(tree, None)
+    }
+
+    /// Like [`ModelHandle::publish`], additionally carrying the snapshot's
+    /// Merkle commit so proofs served at the new epoch verify against its
+    /// root ([`ModelHandle::commitment`]). Swapped in the same lock
+    /// acquisition as the tree — the pair is never torn.
+    pub fn publish_committed(&self, tree: CompiledTree, commit: Arc<TreeCommit>) -> u64 {
+        self.publish_record(tree, Some(commit))
+    }
+
+    fn publish_record(&self, tree: CompiledTree, commit: Option<Arc<TreeCommit>>) -> u64 {
         let bytes = tree.table_size_bytes() as u64;
         let fresh = Arc::new(tree);
         let epoch = {
             let mut guard = self.inner.current.lock().unwrap();
-            guard.0 = fresh;
-            guard.1 += 1;
+            guard.tree = fresh;
+            guard.commit = commit;
+            guard.epoch += 1;
             // Mirror the epoch while still holding the lock: a reader
             // that observes the new hint and refreshes is guaranteed to
             // find a record at least this new.
-            self.inner.epoch_hint.store(guard.1, Ordering::Release);
-            guard.1
+            self.inner.epoch_hint.store(guard.epoch, Ordering::Release);
+            guard.epoch
         };
         self.inner.metrics.counter("serve.snapshot_swaps").inc();
         self.inner.metrics.gauge("serve.epoch").set(epoch);
@@ -172,31 +235,58 @@ impl ModelHandle {
 /// if ticket B is submitted after ticket A's result was received, B's
 /// scorer reads the hint after A's scorer did (the ticket hand-off
 /// synchronizes), so coherence forbids it from reading an older value.
-#[derive(Debug)]
 pub struct SnapshotReader {
     handle: ModelHandle,
-    cached: Arc<CompiledTree>,
-    epoch: u64,
+    cached: Publication,
+}
+
+impl std::fmt::Debug for SnapshotReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("epoch", &self.cached.epoch)
+            .field("committed", &self.cached.commit.is_some())
+            .finish()
+    }
 }
 
 impl SnapshotReader {
+    #[inline]
+    fn refresh(&mut self) {
+        let hint = self.handle.inner.epoch_hint.load(Ordering::Acquire);
+        if hint != self.cached.epoch {
+            let fresh = self.handle.inner.current.lock().unwrap().clone();
+            debug_assert!(
+                fresh.epoch >= hint,
+                "publication record older than its hint"
+            );
+            self.cached = fresh;
+        }
+    }
+
     /// The current `(snapshot, epoch)` pair. One atomic load on the fast
     /// path; refreshes from the publication record when the epoch moved.
     #[inline]
     pub fn current(&mut self) -> (&Arc<CompiledTree>, u64) {
-        let hint = self.handle.inner.epoch_hint.load(Ordering::Acquire);
-        if hint != self.epoch {
-            let (tree, epoch) = self.handle.snapshot_with_epoch();
-            debug_assert!(epoch >= hint, "publication record older than its hint");
-            self.cached = tree;
-            self.epoch = epoch;
-        }
-        (&self.cached, self.epoch)
+        self.refresh();
+        (&self.cached.tree, self.cached.epoch)
+    }
+
+    /// Like [`SnapshotReader::current`], additionally exposing the
+    /// epoch's Merkle commit (when the publisher supplied one) — all
+    /// three from the same publication record, never torn.
+    #[inline]
+    pub fn current_committed(&mut self) -> (&Arc<CompiledTree>, u64, Option<&Arc<TreeCommit>>) {
+        self.refresh();
+        (
+            &self.cached.tree,
+            self.cached.epoch,
+            self.cached.commit.as_ref(),
+        )
     }
 
     /// The epoch of the cached snapshot (no refresh).
     pub fn cached_epoch(&self) -> u64 {
-        self.epoch
+        self.cached.epoch
     }
 
     /// The handle this reader is attached to.
@@ -320,6 +410,31 @@ mod tests {
             publisher.join().unwrap();
         });
         assert_eq!(handle.epoch(), 500);
+    }
+
+    #[test]
+    fn committed_publications_expose_their_commitment() {
+        let first = leaf(vec![5, 1]);
+        let commit = Arc::new(crate::provenance::tree_commit(&first).unwrap());
+        let root = commit.root();
+        let handle = ModelHandle::with_metrics_committed(first, commit, Registry::new());
+        assert_eq!(handle.commitment(), Some(root));
+        let mut reader = handle.reader();
+        assert_eq!(reader.current_committed().2.map(|c| c.root()), Some(root));
+
+        // A plain publish drops the commitment (no stale root survives).
+        handle.publish(leaf(vec![0, 9]));
+        assert_eq!(handle.commitment(), None);
+        assert_eq!(reader.current_committed().2.map(|c| c.root()), None);
+
+        // A committed publish swaps tree + commit together.
+        let next = leaf(vec![2, 2]);
+        let next_commit = Arc::new(crate::provenance::tree_commit(&next).unwrap());
+        let next_root = next_commit.root();
+        let epoch = handle.publish_committed(next, next_commit);
+        assert_eq!(epoch, 2);
+        let (_, epoch, commit) = reader.current_committed();
+        assert_eq!((epoch, commit.map(|c| c.root())), (2, Some(next_root)));
     }
 
     #[test]

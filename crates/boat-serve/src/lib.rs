@@ -26,6 +26,13 @@
 //!    across shards — no shared queue lock on the hot path), with
 //!    backpressure, graceful drain, a multi-model [`ModelRegistry`]
 //!    for keyed submits, and `serve.*` metrics into `boat-obs`.
+//! 4. **Provenance** ([`provenance`], optional): Merkle commitments over
+//!    compiled trees ([`tree_commit`]), committed publication
+//!    ([`ModelHandle::publish_committed`]), per-prediction path proofs
+//!    ([`ServeEngine::submit_with_proofs`] → [`ScoredProofs`], verified
+//!    standalone by `boat_proof::verify_prediction`), and a chained
+//!    epoch ledger over the streaming write path
+//!    ([`spawn_streaming_committed`] → [`ProvenanceLedger`]).
 //!
 //! The subsystem invariant mirrors BOAT's exact-tree guarantee on the
 //! write path: **every prediction is computed against one consistent
@@ -38,13 +45,17 @@ pub mod block;
 pub mod compile;
 pub mod engine;
 pub mod handle;
+pub mod provenance;
 pub mod registry;
 mod shard;
 pub mod streaming;
 
 pub use block::{Column, RecordBlock};
 pub use compile::{compile, BatchScratch, CompiledTree, NodeOp};
-pub use engine::{ServeConfig, ServeEngine, Ticket};
+pub use engine::{ScoredProofs, ServeConfig, ServeEngine, Ticket};
 pub use handle::{publish_on_maintain, ModelHandle, SnapshotReader};
+pub use provenance::{
+    record_values, tree_commit, tree_commit_reusing, LedgerSink, ProvenanceLedger,
+};
 pub use registry::{ModelEntry, ModelRegistry};
-pub use streaming::spawn_streaming;
+pub use streaming::{spawn_streaming, spawn_streaming_committed, ProvenanceConfig};

@@ -1,0 +1,318 @@
+//! Authenticated model provenance: Merkle commitments over compiled
+//! trees and the chained epoch ledger.
+//!
+//! This module is the serve-side glue around `boat-proof`:
+//!
+//! * [`tree_commit`] / [`tree_commit_reusing`] lower a [`CompiledTree`]'s
+//!   preorder tables into a [`boat_proof::TreeCommit`] — the Merkle root
+//!   is the model **commitment** published alongside the snapshot
+//!   ([`crate::ModelHandle::publish_committed`]). The reusing variant
+//!   block-copies subtree hashes that survived a maintenance cycle, so
+//!   steady-state recommits cost proportional to the *changed* region.
+//! * [`record_values`] maps a [`Record`]'s fields to the
+//!   [`boat_proof::ProofValue`]s the standalone verifier re-evaluates.
+//! * [`ProvenanceLedger`] owns the [`boat_proof::EpochChain`]: the
+//!   streaming daemon's [`LedgerSink`] absorbs every durable WAL
+//!   operation's content digest into the pending [`DeltaDigest`], and
+//!   each publish-hook invocation [`seal`](ProvenanceLedger::seal)s an
+//!   epoch — `fingerprint(N+1) = H(fingerprint(N) ‖ root(N+1) ‖ delta)`,
+//!   optionally persisted to a durable [`boat_data::audit::AuditLog`].
+//!
+//! Ordering is what makes the chain meaningful: the daemon thread
+//! absorbs ops and runs maintains serially, and the publish hook runs
+//! *inside* the maintain, so the ops sealed into epoch `N+1`'s delta are
+//! exactly those absorbed after epoch `N` was published. The ledger's
+//! mutex only mediates cross-thread *reads* (quiesce fingerprints,
+//! auditor snapshots) — the write side is single-threaded by
+//! construction.
+
+use crate::compile::CompiledTree;
+use boat_data::audit::AuditLog;
+use boat_data::wal::{WalKind, WalOp};
+use boat_data::Record;
+use boat_proof::{
+    DeltaDigest, EpochChain, EpochEntry, Hash256, ProofError, ProofValue, TreeCommit,
+};
+use std::sync::{Arc, Mutex};
+
+/// Merkle-commit `tree` from scratch: one hash per node, bottom-up over
+/// the canonical records and subtree spans that [`compile`] emitted
+/// alongside its preorder tables. The returned commit's
+/// [`TreeCommit::root`] is the model commitment.
+///
+/// [`compile`]: crate::compile::compile
+pub fn tree_commit(tree: &CompiledTree) -> Result<TreeCommit, ProofError> {
+    TreeCommit::from_parts(tree.records.clone(), tree.right.clone(), tree.span.clone())
+}
+
+/// Merkle-commit `tree`, reusing every subtree hash from `prev` whose
+/// node records are byte-identical (the maintenance steady state: only
+/// regrown subtrees are rehashed). Produces the same root as
+/// [`tree_commit`] — bit for bit — just faster.
+pub fn tree_commit_reusing(
+    tree: &CompiledTree,
+    prev: &TreeCommit,
+) -> Result<TreeCommit, ProofError> {
+    TreeCommit::from_parts_reusing(
+        tree.records.clone(),
+        tree.right.clone(),
+        tree.span.clone(),
+        prev,
+    )
+}
+
+/// A record's predictor fields as the verifier-side [`ProofValue`]s, in
+/// attribute order.
+pub fn record_values(record: &Record) -> Vec<ProofValue> {
+    record
+        .fields()
+        .iter()
+        .map(|f| match f {
+            boat_data::Field::Num(x) => ProofValue::Num(*x),
+            boat_data::Field::Cat(c) => ProofValue::Cat(*c),
+        })
+        .collect()
+}
+
+/// The delta-digest kind byte for a WAL operation — pinned to the WAL's
+/// own frame encoding (insert = 1, delete = 2) so an offline auditor can
+/// recompute deltas straight from replayed segments.
+pub fn delta_kind(kind: WalKind) -> u8 {
+    match kind {
+        WalKind::Insert => 1,
+        WalKind::Delete => 2,
+    }
+}
+
+struct LedgerInner {
+    chain: EpochChain,
+    pending: DeltaDigest,
+    entries: Vec<EpochEntry>,
+    audit: Option<AuditLog>,
+    audit_error: Option<String>,
+}
+
+/// The serve-side epoch ledger: chained fingerprints over every published
+/// model commitment, with the pending delta accumulating between
+/// publishes. Cheaply clonable (all clones share one ledger).
+#[derive(Clone)]
+pub struct ProvenanceLedger {
+    inner: Arc<Mutex<LedgerInner>>,
+}
+
+impl std::fmt::Debug for ProvenanceLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("ProvenanceLedger")
+            .field("epoch", &inner.chain.epoch())
+            .field("fingerprint", &inner.chain.fingerprint())
+            .field("pending_ops", &inner.pending.items())
+            .finish()
+    }
+}
+
+impl ProvenanceLedger {
+    /// Start the chain at genesis over the initial model commitment,
+    /// optionally persisting every epoch (genesis included) to `audit`.
+    pub fn genesis(model_root: Hash256, audit: Option<AuditLog>) -> boat_data::Result<Self> {
+        let (chain, entry) = EpochChain::genesis(model_root);
+        let mut audit = audit;
+        if let Some(log) = audit.as_mut() {
+            log.append(&entry)?;
+        }
+        Ok(ProvenanceLedger {
+            inner: Arc::new(Mutex::new(LedgerInner {
+                chain,
+                pending: DeltaDigest::new(),
+                entries: vec![entry],
+                audit,
+                audit_error: None,
+            })),
+        })
+    }
+
+    /// Fold one durable operation into the pending delta.
+    pub fn absorb(&self, kind: WalKind, content_digest: &Hash256) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.pending.absorb(delta_kind(kind), content_digest);
+    }
+
+    /// Seal the pending delta into the next epoch over `model_root` and
+    /// append the entry to the audit log (if any). Audit I/O failures are
+    /// remembered ([`ProvenanceLedger::audit_error`]) but do not poison
+    /// the in-memory chain.
+    pub fn seal(&self, model_root: Hash256) -> EpochEntry {
+        let mut inner = self.inner.lock().unwrap();
+        let delta = inner.pending.take();
+        let entry = inner.chain.advance(model_root, delta);
+        inner.entries.push(entry);
+        if let Some(log) = inner.audit.as_mut() {
+            if let Err(e) = log.append(&entry) {
+                let msg = e.to_string();
+                inner.audit_error.get_or_insert(msg);
+            }
+        }
+        entry
+    }
+
+    /// The chained fingerprint after the most recently sealed epoch.
+    pub fn fingerprint(&self) -> Hash256 {
+        self.inner.lock().unwrap().chain.fingerprint()
+    }
+
+    /// The most recently sealed epoch number (genesis = 0).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap().chain.epoch()
+    }
+
+    /// Operations absorbed since the last seal.
+    pub fn pending_ops(&self) -> u64 {
+        self.inner.lock().unwrap().pending.items()
+    }
+
+    /// Every sealed entry, genesis first — verifiable end-to-end with
+    /// [`boat_proof::EpochChain::verify`].
+    pub fn entries(&self) -> Vec<EpochEntry> {
+        self.inner.lock().unwrap().entries.clone()
+    }
+
+    /// The newest sealed entry.
+    pub fn head(&self) -> EpochEntry {
+        *self
+            .inner
+            .lock()
+            .unwrap()
+            .entries
+            .last()
+            .expect("ledger always holds at least genesis")
+    }
+
+    /// The first audit-log append failure, if any occurred.
+    pub fn audit_error(&self) -> Option<String> {
+        self.inner.lock().unwrap().audit_error.clone()
+    }
+}
+
+/// The [`boat_core::stream::ProvenanceSink`] feeding a
+/// [`ProvenanceLedger`] from the streaming daemon thread.
+pub struct LedgerSink {
+    ledger: ProvenanceLedger,
+}
+
+impl LedgerSink {
+    /// A sink writing into `ledger`.
+    pub fn new(ledger: ProvenanceLedger) -> LedgerSink {
+        LedgerSink { ledger }
+    }
+}
+
+impl boat_core::stream::ProvenanceSink for LedgerSink {
+    fn absorb_op(&mut self, op: &WalOp) {
+        self.ledger.absorb(op.kind, &op.content_digest);
+    }
+
+    fn fingerprint(&self) -> Option<Hash256> {
+        Some(self.ledger.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use boat_proof::verify_prediction;
+    use boat_tree::{Predicate, Split, Tree};
+
+    /// x <= 5 → left leaf (0), else right leaf (1).
+    fn threshold_tree() -> Tree {
+        let mut t = Tree::leaf(vec![5, 5]);
+        t.split_node(
+            t.root(),
+            Split {
+                attr: 0,
+                predicate: Predicate::NumLe(5.0),
+            },
+            vec![5, 0],
+            vec![0, 5],
+        );
+        t
+    }
+
+    /// The fused compile-time emission must agree, root for root, with
+    /// an independent lowering through the validating builder.
+    #[test]
+    fn fused_records_agree_with_the_validating_builder() {
+        use crate::compile::NodeOp;
+        let compiled = compile(&threshold_tree());
+        let n = compiled.ops.len();
+        let mut b = boat_proof::TreeCommitBuilder::with_capacity(n);
+        for i in 0..n {
+            match compiled.ops[i] {
+                NodeOp::Leaf => b.push_leaf(compiled.label[i]),
+                NodeOp::Num => b.push_num(
+                    compiled.split_attr[i],
+                    compiled.threshold[i].to_bits(),
+                    compiled.right[i],
+                ),
+                NodeOp::Cat => b.push_cat(
+                    compiled.split_attr[i],
+                    compiled.cat_mask[i],
+                    compiled.right[i],
+                ),
+            }
+        }
+        let independent = b.commit().unwrap();
+        let fused = tree_commit(&compiled).unwrap();
+        assert_eq!(fused.root(), independent.root());
+    }
+
+    #[test]
+    fn commit_roots_are_deterministic_and_reuse_preserves_them() {
+        let compiled = compile(&threshold_tree());
+        let a = tree_commit(&compiled).unwrap();
+        let b = tree_commit(&compiled).unwrap();
+        assert_eq!(a.root(), b.root());
+        let c = tree_commit_reusing(&compiled, &a).unwrap();
+        assert_eq!(c.root(), a.root());
+        assert_eq!(c.reused_nodes(), compiled.n_nodes());
+    }
+
+    #[test]
+    fn proofs_from_commit_verify_against_the_root() {
+        let compiled = compile(&threshold_tree());
+        let commit = tree_commit(&compiled).unwrap();
+        for x in [0.0, 5.0, 6.0, f64::NAN] {
+            let record = Record::new(vec![boat_data::Field::Num(x)], 0);
+            let values = record_values(&record);
+            let (label, proof) = commit.prove(&values).unwrap();
+            assert_eq!(label, compiled.predict(&record), "x = {x}");
+            verify_prediction(&commit.root(), &values, label, &proof).unwrap();
+        }
+    }
+
+    #[test]
+    fn ledger_chains_and_verifies() {
+        let ledger = ProvenanceLedger::genesis(boat_proof::sha256(b"m0"), None).unwrap();
+        assert_eq!(ledger.epoch(), 0);
+        ledger.absorb(WalKind::Insert, &boat_proof::sha256(b"op1"));
+        ledger.absorb(WalKind::Delete, &boat_proof::sha256(b"op2"));
+        assert_eq!(ledger.pending_ops(), 2);
+        let e1 = ledger.seal(boat_proof::sha256(b"m1"));
+        assert_eq!((e1.epoch, ledger.pending_ops()), (1, 0));
+        ledger.absorb(WalKind::Insert, &boat_proof::sha256(b"op3"));
+        ledger.seal(boat_proof::sha256(b"m2"));
+        let entries = ledger.entries();
+        assert_eq!(entries.len(), 3);
+        EpochChain::verify(&entries).unwrap();
+        assert_eq!(ledger.head().fingerprint, ledger.fingerprint());
+    }
+
+    #[test]
+    fn empty_deltas_still_advance_the_chain() {
+        let ledger = ProvenanceLedger::genesis(boat_proof::sha256(b"m0"), None).unwrap();
+        let e1 = ledger.seal(boat_proof::sha256(b"m1"));
+        let e2 = ledger.seal(boat_proof::sha256(b"m1"));
+        assert_ne!(e1.fingerprint, e2.fingerprint, "position binds the chain");
+        EpochChain::verify(&ledger.entries()).unwrap();
+    }
+}

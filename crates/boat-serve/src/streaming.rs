@@ -10,10 +10,16 @@
 //! stream.
 
 use crate::handle::{publish_on_maintain, ModelHandle};
+use crate::provenance::{tree_commit, tree_commit_reusing, LedgerSink, ProvenanceLedger};
 use boat_core::stream::{StreamConfig, StreamingBoat};
 use boat_core::BoatModel;
+use boat_data::audit::AuditLog;
 use boat_data::Result;
+use boat_obs::latency_bounds_ns;
 use boat_tree::Impurity;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Spawn the streaming daemon over `model`, publishing every maintained
 /// tree to a fresh [`ModelHandle`] (registered in the model's metrics
@@ -39,6 +45,96 @@ pub fn spawn_streaming<I: Impurity + Clone + Send + 'static>(
     };
     publish_on_maintain(&mut model, &handle)?;
     StreamingBoat::spawn_with_publication(model, config, handle)
+}
+
+/// Provenance knobs for [`spawn_streaming_committed`].
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceConfig {
+    /// Where to persist the epoch chain's audit log
+    /// ([`boat_data::audit`]); `None` keeps the chain in memory only.
+    pub audit_path: Option<PathBuf>,
+}
+
+/// [`spawn_streaming`] with authenticated provenance: every published
+/// snapshot carries its Merkle commitment, every absorbed WAL operation
+/// feeds the pending delta digest, and every maintain seals a chained
+/// epoch fingerprint into the returned [`ProvenanceLedger`] (and, if
+/// configured, a durable audit log).
+///
+/// Alignment invariant: the [`ModelHandle`] publication epoch and the
+/// ledger's chain epoch advance in lockstep — the initial tree is
+/// published *with its commit* as epoch 0 / chain genesis, and each
+/// maintain publishes epoch `N` then seals chain epoch `N` over the same
+/// Merkle root. A prediction served at handle epoch `N` therefore
+/// verifies against `ledger.entries()[N].model_root`.
+///
+/// Per-epoch cost is recorded under `boat.proof.*`: `commit_ns` (the
+/// incremental recommit), `commits`, and `nodes_reused` (subtree hashes
+/// block-copied from the previous epoch's commit).
+pub fn spawn_streaming_committed<I: Impurity + Clone + Send + 'static>(
+    mut model: BoatModel<I>,
+    mut config: StreamConfig,
+    provenance: ProvenanceConfig,
+) -> Result<(StreamingBoat<I, ModelHandle>, ProvenanceLedger)> {
+    let metrics = model.metrics().clone();
+    let handle = {
+        let span = metrics.span("serve.compile");
+        let compiled = crate::compile(model.tree()?);
+        span.finish();
+        let t0 = Instant::now();
+        let commit = tree_commit(&compiled).map_err(|e| {
+            boat_data::DataError::Invalid(format!("initial tree commit failed: {e}"))
+        })?;
+        metrics
+            .histogram_with("boat.proof.commit_ns", &latency_bounds_ns())
+            .record(t0.elapsed().as_nanos() as u64);
+        metrics.counter("boat.proof.commits").inc();
+        ModelHandle::with_metrics_committed(compiled, Arc::new(commit), metrics.clone())
+    };
+    let audit = provenance.audit_path.map(AuditLog::create).transpose()?;
+    let root = handle.commitment().expect("published with a commit");
+    let ledger = ProvenanceLedger::genesis(root, audit)?;
+
+    // The publish hook replaces publish_on_maintain's: compile, recommit
+    // incrementally against the previous epoch's commit, publish tree +
+    // commit as one record, then seal the chain epoch over the new root.
+    // All on the daemon thread, inside `BoatModel::maintain`.
+    let hook_handle = handle.clone();
+    let hook_ledger = ledger.clone();
+    model.set_publish_hook(move |tree| {
+        let metrics = hook_handle.metrics().clone();
+        let span = metrics.span("serve.compile");
+        let compiled = crate::compile(tree);
+        span.finish();
+        let t0 = Instant::now();
+        let commit = match hook_handle.commit() {
+            Some(prev) => tree_commit_reusing(&compiled, &prev),
+            None => tree_commit(&compiled),
+        };
+        match commit {
+            Ok(commit) => {
+                metrics
+                    .histogram_with("boat.proof.commit_ns", &latency_bounds_ns())
+                    .record(t0.elapsed().as_nanos() as u64);
+                metrics.counter("boat.proof.commits").inc();
+                metrics
+                    .counter("boat.proof.nodes_reused")
+                    .add(commit.reused_nodes() as u64);
+                let root = commit.root();
+                hook_handle.publish_committed(compiled, Arc::new(commit));
+                hook_ledger.seal(root);
+            }
+            Err(_) => {
+                // Committing a well-formed compiled tree cannot fail; if
+                // it ever does, keep serving (uncommitted) and count it.
+                metrics.counter("boat.proof.commit_errors").inc();
+                hook_handle.publish(compiled);
+            }
+        }
+    });
+    config.provenance = Some(Box::new(LedgerSink::new(ledger.clone())));
+    let streaming = StreamingBoat::spawn_with_publication(model, config, handle)?;
+    Ok((streaming, ledger))
 }
 
 #[cfg(test)]

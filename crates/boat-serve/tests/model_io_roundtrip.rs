@@ -1,14 +1,17 @@
 //! Model-IO regression for the compiler: a tree that takes a round trip
 //! through the `BOATTREE` wire format must compile to **byte-identical**
-//! node tables. This pins two things at once — the serializer loses no
-//! information the compiler consumes (split attributes, bit-exact
-//! thresholds, category subsets, class counts), and the compiler is a
-//! pure function of the logical tree, not of incidental arena layout.
+//! node tables — and to the **same Merkle commitment**. This pins three
+//! things at once — the serializer loses no information the compiler
+//! consumes (split attributes, bit-exact thresholds, category subsets,
+//! class counts), the compiler is a pure function of the logical tree,
+//! not of incidental arena layout, and the model commitment is stable
+//! across storage round trips (an auditor can recompute it from the
+//! serialized model alone).
 
 use boat_core::reference_tree;
 use boat_data::{Attribute, Field, MemoryDataset, Record, Schema};
 use boat_datagen::{GeneratorConfig, LabelFunction};
-use boat_serve::compile;
+use boat_serve::{compile, tree_commit};
 use boat_tree::{Gini, GrowthLimits, Tree};
 use proptest::prelude::*;
 
@@ -22,6 +25,11 @@ fn assert_roundtrip_compiles_identically(tree: &Tree) {
         "serialize → deserialize → compile changed the node tables"
     );
     assert_eq!(original.n_nodes(), recompiled.n_nodes());
+    assert_eq!(
+        tree_commit(&original).unwrap().root(),
+        tree_commit(&recompiled).unwrap().root(),
+        "serialize → deserialize → recompile changed the model commitment"
+    );
 }
 
 /// Realistic trees from the paper's synthetic functions, including

@@ -1,0 +1,275 @@
+//! Provenance invariant battery over realistic fitted models — the
+//! acc-tree-style exhaustive walk for the Merkle layer:
+//!
+//! * **Subtree-hash invariant**: every node's committed hash recomputes
+//!   from first principles (`sha256` over the documented leaf/internal
+//!   message formats) — the commit structure holds at *every* node, not
+//!   just the root.
+//! * **Tamper battery**: perturbing any single node record changes the
+//!   root; flipping any byte of any serialized proof makes verification
+//!   fail (no false accepts), while every untampered proof verifies (no
+//!   false rejects).
+//! * **Prove/predict differential**: the Merkle prover routes every
+//!   record — NaN and unseen-category edge cases included — to exactly
+//!   the label `CompiledTree::predict` returns.
+//! * **Incremental recommit oracle**: after real insert + maintain
+//!   cycles, `tree_commit_reusing` reproduces the from-scratch root bit
+//!   for bit while reusing unchanged subtree hashes.
+
+use boat_core::{reference_tree, Boat, BoatConfig};
+use boat_data::{Field, MemoryDataset, Record};
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_proof::{
+    sha256, verify_prediction, NodeRecord, ProofError, TreeCommit, TreeCommitBuilder,
+};
+use boat_serve::{compile, record_values, tree_commit, tree_commit_reusing, CompiledTree};
+use boat_tree::{Gini, GrowthLimits};
+
+fn fitted_compiled(function: LabelFunction, seed: u64, n: usize) -> (CompiledTree, Vec<Record>) {
+    let gen = GeneratorConfig::new(function).with_seed(seed);
+    let records = gen.generate_vec(n);
+    let ds = MemoryDataset::new(gen.schema(), records.clone());
+    let tree = reference_tree(&ds, Gini, GrowthLimits::default()).unwrap();
+    (compile(&tree), records)
+}
+
+/// Recompute one node's hash from first principles: the documented
+/// message formats (`0x00 ‖ record` for leaves, `0x01 ‖ record ‖ left ‖
+/// right` for internal nodes) fed to the plain streaming `sha256` — no
+/// shared code with the commit builder's direct block construction.
+fn independent_hash(commit: &TreeCommit, i: usize) -> boat_proof::Hash256 {
+    let record = commit.record(i).to_bytes();
+    match commit.right_child(i) {
+        None => {
+            let mut msg = vec![0x00u8];
+            msg.extend_from_slice(&record);
+            sha256(&msg)
+        }
+        Some(right) => {
+            let mut msg = vec![0x01u8];
+            msg.extend_from_slice(&record);
+            msg.extend_from_slice(independent_hash(commit, i + 1).as_bytes());
+            msg.extend_from_slice(independent_hash(commit, right as usize).as_bytes());
+            sha256(&msg)
+        }
+    }
+}
+
+/// Every node's committed subtree hash must equal the independent
+/// recursive recompute — over realistic trees from three of the paper's
+/// synthetic functions.
+#[test]
+fn subtree_hash_invariant_holds_at_every_node() {
+    for (function, seed) in [
+        (LabelFunction::F1, 71u64),
+        (LabelFunction::F6, 76),
+        (LabelFunction::F9, 79),
+    ] {
+        let (compiled, _) = fitted_compiled(function, seed, 3_000);
+        let commit = tree_commit(&compiled).unwrap();
+        assert_eq!(commit.n_nodes(), compiled.n_nodes());
+        assert!(commit.n_nodes() > 1, "fit must produce a real tree");
+        for i in 0..commit.n_nodes() {
+            assert_eq!(
+                commit.subtree_hash(i),
+                independent_hash(&commit, i),
+                "node {i} hash does not recompute independently"
+            );
+        }
+        assert_eq!(commit.root(), commit.subtree_hash(0));
+    }
+}
+
+/// Rebuild the commit with node `i`'s record perturbed by `mutate`.
+fn rebuild_with_mutation(
+    commit: &TreeCommit,
+    target: usize,
+    mutate: impl Fn(NodeRecord) -> NodeRecord,
+) -> Result<TreeCommit, ProofError> {
+    let n = commit.n_nodes();
+    let mut b = TreeCommitBuilder::with_capacity(n);
+    for i in 0..n {
+        let mut rec = commit.record(i);
+        if i == target {
+            rec = mutate(rec);
+        }
+        match commit.right_child(i) {
+            None => b.push_leaf(rec.label),
+            Some(right) => {
+                if rec.op == 1 {
+                    b.push_num(rec.attr, rec.operand, right);
+                } else {
+                    b.push_cat(rec.attr, rec.operand, right);
+                }
+            }
+        }
+    }
+    b.commit()
+}
+
+/// Perturbing any single node's committed content — leaf label, split
+/// operand, or split attribute — must change the root: every node binds
+/// the commitment.
+#[test]
+fn every_node_record_binds_the_root() {
+    let (compiled, _) = fitted_compiled(LabelFunction::F6, 761, 2_000);
+    let commit = tree_commit(&compiled).unwrap();
+    let root = commit.root();
+    for i in 0..commit.n_nodes() {
+        let tampered = rebuild_with_mutation(&commit, i, |mut rec| {
+            if rec.op == 0 {
+                rec.label ^= 1;
+            } else {
+                rec.operand ^= 1;
+            }
+            rec
+        })
+        .unwrap();
+        assert_ne!(tampered.root(), root, "node {i} content does not bind root");
+        if commit.record(i).op != 0 {
+            let attr_tampered = rebuild_with_mutation(&commit, i, |mut rec| {
+                rec.attr ^= 1;
+                rec
+            })
+            .unwrap();
+            assert_ne!(
+                attr_tampered.root(),
+                root,
+                "node {i} attr does not bind root"
+            );
+        }
+    }
+}
+
+/// The full proof tamper battery over a realistic model: every proof
+/// verifies untampered (no false rejects), and flipping every bit of
+/// every proof byte yields either a parse failure or a verification
+/// failure (no false accepts). Wrong labels and wrong commitments are
+/// rejected too.
+#[test]
+fn proof_tamper_battery_no_false_accepts_or_rejects() {
+    let (compiled, records) = fitted_compiled(LabelFunction::F1, 711, 2_000);
+    let commit = tree_commit(&compiled).unwrap();
+    let root = commit.root();
+    for record in records.iter().take(40) {
+        let values = record_values(record);
+        let (label, proof) = commit.prove(&values).unwrap();
+        verify_prediction(&root, &values, label, &proof).unwrap();
+
+        // Wrong label, wrong commitment.
+        assert!(verify_prediction(&root, &values, label ^ 1, &proof).is_err());
+        let mut bad_root = root;
+        bad_root.0[7] ^= 0x10;
+        assert!(verify_prediction(&bad_root, &values, label, &proof).is_err());
+
+        // Every flipped bit of the wire encoding is rejected.
+        let wire = proof.to_bytes();
+        for at in 0..wire.len() {
+            for bit in 0..8u8 {
+                let mut bad = wire.clone();
+                bad[at] ^= 1 << bit;
+                let accepted = match boat_proof::PredictionProof::from_bytes(&bad) {
+                    Err(_) => false,
+                    Ok(p) => verify_prediction(&root, &values, label, &p).is_ok(),
+                };
+                assert!(!accepted, "byte {at} bit {bit} flipped yet proof verified");
+            }
+        }
+    }
+}
+
+/// Prove/predict differential over realistic records plus adversarial
+/// mutations: NaN numeric fields (route right) and unseen category codes
+/// (fail the subset test, route right). The Merkle prover must agree
+/// with the compiled scorer on every one, and every proof must verify.
+#[test]
+fn prover_agrees_with_compiled_predict_on_edge_cases() {
+    for (function, seed) in [(LabelFunction::F2, 72u64), (LabelFunction::F9, 792)] {
+        let gen = GeneratorConfig::new(function).with_seed(seed);
+        let schema = gen.schema();
+        let records = gen.generate_vec(2_500);
+        let ds = MemoryDataset::new(schema.clone(), records.clone());
+        let tree = reference_tree(&ds, Gini, GrowthLimits::default()).unwrap();
+        let compiled = compile(&tree);
+        let commit = tree_commit(&compiled).unwrap();
+        let root = commit.root();
+
+        let mut checked = 0usize;
+        for (k, record) in records.iter().take(500).enumerate() {
+            // The record as generated, plus a variant with one field
+            // made adversarial (NaN / an in-bounds but likely-unseen
+            // category code), cycling through the attributes.
+            let mut variants = vec![record.clone()];
+            let fields = record.fields();
+            let at = k % fields.len();
+            let mut mutated = fields.to_vec();
+            mutated[at] = match mutated[at] {
+                Field::Num(_) => Field::Num(f64::NAN),
+                Field::Cat(_) => {
+                    let bound = schema.attributes()[at].ty().cardinality().unwrap_or(64);
+                    Field::Cat(bound.saturating_sub(1))
+                }
+            };
+            variants.push(Record::new(mutated, record.label()));
+            for variant in variants {
+                let values = record_values(&variant);
+                let (label, proof) = commit.prove(&values).unwrap();
+                assert_eq!(
+                    label,
+                    compiled.predict(&variant),
+                    "prover and compiled scorer disagree"
+                );
+                verify_prediction(&root, &values, label, &proof).unwrap();
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 1_000);
+    }
+}
+
+/// Incremental recommit oracle on a *maintained* model: after real
+/// insert + maintain cycles, committing the fresh compiled tree by
+/// reusing the previous epoch's commit must reproduce the from-scratch
+/// root exactly, and committing an unchanged tree must reuse every node.
+#[test]
+fn incremental_recommit_matches_full_commit_across_maintains() {
+    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(77);
+    let schema = gen.schema();
+    let all = gen.generate_vec(8_000);
+    let config = BoatConfig {
+        sample_size: 1_200,
+        bootstrap_reps: 10,
+        bootstrap_sample_size: 500,
+        in_memory_threshold: 400,
+        spill_budget: 64,
+        seed: 7_700,
+        ..BoatConfig::default()
+    };
+    let algo = Boat::new(config);
+    let (mut model, _) = algo
+        .fit_model(&MemoryDataset::new(schema.clone(), all[..4_000].to_vec()))
+        .unwrap();
+
+    let mut prev = tree_commit(&compile(model.tree().unwrap())).unwrap();
+    for chunk in all[4_000..].chunks(1_000) {
+        model
+            .insert(&MemoryDataset::new(schema.clone(), chunk.to_vec()))
+            .unwrap();
+        model.maintain().unwrap();
+        let compiled = compile(model.tree().unwrap());
+        let full = tree_commit(&compiled).unwrap();
+        let reused = tree_commit_reusing(&compiled, &prev).unwrap();
+        assert_eq!(
+            reused.root(),
+            full.root(),
+            "incremental recommit diverged from full commit"
+        );
+        assert!(reused.reused_nodes() <= compiled.n_nodes());
+        prev = reused;
+    }
+    // Unchanged tree: the recommit is a pure block copy.
+    let compiled = compile(model.tree().unwrap());
+    let again = tree_commit_reusing(&compiled, &prev).unwrap();
+    assert_eq!(again.root(), prev.root());
+    assert_eq!(again.reused_nodes(), compiled.n_nodes());
+}

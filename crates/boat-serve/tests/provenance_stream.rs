@@ -1,0 +1,234 @@
+//! End-to-end audit differential for the streaming provenance path: fit
+//! a model, stream inserts/deletes through a committed daemon across
+//! several maintain epochs while serving proof-carrying predictions,
+//! then verify *everything* offline:
+//!
+//! * every served prediction's Merkle proof verifies against the model
+//!   commitment of the epoch that scored it;
+//! * the epoch chain verifies back to genesis, and recomputes exactly
+//!   from the durable WAL segments' per-frame content digests (the
+//!   auditor needs only the WAL and the audit log — no live process);
+//! * the audit log replays to the in-memory ledger bit for bit;
+//! * any single-byte tamper — of the audit log, a served proof, or the
+//!   claimed commitment — is rejected.
+
+use boat_core::stream::{StalenessBound, StreamConfig};
+use boat_core::{Boat, BoatConfig};
+use boat_data::wal::{replay_segments, WalConfig};
+use boat_data::{read_audit_log, MemoryDataset, Record};
+use boat_datagen::{GeneratorConfig, LabelFunction};
+use boat_obs::Registry;
+use boat_proof::{verify_prediction, DeltaDigest, EpochChain, PredictionProof};
+use boat_serve::provenance::delta_kind;
+use boat_serve::{
+    record_values, spawn_streaming_committed, ProvenanceConfig, ScoredProofs, ServeConfig,
+    ServeEngine,
+};
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boat-prov-stream-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn streamed_epochs_serve_verifiable_predictions_and_audit_offline() {
+    let gen = GeneratorConfig::new(LabelFunction::F2).with_seed(81);
+    let schema = gen.schema();
+    let all = gen.generate_vec(9_000);
+    let base = &all[..4_000];
+
+    let config = BoatConfig {
+        sample_size: 1_200,
+        bootstrap_reps: 10,
+        bootstrap_sample_size: 500,
+        in_memory_threshold: 400,
+        spill_budget: 64,
+        seed: 8_100,
+        ..BoatConfig::default()
+    };
+    let algo = Boat::new(config);
+    let (model, _) = algo
+        .fit_model(&MemoryDataset::new(schema.clone(), base.to_vec()))
+        .unwrap();
+    let metrics = model.metrics().clone();
+
+    let dir = test_dir("e2e");
+    let audit_path = dir.join("epochs.audit");
+    let (streaming, ledger) = spawn_streaming_committed(
+        model,
+        StreamConfig {
+            staleness: StalenessBound {
+                // Only quiesce maintains: each round seals exactly one
+                // WAL operation into its epoch, so the offline
+                // differential below knows the epoch partition.
+                max_records: 1_000_000,
+                max_age: None,
+            },
+            wal: WalConfig {
+                dir: Some(dir.clone()),
+                keep_segments: true,
+                ..WalConfig::default()
+            },
+            ..StreamConfig::default()
+        },
+        ProvenanceConfig {
+            audit_path: Some(audit_path.clone()),
+        },
+    )
+    .unwrap();
+    let handle = streaming.handle().clone();
+    assert_eq!(handle.epoch(), 0);
+    assert_eq!(ledger.epoch(), 0);
+    let genesis_root = handle.commitment().expect("initial commit published");
+    assert_eq!(ledger.entries()[0].model_root, genesis_root);
+
+    let engine = ServeEngine::start(
+        handle.clone(),
+        schema.clone(),
+        ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+        },
+    );
+
+    // Four epochs past genesis: inserts, a delete, and another insert —
+    // one WAL operation per epoch, serving proof batches after each.
+    enum Round {
+        Insert(std::ops::Range<usize>),
+        Delete(std::ops::Range<usize>),
+    }
+    let rounds = [
+        Round::Insert(4_000..6_000),
+        Round::Insert(6_000..7_500),
+        Round::Delete(6_000..7_500),
+        Round::Insert(7_500..9_000),
+    ];
+    let mut served: Vec<(u64, Vec<Record>, Vec<u16>, ScoredProofs)> = Vec::new();
+    for (i, round) in rounds.iter().enumerate() {
+        match round {
+            Round::Insert(r) => streaming.insert(all[r.clone()].to_vec()).unwrap(),
+            Round::Delete(r) => streaming.delete(all[r.clone()].to_vec()).unwrap(),
+        }
+        let report = streaming.quiesce().unwrap();
+        assert_eq!(report.stats.first_error, None);
+        let epoch = (i + 1) as u64;
+        assert_eq!(handle.epoch(), epoch, "handle epoch after round {i}");
+        assert_eq!(ledger.epoch(), epoch, "chain epoch after round {i}");
+        assert_eq!(
+            report.fingerprint,
+            Some(ledger.fingerprint()),
+            "quiesce fingerprint is the sealed chain head"
+        );
+        assert_eq!(ledger.head().fingerprint, ledger.fingerprint());
+
+        // Serve a proof-carrying batch against the freshly sealed epoch.
+        let queries = all[i * 50..(i + 1) * 50].to_vec();
+        let (labels, scored_epoch, proofs) = engine
+            .submit_with_proofs(queries.clone())
+            .unwrap()
+            .wait_with_proofs();
+        assert_eq!(scored_epoch, epoch, "batch scored against the new epoch");
+        let scored = proofs.expect("committed epoch must yield proofs");
+        assert_eq!(scored.proofs.len(), queries.len());
+        served.push((scored_epoch, queries, labels, scored));
+    }
+    engine.shutdown();
+    assert_eq!(ledger.audit_error(), None);
+
+    let entries = ledger.entries();
+    assert_eq!(entries.len(), 1 + rounds.len(), "genesis + one per round");
+    EpochChain::verify(&entries).unwrap();
+
+    // Every served prediction verifies against the commitment of the
+    // epoch that scored it — and that commitment is the epoch's audited
+    // model root.
+    for (epoch, queries, labels, scored) in &served {
+        assert_eq!(
+            scored.commitment, entries[*epoch as usize].model_root,
+            "served commitment is epoch {epoch}'s audited root"
+        );
+        for ((record, label), proof) in queries.iter().zip(labels).zip(&scored.proofs) {
+            let values = record_values(record);
+            verify_prediction(&scored.commitment, &values, *label, proof).unwrap();
+        }
+    }
+
+    let segments = streaming.wal_segments();
+    streaming.finish().unwrap();
+
+    // Offline differential 1: the whole chain recomputes from the
+    // durable WAL alone (per-frame content digests, one op per epoch).
+    let ops = replay_segments(&segments, &schema, &Registry::new()).unwrap();
+    assert_eq!(ops.len(), rounds.len());
+    let (mut chain, replayed_genesis) = EpochChain::genesis(entries[0].model_root);
+    assert_eq!(replayed_genesis, entries[0]);
+    for (i, op) in ops.iter().enumerate() {
+        let mut delta = DeltaDigest::new();
+        delta.absorb(delta_kind(op.kind), &op.content_digest);
+        let entry = chain.advance(entries[i + 1].model_root, delta.take());
+        assert_eq!(
+            entry,
+            entries[i + 1],
+            "epoch {} does not recompute from the WAL",
+            i + 1
+        );
+    }
+    assert_eq!(chain.fingerprint(), ledger.fingerprint());
+
+    // Offline differential 2: the durable audit log replays to the
+    // in-memory ledger exactly and verifies back to genesis.
+    let replay = read_audit_log(&audit_path).unwrap();
+    assert!(!replay.torn);
+    assert_eq!(replay.entries, entries);
+    replay.verify_chain().unwrap();
+
+    // Tamper battery: any single-byte flip of the audit log body leaves
+    // no intact, verifying chain of the original length.
+    let clean = std::fs::read(&audit_path).unwrap();
+    for at in 8..clean.len() {
+        let mut bad = clean.clone();
+        bad[at] ^= 0x01;
+        std::fs::write(&audit_path, &bad).unwrap();
+        let intact = match read_audit_log(&audit_path) {
+            Err(_) => false,
+            Ok(r) => r.entries.len() == entries.len() && r.verify_chain().is_ok(),
+        };
+        assert!(!intact, "audit byte {at} tampered yet chain verified");
+    }
+
+    // Tamper battery: flipping any byte of a served proof, or of the
+    // claimed commitment, breaks verification.
+    let (_, queries, labels, scored) = &served[served.len() - 1];
+    let values = record_values(&queries[0]);
+    let wire = scored.proofs[0].to_bytes();
+    for at in 0..wire.len() {
+        let mut bad = wire.clone();
+        bad[at] ^= 0x01;
+        let accepted = match PredictionProof::from_bytes(&bad) {
+            Err(_) => false,
+            Ok(p) => verify_prediction(&scored.commitment, &values, labels[0], &p).is_ok(),
+        };
+        assert!(!accepted, "proof byte {at} tampered yet verified");
+    }
+    for at in 0..32 {
+        let mut bad_root = scored.commitment;
+        bad_root.0[at] ^= 0x01;
+        assert!(
+            verify_prediction(&bad_root, &values, labels[0], &scored.proofs[0]).is_err(),
+            "commitment byte {at} tampered yet verified"
+        );
+    }
+
+    // The commit pipeline reported its work: one commit per epoch plus
+    // genesis, with subtree reuse on the incremental path.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("boat.proof.commits"), 1 + rounds.len() as u64);
+    assert_eq!(snap.counter("boat.proof.proofs"), served.len() as u64 * 50);
+
+    for p in segments {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

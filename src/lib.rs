@@ -16,6 +16,9 @@
 //! * [`serve`] — the read path: trees compiled to flat structure-of-arrays
 //!   tables, epoch-versioned snapshot publication, and a multi-worker
 //!   serving engine that scores while maintenance runs.
+//! * [`proof`] — authenticated provenance: Merkle-committed trees, chained
+//!   epoch fingerprints over the maintenance history, and per-prediction
+//!   path proofs any client can verify against the model commitment.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@
 pub use boat_core as boat;
 pub use boat_data as data;
 pub use boat_datagen as datagen;
+pub use boat_proof as proof;
 pub use boat_rainforest as rainforest;
 pub use boat_serve as serve;
 pub use boat_tree as tree;
